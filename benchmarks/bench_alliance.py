@@ -1,0 +1,38 @@
+"""Benchmarks T6/T7/T8 — FGA bounds.
+
+* T6 (Theorems 12/13): ``FGA ∘ SDR`` is silent; any execution takes at most
+  ``(n+1)(16mΔ + 36m + 27n)`` moves, terminal alliances verified.
+* T7 (Theorem 14): stabilization within ``8n + 4`` rounds.
+* T8 (Corollaries 11/12, Lemma 25): standalone FGA from ``γ_init`` within
+  ``16Δm + 36m + 24n`` total moves, ``8δΔ + 18δ + 24`` per process, and
+  ``5n + 4`` rounds.
+"""
+
+from repro.harness import experiments
+
+from conftest import run_once
+
+
+def test_t6_t7_fga_sdr_bounds(benchmark, save_report):
+    result = run_once(
+        benchmark,
+        experiments.experiment_t6_t7,
+        sizes=(8, 12, 16),
+        topologies=("random", "grid"),
+        trials=3,
+        scenarios=("random", "hollow"),
+    )
+    save_report("T6_T7_fga_sdr_bounds", result)
+    assert result.ok
+
+
+def test_t8_fga_standalone_bounds(benchmark, save_report):
+    result = run_once(
+        benchmark,
+        experiments.experiment_t8,
+        sizes=(8, 12, 16),
+        topologies=("random", "ring"),
+        trials=3,
+    )
+    save_report("T8_fga_standalone", result)
+    assert result.ok

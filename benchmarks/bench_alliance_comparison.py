@@ -1,0 +1,23 @@
+"""Benchmark T10 — minimal dominating set: FGA(1,0) ∘ SDR vs Turau-style MIS.
+
+Both compute minimal dominating sets under the unfair daemon with
+identifiers; the specialized baseline is cheaper in moves — the measured
+price of FGA's generality (and of self-stabilizing the whole (f,g) family
+through one reset layer).
+"""
+
+from repro.harness import experiments
+
+from conftest import run_once
+
+
+def test_t10_mds_head_to_head(benchmark, save_report):
+    result = run_once(
+        benchmark,
+        experiments.experiment_t10,
+        sizes=(8, 12, 16),
+        topology="random",
+        trials=3,
+    )
+    save_report("T10_mds_comparison", result)
+    assert result.ok

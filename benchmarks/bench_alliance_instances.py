@@ -1,0 +1,24 @@
+"""Benchmark T9 — the six classical (f,g)-alliance instances (§6.1).
+
+Dominating set, k-domination, k-tuple domination, global offensive /
+defensive / powerful alliances, all via ``FGA ∘ SDR`` from arbitrary
+configurations.  1-minimality is asserted where Theorem 8's ``f > g``
+hypothesis holds; the ``f ≤ g`` instances are checked against the
+FGA-stability predicate (see the reproduction finding in DESIGN.md §6).
+"""
+
+from repro.harness import experiments
+
+from conftest import run_once
+
+
+def test_t9_instances(benchmark, save_report):
+    result = run_once(
+        benchmark,
+        experiments.experiment_t9,
+        n=12,
+        topology="random",
+        trials=2,
+    )
+    save_report("T9_instances", result)
+    assert result.ok

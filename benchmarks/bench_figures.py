@@ -1,0 +1,77 @@
+"""Benchmarks F1–F6 — the figure experiments.
+
+* F1/F2 — unison scaling: rounds vs n, and moves vs n on log-log axes with
+  fitted growth exponents (ours ≈ n², baseline ≥ ours).
+* F3 — ablation: cooperative reset footprint vs number of faults.
+* F4 — ``FGA ∘ SDR`` rounds vs n against the ``8n+4`` line.
+* F5 — ablation: daemon sensitivity (synchronous / central / locally
+  central / distributed-random / adversarial).
+* F6 — cooperative multi-initiator SDR vs the mono-initiator reset wave.
+"""
+
+from repro.harness import experiments
+
+from conftest import run_once
+
+
+def test_f1_f2_unison_scaling(benchmark, save_report):
+    result = run_once(
+        benchmark,
+        experiments.figure_f1_f2,
+        sizes=(8, 12, 16, 24),
+        topology="ring",
+        trials=3,
+        scenario="gradient",
+    )
+    save_report("F1_F2_unison_scaling", result)
+    assert result.ok
+
+
+def test_f3_reset_footprint(benchmark, save_report):
+    result = run_once(
+        benchmark,
+        experiments.figure_f3,
+        n=24,
+        topology="random",
+        fault_counts=(1, 2, 4, 8),
+        trials=4,
+    )
+    save_report("F3_reset_footprint", result)
+    assert result.ok
+
+
+def test_f4_fga_rounds_line(benchmark, save_report):
+    result = run_once(
+        benchmark,
+        experiments.figure_f4,
+        sizes=(8, 12, 16, 24),
+        topology="random",
+        trials=3,
+    )
+    save_report("F4_fga_rounds", result)
+    assert result.ok
+
+
+def test_f5_daemon_ablation(benchmark, save_report):
+    result = run_once(
+        benchmark,
+        experiments.figure_f5,
+        n=16,
+        topology="random",
+        trials=3,
+    )
+    save_report("F5_daemon_ablation", result)
+    assert result.ok
+
+
+def test_f6_mono_vs_cooperative(benchmark, save_report):
+    result = run_once(
+        benchmark,
+        experiments.figure_f6,
+        sizes=(8, 12, 16, 24),
+        topology="random",
+        trials=3,
+        faults=2,
+    )
+    save_report("F6_mono_vs_sdr", result)
+    assert result.ok

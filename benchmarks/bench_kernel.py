@@ -1,0 +1,54 @@
+"""Engine micro-benchmarks: raw simulator throughput.
+
+Not a paper claim — these measure the substrate itself (steps/second of
+the composite-atomicity engine) so regressions in the hot path (guard
+evaluation, incremental enabled-set maintenance) are visible.
+"""
+
+from random import Random
+
+from repro.core import DistributedRandomDaemon, Simulator, SynchronousDaemon
+from repro.reset import SDR
+from repro.topology import grid, ring
+from repro.unison import Unison
+
+
+def test_synchronous_unison_steady_state(benchmark):
+    """Post-stabilization unison ticking on a 10×10 grid (sync daemon)."""
+    net = grid(10, 10)
+    sdr = SDR(Unison(net))
+
+    def run():
+        sim = Simulator(sdr, SynchronousDaemon(), seed=0)
+        sim.run(max_steps=100)
+        return sim.move_count
+
+    moves = benchmark(run)
+    assert moves == 100 * net.n  # every process ticks every step
+
+
+def test_stabilization_from_random_config(benchmark):
+    """Full stabilization of U ∘ SDR on a 64-node ring."""
+    net = ring(64)
+    sdr = SDR(Unison(net))
+    cfg = sdr.random_configuration(Random(5))
+
+    def run():
+        sim = Simulator(sdr, DistributedRandomDaemon(0.5), config=cfg.copy(), seed=5)
+        sim.run(stop_when=lambda s: sdr.is_normal(s.cfg), max_steps=500_000)
+        return sim.step_count
+
+    steps = benchmark(run)
+    assert steps > 0
+
+
+def test_guard_evaluation_throughput(benchmark):
+    """Enabled-set recomputation over a full 12×12 grid configuration."""
+    net = grid(12, 12)
+    sdr = SDR(Unison(net))
+    cfg = sdr.random_configuration(Random(1))
+
+    def scan():
+        return sum(len(sdr.enabled_rules(cfg, u)) for u in net.processes())
+
+    benchmark(scan)

@@ -1,0 +1,38 @@
+"""Benchmarks T1/T2 and P1 — the SDR layer's own bounds.
+
+* T1 (Corollary 4): every process executes at most ``3n + 3`` SDR moves in
+  any execution of ``I ∘ SDR``.
+* T2 (Corollary 5): a normal configuration is reached within ``3n`` rounds.
+* P1 (Theorem 3, Remarks 4/5, Theorem 4): alive roots are never created,
+  executions have at most ``n + 1`` segments, and per-segment SDR rule
+  sequences match the language of Theorem 4.
+"""
+
+from repro.harness import experiments
+
+from conftest import run_once
+
+
+def test_t1_t2_sdr_moves_and_rounds(benchmark, save_report):
+    result = run_once(
+        benchmark,
+        experiments.experiment_t1_t2,
+        sizes=(8, 12, 16),
+        topologies=("ring", "random", "tree"),
+        trials=3,
+        daemons=("distributed-random", "adversarial", "synchronous"),
+    )
+    save_report("T1_T2_sdr_bounds", result)
+    assert result.ok
+
+
+def test_p1_segments_and_roots(benchmark, save_report):
+    result = run_once(
+        benchmark,
+        experiments.experiment_p1,
+        sizes=(6, 8, 10),
+        topologies=("ring", "random"),
+        trials=3,
+    )
+    save_report("P1_structure", result)
+    assert result.ok

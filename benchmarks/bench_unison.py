@@ -1,0 +1,23 @@
+"""Benchmarks T3/T4 — ``U ∘ SDR`` stabilization bounds (Theorems 6, 7).
+
+Regenerates the per-topology/per-scenario table of worst-case measured
+moves and rounds against the explicit theorem bounds
+``(3D+3)n² + (3D+1)(n−1) + 1`` and ``3n``.
+"""
+
+from repro.harness import experiments
+
+from conftest import run_once
+
+
+def test_t3_unison_moves_and_t4_rounds(benchmark, save_report):
+    result = run_once(
+        benchmark,
+        experiments.experiment_t3_t4,
+        sizes=(8, 12, 16),
+        topologies=("ring", "grid", "random"),
+        trials=3,
+        scenarios=("random", "gradient", "split"),
+    )
+    save_report("T3_T4_unison_bounds", result)
+    assert result.ok

@@ -1,0 +1,23 @@
+"""Benchmark T5 — ``U ∘ SDR`` vs the Boulinier-style baseline (§5.3).
+
+The paper claims the composition matches the baseline's O(n) rounds while
+strictly improving moves (O(D·n²) vs O(D·n³ + α·n²)).  Head-to-head runs
+start both algorithms from the same clock disorder on the same topology.
+"""
+
+from repro.harness import experiments
+
+from conftest import run_once
+
+
+def test_t5_head_to_head_moves_and_rounds(benchmark, save_report):
+    result = run_once(
+        benchmark,
+        experiments.experiment_t5,
+        sizes=(8, 12, 16, 20),
+        topology="ring",
+        trials=3,
+        scenario="gradient",
+    )
+    save_report("T5_unison_comparison", result)
+    assert result.ok

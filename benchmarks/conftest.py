@@ -1,0 +1,39 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark regenerates one experiment from the per-claim registry
+(DESIGN.md §4).  Timing comes from pytest-benchmark; the experiment's
+table/figure report is printed and also written to ``benchmarks/reports/``
+so EXPERIMENTS.md numbers can be refreshed from disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture
+def save_report(report_dir):
+    """Persist an ExperimentResult's rendering under a stable name."""
+
+    def _save(name: str, result) -> None:
+        text = result.render()
+        (report_dir / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

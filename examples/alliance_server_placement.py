@@ -1,0 +1,77 @@
+"""Scenario: self-stabilizing replica placement via (f,g)-alliances.
+
+The paper motivates (f,g)-alliances with server allocation and quorum
+placement (Gupta et al.): pick a set A of machines hosting a service so
+that every client machine (u ∉ A) has at least f(u) = 2 replica neighbors
+(fault-tolerant access) and every replica (v ∈ A) has at least g(v) = 1
+replica neighbor (peer for state sync).  ``FGA ∘ SDR`` computes a
+1-minimal such placement in a *silent*, self-stabilizing way: after any
+corruption of the placement registers, the system converges back to a
+valid minimal-by-deletion placement and then stops communicating.
+
+Run:  python examples/alliance_server_placement.py
+"""
+
+from random import Random
+
+from repro import DistributedRandomDaemon, FGA, SDR, Simulator, topology
+from repro.alliance import is_alliance, is_one_minimal
+from repro.analysis import bounds
+
+
+def describe(net, members) -> None:
+    print(f"  placement: {sorted(members)}  ({len(members)}/{net.n} machines)")
+    worst_access = min(
+        sum(1 for v in net.neighbors(u) if v in members)
+        for u in net.processes()
+        if u not in members
+    )
+    print(f"  every client sees >= {worst_access} replicas (need 2)")
+
+
+def main() -> None:
+    # A datacenter-ish topology: random connected graph, min degree >= 2.
+    net = None
+    for seed in range(100):
+        candidate = topology.random_connected(16, p=0.28, seed=seed)
+        if min(candidate.degrees) >= 2:
+            net = candidate
+            break
+    assert net is not None
+    print(f"cluster network: {net}")
+
+    f = [2] * net.n  # clients need two replica neighbors
+    g = [1] * net.n  # replicas need one replica peer
+    sdr = SDR(FGA(net, f, g))
+
+    # Start from garbage: the registers hold arbitrary junk.
+    start = sdr.random_configuration(Random(5))
+    sim = Simulator(sdr, DistributedRandomDaemon(0.5), config=start, seed=5)
+    result = sim.run_to_termination()
+
+    members = sdr.input.alliance(sim.cfg)
+    print(f"\nconverged and went silent after {result.moves} moves, "
+          f"{result.rounds} rounds (bound {bounds.fga_sdr_rounds_bound(net.n)})")
+    describe(net, members)
+    assert is_alliance(net, members, f, g)
+    assert is_one_minimal(net, members, f, g)
+    print("  placement is a 1-minimal (2,1)-alliance: dropping any single "
+          "replica breaks a client's redundancy.")
+
+    # Operator error: someone decommissions three replicas by hand.
+    broken = sim.cfg.copy()
+    for u in sorted(members)[:3]:
+        broken.set(u, "col", False)
+    print("\noperator decommissions three replicas — placement now "
+          f"{'valid' if is_alliance(net, sdr.input.alliance(broken), f, g) else 'INVALID'}")
+
+    sim2 = Simulator(sdr, DistributedRandomDaemon(0.5), config=broken, seed=6)
+    result2 = sim2.run_to_termination()
+    members2 = sdr.input.alliance(sim2.cfg)
+    print(f"self-healed in {result2.moves} moves; new placement below")
+    describe(net, members2)
+    assert is_one_minimal(net, members2, f, g)
+
+
+if __name__ == "__main__":
+    main()

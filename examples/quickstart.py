@@ -1,0 +1,54 @@
+"""Quickstart: make asynchronous unison self-stabilizing with SDR.
+
+This is the paper's headline pipeline in ~40 lines:
+
+1. build an anonymous network;
+2. wrap Algorithm U (unison) in Algorithm SDR (the cooperative reset);
+3. start from an *arbitrary* configuration — the adversary's choice;
+4. watch the composition stabilize within the proven bounds, then keep
+   ticking safely forever.
+
+Run:  python examples/quickstart.py
+"""
+
+from random import Random
+
+from repro import DistributedRandomDaemon, SDR, Simulator, Unison, topology
+from repro.analysis import bounds
+from repro.core import measure_stabilization
+from repro.unison import safety_holds
+
+def main() -> None:
+    net = topology.ring(10)
+    print(f"network: {net}  (diameter D={net.diameter})")
+
+    # The composition U ∘ SDR: SDR hosts U and resets it on inconsistency.
+    algo = SDR(Unison(net))
+
+    # Self-stabilization quantifies over *arbitrary* initial configurations:
+    rng = Random(2024)
+    start = algo.random_configuration(rng)
+    print("corrupted clocks :", start.variable("c"))
+    print("corrupted status :", start.variable("st"))
+
+    sim = Simulator(algo, DistributedRandomDaemon(0.5), config=start, seed=7)
+    detector, _ = measure_stabilization(sim, algo.is_normal)
+
+    n = net.n
+    print(
+        f"stabilized in {detector.rounds} rounds "
+        f"(theorem bound 3n = {bounds.unison_rounds_bound(n)}) "
+        f"and {detector.moves} moves "
+        f"(bound O(D n^2) = {bounds.unison_move_bound(n, net.diameter)})"
+    )
+
+    # After stabilization the unison specification holds forever.
+    for _ in range(200):
+        sim.step()
+        assert safety_holds(net, sim.cfg, algo.input.period)
+    print("post-stabilization clocks:", sim.cfg.variable("c"))
+    print("safety held for 200 further steps — clocks tick in lockstep ±1.")
+
+
+if __name__ == "__main__":
+    main()

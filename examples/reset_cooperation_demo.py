@@ -1,0 +1,59 @@
+"""Visual walkthrough: two concurrent resets cooperating on a ring.
+
+Two antipodal fault sites both detect inconsistencies and initiate resets
+(SDR is multi-initiator).  The demo prints the ring after every step —
+status (C / RB / RF), reset distance, and clock — so you can watch the two
+broadcast waves grow toward each other, agree on a distance DAG instead of
+fighting, feed back, and complete.  The alive-root count is shown shrinking
+(Theorem 3: alive roots are never created, only consumed).
+
+Run:  python examples/reset_cooperation_demo.py
+"""
+
+from repro import SDR, Simulator, SynchronousDaemon, Unison, topology
+from repro.reset.analysis import alive_roots, dead_roots
+
+
+def paint(sdr, cfg, step: int) -> None:
+    n = sdr.network.n
+    status = " ".join(f"{cfg[u]['st']:>2}" for u in range(n))
+    dists = " ".join(f"{cfg[u]['d']:>2}" for u in range(n))
+    clocks = " ".join(f"{cfg[u]['c']:>2}" for u in range(n))
+    ar = len(alive_roots(sdr, cfg))
+    dr = len(dead_roots(sdr, cfg))
+    print(f"step {step:2d} | st: {status} | d: {dists} | c: {clocks} "
+          f"| alive roots: {ar}  dead roots: {dr}")
+
+
+def main() -> None:
+    net = topology.ring(10)
+    sdr = SDR(Unison(net))
+
+    cfg = sdr.initial_configuration()
+    cfg.set(0, "c", 4)  # fault site A
+    cfg.set(5, "c", 8)  # fault site B, antipodal
+
+    print("ring of 10; clocks corrupted at processes 0 and 5\n")
+    sim = Simulator(sdr, SynchronousDaemon(), config=cfg, seed=0)
+    paint(sdr, sim.cfg, 0)
+    step = 0
+    while not sdr.is_normal(sim.cfg):
+        sim.step()
+        step += 1
+        paint(sdr, sim.cfg, step)
+        if step > 100:
+            raise RuntimeError("did not converge (unexpected)")
+
+    print(
+        f"\nnormal configuration reached in {sim.rounds.completed} rounds "
+        f"/ {sim.move_count} moves; both resets ran concurrently and merged "
+        "their broadcast waves at the DAG frontier instead of restarting "
+        "each other."
+    )
+    initiations = sim.moves_per_rule.get("rule_R", 0)
+    joins = sim.moves_per_rule.get("rule_RB", 0)
+    print(f"rule_R initiations: {initiations}, rule_RB joins: {joins}")
+
+
+if __name__ == "__main__":
+    main()

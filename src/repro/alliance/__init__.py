@@ -1,0 +1,57 @@
+"""(f,g)-alliances: Algorithm FGA, instances, spec checkers, baseline."""
+
+from .fga import CANQ, COL, FGA, PTR, SCR, resolve_node_function
+from .functions import (
+    INSTANCES,
+    dominating_set,
+    global_defensive_alliance,
+    global_offensive_alliance,
+    global_powerful_alliance,
+    instance_by_name,
+    k_dominating_set,
+    k_tuple_dominating_set,
+    validate_degrees,
+)
+from .spec import (
+    is_alliance,
+    is_fga_stable,
+    one_minimality_guaranteed,
+    is_dominating_set,
+    is_minimal,
+    is_minimal_dominating_set,
+    is_one_minimal,
+    neighbors_in,
+    violating_processes,
+)
+from .turau import IN, OUT, WAIT, TurauMIS
+
+__all__ = [
+    "FGA",
+    "COL",
+    "SCR",
+    "CANQ",
+    "PTR",
+    "resolve_node_function",
+    "INSTANCES",
+    "instance_by_name",
+    "dominating_set",
+    "k_dominating_set",
+    "k_tuple_dominating_set",
+    "global_offensive_alliance",
+    "global_defensive_alliance",
+    "global_powerful_alliance",
+    "validate_degrees",
+    "is_alliance",
+    "is_one_minimal",
+    "is_fga_stable",
+    "one_minimality_guaranteed",
+    "is_minimal",
+    "is_dominating_set",
+    "is_minimal_dominating_set",
+    "neighbors_in",
+    "violating_processes",
+    "TurauMIS",
+    "OUT",
+    "WAIT",
+    "IN",
+]

@@ -1,0 +1,114 @@
+"""The six classical (f,g)-alliance instances (paper, Section 6.1).
+
+Each factory returns per-process ``(f, g)`` tuples for a given network:
+
+1. dominating set               — (1, 0)-alliance;
+2. k-dominating set             — (k, 0)-alliance;
+3. k-tuple dominating set       — (k, k−1)-alliance;
+4. global offensive alliance    — (⌈(δ_u+1)/2⌉, 0)-alliance;
+5. global defensive alliance    — (1, ⌈(δ_u+1)/2⌉)-alliance;
+6. global powerful alliance     — (⌈(δ_u+1)/2⌉, ⌈δ_u/2⌉)-alliance.
+
+FGA additionally requires ``δ_u ≥ max(f(u), g(u))`` for every process,
+which these factories check via :func:`validate_degrees` so infeasible
+instances fail fast with a clear message.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.exceptions import AlgorithmError
+from ..core.graph import Network
+
+__all__ = [
+    "validate_degrees",
+    "dominating_set",
+    "k_dominating_set",
+    "k_tuple_dominating_set",
+    "global_offensive_alliance",
+    "global_defensive_alliance",
+    "global_powerful_alliance",
+    "INSTANCES",
+    "instance_by_name",
+]
+
+FG = tuple[tuple[int, ...], tuple[int, ...]]
+
+
+def validate_degrees(network: Network, f: tuple[int, ...], g: tuple[int, ...]) -> FG:
+    """Ensure ``δ_u ≥ max(f(u), g(u))`` everywhere; return ``(f, g)``."""
+    for u in network.processes():
+        need = max(f[u], g[u])
+        if network.degree(u) < need:
+            raise AlgorithmError(
+                f"instance infeasible: process {u} has degree {network.degree(u)} "
+                f"< max(f, g) = {need}"
+            )
+    return f, g
+
+
+def dominating_set(network: Network) -> FG:
+    """(1, 0): every non-member has a member neighbor."""
+    n = network.n
+    return validate_degrees(network, (1,) * n, (0,) * n)
+
+
+def k_dominating_set(network: Network, k: int = 2) -> FG:
+    """(k, 0): every non-member has ≥ k member neighbors."""
+    n = network.n
+    return validate_degrees(network, (k,) * n, (0,) * n)
+
+
+def k_tuple_dominating_set(network: Network, k: int = 2) -> FG:
+    """(k, k−1): non-members need k member neighbors, members k−1."""
+    n = network.n
+    return validate_degrees(network, (k,) * n, (k - 1,) * n)
+
+
+def _half_up(x: int) -> int:
+    return math.ceil(x / 2)
+
+
+def global_offensive_alliance(network: Network) -> FG:
+    """(⌈(δ+1)/2⌉, 0): a majority of every non-member's closed
+    neighborhood is in the alliance."""
+    f = tuple(_half_up(network.degree(u) + 1) for u in network.processes())
+    g = (0,) * network.n
+    return validate_degrees(network, f, g)
+
+
+def global_defensive_alliance(network: Network) -> FG:
+    """(1, ⌈(δ+1)/2⌉): members can defend themselves with a majority."""
+    f = (1,) * network.n
+    g = tuple(_half_up(network.degree(u) + 1) for u in network.processes())
+    return validate_degrees(network, f, g)
+
+
+def global_powerful_alliance(network: Network) -> FG:
+    """(⌈(δ+1)/2⌉, ⌈δ/2⌉): simultaneously offensive and defensive."""
+    f = tuple(_half_up(network.degree(u) + 1) for u in network.processes())
+    g = tuple(_half_up(network.degree(u)) for u in network.processes())
+    return validate_degrees(network, f, g)
+
+
+#: Registry used by the instance benchmarks (name → factory(network)).
+INSTANCES = {
+    "dominating-set": dominating_set,
+    "2-dominating-set": lambda net: k_dominating_set(net, 2),
+    "2-tuple-dominating-set": lambda net: k_tuple_dominating_set(net, 2),
+    "global-offensive": global_offensive_alliance,
+    "global-defensive": global_defensive_alliance,
+    "global-powerful": global_powerful_alliance,
+}
+
+
+def instance_by_name(name: str, network: Network) -> FG:
+    """Build a named instance's ``(f, g)`` for a network."""
+    try:
+        factory = INSTANCES[name]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown alliance instance {name!r}; choose from {sorted(INSTANCES)}"
+        ) from None
+    return factory(network)

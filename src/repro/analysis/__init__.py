@@ -1,0 +1,18 @@
+"""Bound formulas, metrics, and statistics for the experiment suite."""
+
+from . import bounds
+from .convergence import bound_margin, group_trials, summarize_trials
+from .metrics import RunMetrics, collect_metrics
+from .stats import Summary, fit_power_law, summarize
+
+__all__ = [
+    "bounds",
+    "RunMetrics",
+    "collect_metrics",
+    "Summary",
+    "group_trials",
+    "summarize_trials",
+    "bound_margin",
+    "summarize",
+    "fit_power_law",
+]

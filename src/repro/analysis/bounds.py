@@ -1,0 +1,90 @@
+"""The paper's complexity bounds as executable formulas.
+
+Every theorem/corollary bound that the experiments validate lives here with
+its provenance, so benchmark assertions read
+``measured <= unison_move_bound(n, D)`` instead of magic numbers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "sdr_moves_per_process_bound",
+    "sdr_rounds_bound",
+    "segments_bound",
+    "unison_move_bound",
+    "unison_rounds_bound",
+    "unison_standalone_moves_per_process_bound",
+    "fga_standalone_moves_per_process_bound",
+    "fga_standalone_move_bound",
+    "fga_standalone_rounds_bound",
+    "fga_sdr_move_bound",
+    "fga_sdr_rounds_bound",
+    "boulinier_move_shape",
+]
+
+
+def sdr_moves_per_process_bound(n: int) -> int:
+    """Corollary 4: any process executes ≤ ``3n + 3`` SDR moves."""
+    return 3 * n + 3
+
+
+def sdr_rounds_bound(n: int) -> int:
+    """Corollary 5: a normal configuration is reached within ``3n`` rounds."""
+    return 3 * n
+
+
+def segments_bound(n: int) -> int:
+    """Remark 5: every execution of ``I ∘ SDR`` has ≤ ``n + 1`` segments."""
+    return n + 1
+
+
+def unison_standalone_moves_per_process_bound(diameter: int) -> int:
+    """Lemma 20: standalone U from a non-(Clean ∧ ICorrect) configuration —
+    each process moves at most ``3D`` times."""
+    return 3 * diameter
+
+
+def unison_move_bound(n: int, diameter: int) -> int:
+    """Theorem 6 (explicit constant from its proof):
+    ``(3D+3)·n² + (3D+1)·(n−1) + 1`` moves to a normal configuration."""
+    return (3 * diameter + 3) * n * n + (3 * diameter + 1) * (n - 1) + 1
+
+
+def unison_rounds_bound(n: int) -> int:
+    """Theorem 7: ``U ∘ SDR`` stabilizes within ``3n`` rounds."""
+    return 3 * n
+
+
+def fga_standalone_moves_per_process_bound(degree: int, max_degree: int) -> int:
+    """Lemma 25: a process ``v`` executes ≤ ``8·δ_v·Δ + 18·δ_v + 24`` moves
+    in any execution of standalone FGA."""
+    return 8 * degree * max_degree + 18 * degree + 24
+
+
+def fga_standalone_move_bound(n: int, m: int, max_degree: int) -> int:
+    """Corollary 11: ≤ ``16·Δ·m + 36·m + 24·n`` moves in any standalone FGA
+    execution."""
+    return 16 * max_degree * m + 36 * m + 24 * n
+
+
+def fga_standalone_rounds_bound(n: int) -> int:
+    """Corollary 12 / Theorem 10: ≤ ``5n + 4`` rounds from any configuration
+    satisfying ``P5`` (in particular from ``γ_init``)."""
+    return 5 * n + 4
+
+
+def fga_sdr_move_bound(n: int, m: int, max_degree: int) -> int:
+    """Theorem 12 (explicit constant from its proof):
+    ``(n+1)·(16·m·Δ + 36·m + 27·n)`` moves for any ``FGA ∘ SDR`` execution."""
+    return (n + 1) * (16 * m * max_degree + 36 * m + 27 * n)
+
+
+def fga_sdr_rounds_bound(n: int) -> int:
+    """Theorem 14: ``FGA ∘ SDR`` stabilizes within ``8n + 4`` rounds."""
+    return 8 * n + 4
+
+
+def boulinier_move_shape(n: int, diameter: int, alpha: int) -> int:
+    """Reference growth shape for the baseline [11]: ``D·n³ + α·n²``
+    (as analyzed in [23]); used for figure reference lines, not assertions."""
+    return diameter * n**3 + alpha * n**2

@@ -1,0 +1,59 @@
+"""Per-run metric extraction from simulators and traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.simulator import Simulator
+
+__all__ = ["RunMetrics", "collect_metrics"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Move/round accounting of one finished (or stopped) run.
+
+    ``moves_per_rule`` uses the algorithm's rule labels; helper views split
+    SDR-layer moves from input-layer moves when the labels follow the SDR
+    naming convention (``rule_RB``/``rule_RF``/``rule_C``/``rule_R``).
+    """
+
+    steps: int
+    moves: int
+    rounds: int
+    moves_per_process: tuple[int, ...]
+    moves_per_rule: Mapping[str, int]
+
+    SDR_RULES = ("rule_RB", "rule_RF", "rule_C", "rule_R")
+
+    @property
+    def max_moves_per_process(self) -> int:
+        return max(self.moves_per_process) if self.moves_per_process else 0
+
+    @property
+    def sdr_moves(self) -> int:
+        """Moves spent in SDR's four rules."""
+        return sum(self.moves_per_rule.get(r, 0) for r in self.SDR_RULES)
+
+    @property
+    def input_moves(self) -> int:
+        """Moves spent outside SDR's rules."""
+        return self.moves - self.sdr_moves
+
+    def rule_share(self, rule: str) -> float:
+        """Fraction of all moves spent in one rule."""
+        if self.moves == 0:
+            return 0.0
+        return self.moves_per_rule.get(rule, 0) / self.moves
+
+
+def collect_metrics(sim: Simulator) -> RunMetrics:
+    """Snapshot the accounting of a simulator into a :class:`RunMetrics`."""
+    return RunMetrics(
+        steps=sim.step_count,
+        moves=sim.move_count,
+        rounds=sim.rounds.completed,
+        moves_per_process=tuple(sim.moves_per_process),
+        moves_per_rule=dict(sim.moves_per_rule),
+    )

@@ -1,0 +1,75 @@
+"""Aggregation of repeated-trial measurements (pure Python, no numpy needed).
+
+Experiments run many seeds per parameter point; :class:`Summary` collapses
+the per-trial samples into the statistics the tables report, and
+:func:`fit_power_law` estimates growth exponents for the log–log figures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["Summary", "summarize", "fit_power_law"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Order statistics of one metric over repeated trials."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    stddev: float
+    median: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.1f} min={self.minimum:.0f} "
+            f"max={self.maximum:.0f} sd={self.stddev:.1f}"
+        )
+
+
+def summarize(samples: Iterable[float]) -> Summary:
+    """Summarize a non-empty collection of samples."""
+    values = sorted(float(x) for x in samples)
+    if not values:
+        raise ValueError("cannot summarize an empty sample set")
+    count = len(values)
+    mean = sum(values) / count
+    var = sum((x - mean) ** 2 for x in values) / count
+    mid = count // 2
+    median = values[mid] if count % 2 else (values[mid - 1] + values[mid]) / 2
+    return Summary(
+        count=count,
+        mean=mean,
+        minimum=values[0],
+        maximum=values[-1],
+        stddev=math.sqrt(var),
+        median=median,
+    )
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Least-squares fit of ``y = c·x^e`` in log–log space.
+
+    Returns ``(exponent, constant)``.  Used by the figure benches to verify
+    growth *shapes* (e.g. moves ~ n² for ``U ∘ SDR`` vs ~ n³ for the
+    baseline) without asserting absolute values.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fit requires positive values")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mx = sum(lx) / n
+    my = sum(ly) / n
+    sxx = sum((x - mx) ** 2 for x in lx)
+    sxy = sum((x - mx) * (y - my) for x, y in zip(lx, ly))
+    exponent = sxy / sxx if sxx else 0.0
+    constant = math.exp(my - exponent * mx)
+    return exponent, constant

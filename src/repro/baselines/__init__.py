@@ -1,0 +1,18 @@
+"""Baseline systems the paper compares against (reconstructions)."""
+
+from .bfs_tree import BfsTree
+from .leader_election import LDIST, LID, LeaderElection
+from .mono_reset import ACK, IDLE, MODE, REQ, RESET, MonoReset
+
+__all__ = [
+    "BfsTree",
+    "LeaderElection",
+    "LID",
+    "LDIST",
+    "MonoReset",
+    "MODE",
+    "IDLE",
+    "REQ",
+    "RESET",
+    "ACK",
+]

@@ -1,0 +1,134 @@
+"""Configurations of the locally shared memory model.
+
+A *configuration* is a vector holding the state (the values of the locally
+shared variables) of every process (paper, Section 2.2).  States are plain
+``dict`` objects mapping variable names to values; this keeps algorithms
+easy to write and inspect while remaining fast enough for the network sizes
+the benchmarks use.
+
+The simulator enforces composite atomicity *around* this class: within one
+step every activated process computes its updates from the same frozen
+pre-step configuration, and all updates are applied together afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+__all__ = ["Configuration", "freeze_state", "state_equal"]
+
+State = dict
+
+
+def freeze_state(state: Mapping[str, Any]) -> tuple:
+    """Hashable snapshot of a single process state (sorted name/value pairs)."""
+    return tuple(sorted(state.items()))
+
+
+def state_equal(a: Mapping[str, Any], b: Mapping[str, Any]) -> bool:
+    """Structural equality of two process states."""
+    return dict(a) == dict(b)
+
+
+class Configuration:
+    """The global state of the system: one variable dict per process.
+
+    The class intentionally exposes list-like access (``cfg[u]`` returns the
+    state dict of process ``u``) because that is exactly how guards in the
+    paper read the system: "a Boolean predicate involving the state of the
+    process and that of its neighbors".
+
+    Mutation discipline
+    -------------------
+    Guards must treat the configuration as read-only.  The simulator applies
+    updates through :meth:`apply`, which replaces whole per-process states;
+    observers that need history should request snapshots via :meth:`copy` or
+    :meth:`snapshot`.
+    """
+
+    __slots__ = ("_states",)
+
+    def __init__(self, states: Sequence[Mapping[str, Any]]):
+        self._states: list[dict] = [dict(s) for s in states]
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    def __getitem__(self, u: int) -> dict:
+        return self._states[u]
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self._states)
+
+    def get(self, u: int, var: str) -> Any:
+        """Value of variable ``var`` at process ``u``."""
+        return self._states[u][var]
+
+    def states(self) -> list[dict]:
+        """The live list of state dicts (do not mutate from guards)."""
+        return self._states
+
+    def variable(self, var: str) -> list[Any]:
+        """The vector of values of ``var`` across all processes."""
+        return [s[var] for s in self._states]
+
+    # ------------------------------------------------------------------
+    # Mutation (simulator only)
+    # ------------------------------------------------------------------
+    def apply(self, updates: Mapping[int, Mapping[str, Any]]) -> None:
+        """Atomically install per-process variable updates.
+
+        ``updates`` maps process index to a dict of new variable values.
+        Unmentioned variables keep their values; unmentioned processes are
+        untouched.  This realizes the paper's atomic step semantics when the
+        simulator has computed all updates from the frozen pre-step states.
+        """
+        for u, new_values in updates.items():
+            self._states[u].update(new_values)
+
+    def set(self, u: int, var: str, value: Any) -> None:
+        """Directly set one variable (used by fault injection, not steps)."""
+        self._states[u][var] = value
+
+    # ------------------------------------------------------------------
+    # Snapshots and comparison
+    # ------------------------------------------------------------------
+    def copy(self) -> "Configuration":
+        """Deep-enough copy (per-process dicts are copied, values shared)."""
+        return Configuration(self._states)
+
+    def snapshot(self) -> tuple[tuple, ...]:
+        """A hashable, immutable image of the whole configuration."""
+        return tuple(freeze_state(s) for s in self._states)
+
+    def restrict(self, variables: Sequence[str]) -> "Configuration":
+        """Projection of the configuration onto a subset of variables.
+
+        This is the paper's ``γ|A`` notation: the configuration of a
+        sub-algorithm within a composition.
+        """
+        return Configuration([{v: s[v] for v in variables} for s in self._states])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._states == other._states
+
+    def __repr__(self) -> str:
+        if len(self._states) <= 8:
+            body = ", ".join(f"{u}:{s}" for u, s in enumerate(self._states))
+        else:
+            shown = ", ".join(f"{u}:{s}" for u, s in enumerate(self._states[:4]))
+            body = f"{shown}, … ({len(self._states)} processes)"
+        return f"Configuration({body})"
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, n: int, factory: Callable[[int], Mapping[str, Any]]) -> "Configuration":
+        """Construct a configuration by calling ``factory(u)`` per process."""
+        return cls([factory(u) for u in range(n)])

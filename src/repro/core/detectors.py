@@ -1,0 +1,105 @@
+"""Stabilization detectors: observers that watch for legitimate configurations.
+
+The *stabilization time* of a self-stabilizing algorithm is the maximum
+time, over every execution, to reach a legitimate configuration (paper,
+Section 2.4).  :class:`StabilizationDetector` plugs into the simulator's
+observer hook and records the step, round, and move counts at the first
+configuration satisfying a caller-supplied legitimacy predicate.
+
+For *closed* predicates (attractors — the case for every legitimacy notion
+in the paper) the first hit is the stabilization point.  The detector still
+keeps counting violations after the hit so tests can assert closure
+empirically for predicates claimed closed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .configuration import Configuration
+from .exceptions import NotStabilized
+from .simulator import RunResult, Simulator
+from .trace import StepRecord
+
+__all__ = ["StabilizationDetector", "measure_stabilization"]
+
+Predicate = Callable[[Configuration], bool]
+
+
+class StabilizationDetector:
+    """Observer recording when a configuration predicate first holds.
+
+    Attributes (``None`` until the predicate first holds):
+
+    * ``step`` — number of steps executed before the first hit (0 when the
+      initial configuration already satisfies the predicate);
+    * ``rounds`` — complete rounds elapsed at the first hit;
+    * ``moves`` — total moves executed at the first hit;
+    * ``violations_after_hit`` — number of later configurations violating
+      the predicate (must stay 0 for closed predicates).
+    """
+
+    def __init__(self, predicate: Predicate, name: str = "legitimate"):
+        self.predicate = predicate
+        self.name = name
+        self.step: int | None = None
+        self.rounds: int | None = None
+        self.moves: int | None = None
+        self.violations_after_hit = 0
+
+    @property
+    def hit(self) -> bool:
+        return self.step is not None
+
+    def on_start(self, sim: Simulator) -> None:
+        if self.predicate(sim.cfg):
+            self.step, self.rounds, self.moves = 0, 0, 0
+
+    def __call__(self, sim: Simulator, record: StepRecord) -> None:
+        holds = self.predicate(sim.cfg)
+        if self.hit:
+            if not holds:
+                self.violations_after_hit += 1
+            return
+        if holds:
+            self.step = sim.step_count
+            self.rounds = sim.rounds.completed
+            self.moves = sim.move_count
+
+    def require_hit(self) -> None:
+        if not self.hit:
+            raise NotStabilized(f"predicate {self.name!r} never held")
+
+    def __repr__(self) -> str:
+        return (
+            f"StabilizationDetector({self.name!r}, step={self.step}, "
+            f"rounds={self.rounds}, moves={self.moves})"
+        )
+
+
+def measure_stabilization(
+    simulator: Simulator,
+    predicate: Predicate,
+    max_steps: int = 1_000_000,
+    run_past: int = 0,
+    name: str = "legitimate",
+) -> tuple[StabilizationDetector, RunResult]:
+    """Run ``simulator`` until ``predicate`` holds; return detector + result.
+
+    ``run_past`` continues the execution for that many extra steps after the
+    first hit (or until terminal), letting closure assertions observe the
+    suffix.  Raises :class:`~repro.core.exceptions.NotStabilized` when the
+    budget is exhausted first.
+    """
+    detector = StabilizationDetector(predicate, name=name)
+    detector.on_start(simulator)
+    simulator.observers.append(detector)
+    result = simulator.run(max_steps=max_steps, stop_when=lambda sim: detector.hit)
+    if not detector.hit:
+        raise NotStabilized(
+            f"predicate {name!r} not reached within {max_steps} steps",
+            steps=result.steps,
+        )
+    if run_past > 0 and not simulator.is_terminal():
+        result = simulator.run(max_steps=run_past)
+    return detector, result

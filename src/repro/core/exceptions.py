@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch everything coming out of the simulator with a single ``except`` clause
+while still being able to distinguish configuration mistakes from runtime
+model violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class TopologyError(ReproError):
+    """The supplied communication graph is unusable.
+
+    Raised for disconnected graphs, graphs with self-loops, empty graphs, or
+    generator parameters that cannot produce a valid topology.
+    """
+
+
+class AlgorithmError(ReproError):
+    """An algorithm definition is inconsistent.
+
+    Examples: duplicate variable names in a composition, a rule name that
+    does not exist, or an action writing to an undeclared variable.
+    """
+
+
+class DaemonError(ReproError):
+    """A daemon violated the scheduling contract.
+
+    A daemon must activate a non-empty subset of the enabled processes and
+    must pick, for every activated process, one of its enabled rules.
+    """
+
+
+class ModelViolation(ReproError):
+    """The execution violated a property the model guarantees.
+
+    Raised by the simulator's ``paranoid`` cross-checks (e.g. the incremental
+    enabled-set maintenance disagreeing with a full recomputation) and by the
+    mutual-exclusion assertion for algorithms whose rules are proven pairwise
+    mutually exclusive.
+    """
+
+
+class RequirementViolation(ReproError):
+    """An input algorithm broke one of SDR's requirements (Section 3.5).
+
+    The runtime requirement checker (:mod:`repro.reset.requirements`) raises
+    this when it observes, along a concrete execution, a violation of
+    Requirement 1 or 2a-2e of the paper.
+    """
+
+
+class NotStabilized(ReproError):
+    """An execution exhausted its step budget before reaching its target.
+
+    Carries the number of executed steps for diagnosis.
+    """
+
+    def __init__(self, message: str, steps: int | None = None):
+        super().__init__(message)
+        self.steps = steps

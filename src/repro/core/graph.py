@@ -1,0 +1,223 @@
+"""Communication network abstraction.
+
+The paper models the system as a simple undirected connected graph
+``G = (V, E)`` where ``V`` is the set of processes and ``E`` the set of
+communication links (Section 2.1).  :class:`Network` freezes such a graph
+into an immutable, index-based adjacency structure optimised for the hot
+path of the simulator: guard evaluation repeatedly iterates over closed
+neighborhoods.
+
+Processes are identified *internally* by integers ``0 .. n-1``.  This does
+not contradict the anonymity assumption of the paper: anonymous algorithms
+simply never read those indices (they correspond to the paper's "indirect
+naming" / local labels ``N(u)``), whereas identified algorithms such as FGA
+receive an explicit ``ids`` assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import networkx as nx
+
+from .exceptions import TopologyError
+
+__all__ = ["Network"]
+
+
+class Network:
+    """An immutable, validated communication graph.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(u, v)`` pairs over hashable node names, or a
+        :class:`networkx.Graph`.  Node names are mapped to dense indices
+        ``0..n-1`` in sorted order when sortable (insertion order otherwise).
+    ids:
+        Optional mapping from node name to a unique integer identifier, used
+        by identified-network algorithms (e.g. FGA).  Defaults to the dense
+        index itself.  Anonymous algorithms must not read identifiers.
+
+    Examples
+    --------
+    >>> net = Network([(0, 1), (1, 2)])
+    >>> net.n, net.m
+    (3, 2)
+    >>> net.neighbors(1)
+    (0, 2)
+    >>> net.closed_neighbors(1)
+    (1, 0, 2)
+    """
+
+    __slots__ = (
+        "_graph",
+        "_names",
+        "_index_of",
+        "_adj",
+        "_closed_adj",
+        "_ids",
+        "_degrees",
+        "_diameter",
+    )
+
+    def __init__(
+        self,
+        edges: Iterable[tuple[object, object]] | nx.Graph,
+        ids: Mapping[object, int] | None = None,
+    ):
+        if isinstance(edges, nx.Graph):
+            graph = nx.Graph(edges)
+        else:
+            graph = nx.Graph()
+            graph.add_edges_from(edges)
+        if graph.number_of_nodes() == 0:
+            raise TopologyError("the network must contain at least one process")
+        if any(u == v for u, v in graph.edges()):
+            raise TopologyError("self-loops are not allowed (simple graph required)")
+        if not nx.is_connected(graph):
+            raise TopologyError("the network must be connected")
+
+        try:
+            names: list = sorted(graph.nodes())
+        except TypeError:
+            names = list(graph.nodes())
+        self._names: tuple = tuple(names)
+        self._index_of = {name: i for i, name in enumerate(self._names)}
+        self._graph = graph
+
+        adjacency: list[tuple[int, ...]] = []
+        for name in self._names:
+            neigh = sorted(self._index_of[w] for w in graph.neighbors(name))
+            adjacency.append(tuple(neigh))
+        self._adj: tuple[tuple[int, ...], ...] = tuple(adjacency)
+        self._closed_adj: tuple[tuple[int, ...], ...] = tuple(
+            (u, *neigh) for u, neigh in enumerate(self._adj)
+        )
+        self._degrees: tuple[int, ...] = tuple(len(a) for a in self._adj)
+
+        if ids is None:
+            self._ids: tuple[int, ...] = tuple(range(len(self._names)))
+        else:
+            try:
+                assigned = tuple(int(ids[name]) for name in self._names)
+            except KeyError as missing:
+                raise TopologyError(f"ids mapping misses node {missing}") from None
+            if len(set(assigned)) != len(assigned):
+                raise TopologyError("process identifiers must be unique")
+            self._ids = assigned
+
+        self._diameter: int | None = None
+
+    # ------------------------------------------------------------------
+    # Sizes and identifiers
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of processes (the paper's ``n``)."""
+        return len(self._names)
+
+    @property
+    def m(self) -> int:
+        """Number of edges (the paper's ``m``)."""
+        return self._graph.number_of_edges()
+
+    @property
+    def names(self) -> tuple:
+        """Original node names, in index order."""
+        return self._names
+
+    @property
+    def ids(self) -> tuple[int, ...]:
+        """Unique process identifiers, in index order (identified networks)."""
+        return self._ids
+
+    def id_of(self, u: int) -> int:
+        """Identifier of process ``u`` (used only by identified algorithms)."""
+        return self._ids[u]
+
+    def index_of(self, name: object) -> int:
+        """Dense index of the process originally named ``name``."""
+        return self._index_of[name]
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def neighbors(self, u: int) -> tuple[int, ...]:
+        """Open neighborhood ``N(u)``."""
+        return self._adj[u]
+
+    def closed_neighbors(self, u: int) -> tuple[int, ...]:
+        """Closed neighborhood ``N[u]`` (``u`` first, then its neighbors)."""
+        return self._closed_adj[u]
+
+    def degree(self, u: int) -> int:
+        """Degree ``δ_u`` of process ``u``."""
+        return self._degrees[u]
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree ``Δ`` of the network."""
+        return max(self._degrees)
+
+    @property
+    def degrees(self) -> tuple[int, ...]:
+        return self._degrees
+
+    def are_neighbors(self, u: int, v: int) -> bool:
+        return v in self._adj[u]
+
+    @property
+    def diameter(self) -> int:
+        """Network diameter ``D`` (cached; ``0`` for a single process)."""
+        if self._diameter is None:
+            if self.n == 1:
+                self._diameter = 0
+            else:
+                self._diameter = nx.diameter(self._graph)
+        return self._diameter
+
+    # ------------------------------------------------------------------
+    # Interop and dunder helpers
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> nx.Graph:
+        """A *copy* of the underlying graph relabeled to dense indices."""
+        relabel = {name: i for i, name in enumerate(self._names)}
+        return nx.relabel_nodes(self._graph, relabel, copy=True)
+
+    def processes(self) -> range:
+        """Iterable over process indices ``0..n-1``."""
+        return range(self.n)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Edges as index pairs ``(u, v)`` with ``u < v``."""
+        for u in range(self.n):
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return f"Network(n={self.n}, m={self.m}, Δ={self.max_degree})"
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph, ids: Mapping[object, int] | None = None) -> "Network":
+        """Build a :class:`Network` from a :class:`networkx.Graph`."""
+        return cls(graph, ids=ids)
+
+    @classmethod
+    def single(cls) -> "Network":
+        """The one-process network (no edges)."""
+        graph = nx.Graph()
+        graph.add_node(0)
+        return cls(graph)
+
+    def with_ids(self, ids: Sequence[int]) -> "Network":
+        """A copy of this network with explicit identifiers (index order)."""
+        mapping = {name: int(ids[i]) for i, name in enumerate(self._names)}
+        return Network(self._graph, ids=mapping)

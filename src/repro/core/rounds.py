@@ -1,0 +1,82 @@
+"""Round accounting via the neutralization definition (paper, Section 2.4).
+
+A process ``v`` is *neutralized* during a step ``γi ↦ γi+1`` if ``v`` is
+enabled in ``γi``, not enabled in ``γi+1``, and not activated in that step.
+The first round of an execution is the minimal prefix in which every process
+enabled in the first configuration either executes a rule or is neutralized;
+subsequent rounds are defined inductively on the remaining suffix.
+
+:class:`RoundCounter` implements this definition *exactly*: it tracks the
+set of processes that still owe a move-or-neutralization for the current
+round and closes the round the moment that set empties.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["RoundCounter"]
+
+
+class RoundCounter:
+    """Incremental, definition-faithful round counter.
+
+    Usage: call :meth:`start` with the processes enabled in ``γ0``; after
+    every step, call :meth:`observe_step` with the activated set and the
+    enabled sets before/after the step.  :attr:`completed` is the number of
+    full rounds elapsed so far.
+    """
+
+    def __init__(self):
+        self.completed = 0
+        self._pending: set[int] = set()
+        self._started = False
+
+    def start(self, enabled_now: Iterable[int]) -> None:
+        """Begin counting with the first configuration's enabled set."""
+        self._pending = set(enabled_now)
+        self._started = True
+        self.completed = 0
+
+    @property
+    def pending(self) -> frozenset[int]:
+        """Processes still owing a move/neutralization in the current round."""
+        return frozenset(self._pending)
+
+    def observe_step(
+        self,
+        activated: Iterable[int],
+        enabled_before: Iterable[int],
+        enabled_after: Iterable[int],
+    ) -> int:
+        """Account one step; returns the number of rounds completed by it.
+
+        A pending process is resolved when it is activated, or when it flips
+        from enabled to disabled without being activated (neutralization).
+        When the pending set empties, the round ends *at this step's
+        post-configuration* and the next round's pending set is exactly the
+        processes enabled there.
+        """
+        if not self._started:
+            raise RuntimeError("RoundCounter.start() was not called")
+        if not self._pending:
+            # γ0 was terminal, or counting resumed at a terminal suffix.
+            return 0
+
+        activated = set(activated)
+        after = set(enabled_after)
+        before = set(enabled_before)
+
+        resolved = {
+            v
+            for v in self._pending
+            if v in activated or (v in before and v not in after)
+        }
+        self._pending -= resolved
+
+        if self._pending:
+            return 0
+        # Round boundary: the suffix starts at the post-step configuration.
+        self.completed += 1
+        self._pending = after
+        return 1

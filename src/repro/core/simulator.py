@@ -1,0 +1,302 @@
+"""The execution engine for the locally shared memory model.
+
+:class:`Simulator` drives executions ``γ0 ↦ γ1 ↦ …`` of an
+:class:`~repro.core.algorithm.Algorithm` under a
+:class:`~repro.core.daemon.Daemon`, with composite atomicity: all processes
+activated in a step compute their actions against the same frozen pre-step
+configuration, then all updates are installed at once.
+
+The engine maintains the set of enabled processes *incrementally*: after a
+step in which the set ``S`` moved, only processes within graph distance
+``guard_locality`` of ``S`` can change enabled status (every algorithm in
+the paper reads only its closed neighborhood).  A ``paranoid`` mode
+recomputes the enabled set from scratch each step and cross-checks, which
+the test suite uses to validate the optimization.
+
+Accounting follows the paper exactly: *moves* are rule executions, *rounds*
+follow the neutralization definition (see :mod:`repro.core.rounds`).
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Any, Callable, Iterable, Sequence
+
+from .algorithm import Algorithm
+from .configuration import Configuration
+from .daemon import Daemon
+from .exceptions import DaemonError, ModelViolation, NotStabilized
+from .rounds import RoundCounter
+from .trace import StepRecord, Trace
+
+__all__ = ["Simulator", "RunResult"]
+
+
+class RunResult:
+    """Summary of a (partial) execution produced by :meth:`Simulator.run`.
+
+    Attributes
+    ----------
+    steps: number of atomic steps executed.
+    moves: total number of moves (rule executions).
+    rounds: number of complete rounds elapsed.
+    terminal: whether the final configuration is terminal.
+    stop_reason: ``"terminal"``, ``"predicate"`` or ``"budget"``.
+    """
+
+    __slots__ = ("steps", "moves", "rounds", "terminal", "stop_reason")
+
+    def __init__(self, steps: int, moves: int, rounds: int, terminal: bool, stop_reason: str):
+        self.steps = steps
+        self.moves = moves
+        self.rounds = rounds
+        self.terminal = terminal
+        self.stop_reason = stop_reason
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult(steps={self.steps}, moves={self.moves}, rounds={self.rounds}, "
+            f"terminal={self.terminal}, stop_reason={self.stop_reason!r})"
+        )
+
+
+class Simulator:
+    """Executes one algorithm on one network under one daemon.
+
+    Parameters
+    ----------
+    algorithm:
+        The algorithm to run (bound to its network).
+    daemon:
+        Scheduling strategy; defaults to a fresh
+        :class:`~repro.core.daemon.DistributedRandomDaemon` is *not*
+        provided implicitly — pass one explicitly to keep runs reproducible.
+    config:
+        Initial configuration ``γ0``; defaults to the algorithm's
+        ``initial_configuration()``.
+    seed / rng:
+        Randomness for the daemon (and nothing else).  Provide at most one.
+    strict:
+        Assert daemon contract and (when the algorithm declares it) pairwise
+        mutual exclusion of rules.
+    paranoid:
+        Recompute the enabled set from scratch every step and compare with
+        the incremental bookkeeping (slow; for tests).
+    trace:
+        Optional :class:`~repro.core.trace.Trace` to record into.
+    observers:
+        Callables ``observer(simulator, record)`` invoked after every step;
+        an optional ``on_start(simulator)`` attribute is invoked before the
+        first step.  Stabilization detectors plug in here.
+    """
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        daemon: Daemon,
+        config: Configuration | None = None,
+        seed: int | None = None,
+        rng: Random | None = None,
+        strict: bool = True,
+        paranoid: bool = False,
+        trace: Trace | None = None,
+        observers: Sequence[Callable[["Simulator", StepRecord], Any]] = (),
+    ):
+        if seed is not None and rng is not None:
+            raise ValueError("provide either seed or rng, not both")
+        self.algorithm = algorithm
+        self.network = algorithm.network
+        self.daemon = daemon
+        self.rng = rng if rng is not None else Random(seed)
+        self.strict = strict
+        self.paranoid = paranoid
+        self.trace = trace
+        self.observers = list(observers)
+
+        self.cfg = config.copy() if config is not None else algorithm.initial_configuration()
+        if len(self.cfg) != self.network.n:
+            raise ValueError(
+                f"configuration has {len(self.cfg)} states for {self.network.n} processes"
+            )
+
+        self.step_count = 0
+        self.move_count = 0
+        self.moves_per_process = [0] * self.network.n
+        self.moves_per_rule: dict[str, int] = {}
+        self.rounds = RoundCounter()
+
+        self.daemon.reset()
+        self._enabled: dict[int, tuple[str, ...]] = {}
+        self._recompute_all_enabled()
+        self.rounds.start(self._enabled)
+
+        if self.trace is not None:
+            self.trace.start(self.cfg)
+        for obs in self.observers:
+            on_start = getattr(obs, "on_start", None)
+            if on_start is not None:
+                on_start(self)
+
+    # ------------------------------------------------------------------
+    # Enabled-set maintenance
+    # ------------------------------------------------------------------
+    def _enabled_rules_checked(self, u: int) -> tuple[str, ...]:
+        rules = self.algorithm.enabled_rules(self.cfg, u)
+        if (
+            self.strict
+            and self.algorithm.mutually_exclusive_rules
+            and len(rules) > 1
+        ):
+            raise ModelViolation(
+                f"{self.algorithm.name}: rules {rules} simultaneously enabled at "
+                f"process {u}, but the algorithm declares mutual exclusion"
+            )
+        return rules
+
+    def _recompute_all_enabled(self) -> None:
+        self._enabled = {}
+        for u in self.network.processes():
+            rules = self._enabled_rules_checked(u)
+            if rules:
+                self._enabled[u] = rules
+
+    def _affected_by(self, moved: Iterable[int]) -> set[int]:
+        """Processes whose guards may change after ``moved`` updated."""
+        frontier = set(moved)
+        affected = set(frontier)
+        for _ in range(self.algorithm.guard_locality):
+            nxt: set[int] = set()
+            for u in frontier:
+                nxt.update(self.network.neighbors(u))
+            nxt -= affected
+            affected |= nxt
+            frontier = nxt
+        return affected
+
+    def _update_enabled(self, moved: Iterable[int]) -> None:
+        for u in self._affected_by(moved):
+            rules = self._enabled_rules_checked(u)
+            if rules:
+                self._enabled[u] = rules
+            else:
+                self._enabled.pop(u, None)
+        if self.paranoid:
+            incremental = dict(self._enabled)
+            self._recompute_all_enabled()
+            if incremental != self._enabled:
+                raise ModelViolation(
+                    "incremental enabled-set bookkeeping diverged from full "
+                    f"recomputation: {incremental} != {self._enabled}"
+                )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> dict[int, tuple[str, ...]]:
+        """Enabled processes mapped to their enabled rules (do not mutate)."""
+        return self._enabled
+
+    def is_terminal(self) -> bool:
+        return not self._enabled
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self) -> StepRecord | None:
+        """Execute one atomic step; returns ``None`` at a terminal config."""
+        if not self._enabled:
+            return None
+
+        enabled_before = tuple(sorted(self._enabled))
+        selection = self.daemon.select(self.cfg, self._enabled, self.rng, self.step_count)
+        if self.strict:
+            self._check_selection(selection)
+
+        # Composite atomicity: compute every action against the frozen
+        # pre-step configuration, then install all updates at once.
+        updates = {
+            u: self.algorithm.execute(rule, self.cfg, u)
+            for u, rule in selection.items()
+        }
+        self.cfg.apply(updates)
+        self._update_enabled(selection)
+
+        enabled_after = tuple(sorted(self._enabled))
+        self.rounds.observe_step(selection, enabled_before, enabled_after)
+
+        self.step_count += 1
+        self.move_count += len(selection)
+        for u, rule in selection.items():
+            self.moves_per_process[u] += 1
+            self.moves_per_rule[rule] = self.moves_per_rule.get(rule, 0) + 1
+
+        record = StepRecord(
+            index=self.step_count - 1,
+            selection=dict(selection),
+            enabled_before=enabled_before,
+            enabled_after=enabled_after,
+            rounds_completed=self.rounds.completed,
+        )
+        if self.trace is not None:
+            self.trace.append(record, self.cfg)
+        for obs in self.observers:
+            obs(self, record)
+        return record
+
+    def _check_selection(self, selection: dict[int, str]) -> None:
+        if not selection:
+            raise DaemonError("daemon selected an empty set at a non-terminal configuration")
+        for u, rule in selection.items():
+            if u not in self._enabled:
+                raise DaemonError(f"daemon activated disabled process {u}")
+            if rule not in self._enabled[u]:
+                raise DaemonError(f"daemon picked disabled rule {rule!r} at process {u}")
+
+    # ------------------------------------------------------------------
+    # Driving loops
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_steps: int = 1_000_000,
+        stop_when: Callable[["Simulator"], bool] | None = None,
+    ) -> RunResult:
+        """Run until terminal, until ``stop_when(self)`` holds, or budget.
+
+        ``stop_when`` is evaluated on the initial configuration too, so a
+        predicate already satisfied stops immediately with zero steps.
+        """
+        stop_reason = "budget"
+        if stop_when is not None and stop_when(self):
+            stop_reason = "predicate"
+        elif self.is_terminal():
+            stop_reason = "terminal"
+        else:
+            for _ in range(max_steps):
+                self.step()
+                if stop_when is not None and stop_when(self):
+                    stop_reason = "predicate"
+                    break
+                if self.is_terminal():
+                    stop_reason = "terminal"
+                    break
+        return RunResult(
+            steps=self.step_count,
+            moves=self.move_count,
+            rounds=self.rounds.completed,
+            terminal=self.is_terminal(),
+            stop_reason=stop_reason,
+        )
+
+    def run_to_termination(self, max_steps: int = 1_000_000) -> RunResult:
+        """Run until a terminal configuration; raise if the budget runs out.
+
+        Use for silent algorithms (e.g. ``FGA ∘ SDR``) where every execution
+        is finite.
+        """
+        result = self.run(max_steps=max_steps)
+        if not result.terminal:
+            raise NotStabilized(
+                f"no terminal configuration within {max_steps} steps", steps=result.steps
+            )
+        return result

@@ -1,0 +1,14 @@
+"""Transient-fault injection and adversarial initial configurations."""
+
+from .injector import FaultPlan, corrupt_processes, corrupt_variables
+from .scenarios import clock_gradient, clock_split, fake_reset_wave, hollow_alliance
+
+__all__ = [
+    "FaultPlan",
+    "corrupt_processes",
+    "corrupt_variables",
+    "clock_gradient",
+    "clock_split",
+    "fake_reset_wave",
+    "hollow_alliance",
+]

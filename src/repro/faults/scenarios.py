@@ -1,0 +1,98 @@
+"""Adversarial initial configurations for worst-case benchmarks.
+
+Random configurations rarely exercise worst cases; these builders construct
+structured adversarial starting points for the two instantiations:
+
+* clock gradients and antipodal clock splits for unison (forcing long
+  catch-up cascades or resets);
+* fake in-progress resets for SDR (statuses and distances arranged as
+  plausible-but-corrupt broadcast/feedback waves);
+* hollowed-out alliances for FGA (all processes out of the alliance, the
+  worst violation of ``realScr ≥ 0``).
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ..core.configuration import Configuration
+from ..reset.sdr import DIST, RB, RF, SDR, ST, C
+
+__all__ = [
+    "clock_gradient",
+    "clock_split",
+    "fake_reset_wave",
+    "hollow_alliance",
+]
+
+
+def clock_gradient(sdr: SDR, clock_var: str = "c") -> Configuration:
+    """Clocks proportional to the process index modulo the period.
+
+    Produces many locally-incorrect edges in most topologies, seeding many
+    concurrent resets — the multi-initiator scenario SDR coordinates.
+    """
+    period = getattr(sdr.input, "period")
+    cfg = sdr.initial_configuration()
+    for u in sdr.network.processes():
+        cfg.set(u, clock_var, (3 * u) % period)
+    return cfg
+
+
+def clock_split(sdr: SDR, clock_var: str = "c") -> Configuration:
+    """Half the processes at clock 0, half at the antipodal value.
+
+    Edges inside each half are correct; edges across are maximally wrong.
+    """
+    period = getattr(sdr.input, "period")
+    cfg = sdr.initial_configuration()
+    far = period // 2
+    for u in sdr.network.processes():
+        cfg.set(u, clock_var, 0 if u < sdr.network.n // 2 else far)
+    return cfg
+
+
+def fake_reset_wave(sdr: SDR, rng: Random, fraction: float = 0.5) -> Configuration:
+    """A corrupted in-progress reset: a region of RB/RF with BFS distances.
+
+    Starts from ``γ_init`` and paints a connected region (a BFS ball around
+    a random seed covering ``fraction`` of the network) with broadcast and
+    feedback statuses whose distances mimic a real wave, but whose input
+    states are *not* reset — exactly the inconsistent residue a transient
+    fault can leave in SDR's own variables.
+    """
+    network = sdr.network
+    cfg = sdr.initial_configuration()
+    target = max(1, int(fraction * network.n))
+    seed = rng.randrange(network.n)
+    frontier = [seed]
+    depth = {seed: 0}
+    order = []
+    while frontier and len(order) < target:
+        u = frontier.pop(0)
+        order.append(u)
+        for v in network.neighbors(u):
+            if v not in depth:
+                depth[v] = depth[u] + 1
+                frontier.append(v)
+    for u in order:
+        status = RB if rng.random() < 0.5 else RF
+        cfg.set(u, ST, status)
+        cfg.set(u, DIST, depth[u])
+        # Scramble the input state so P_reset generally fails inside the wave.
+        junk = sdr.input.random_state(u, rng)
+        for var, value in junk.items():
+            cfg.set(u, var, value)
+    return cfg
+
+
+def hollow_alliance(sdr: SDR, col_var: str = "col") -> Configuration:
+    """Everybody out of the alliance: the maximal (f,g) violation.
+
+    Recovery requires a network-wide reset back to the full alliance and a
+    complete re-execution of the removal phase — FGA ∘ SDR's worst case.
+    """
+    cfg = sdr.initial_configuration()
+    for u in sdr.network.processes():
+        cfg.set(u, col_var, False)
+    return cfg

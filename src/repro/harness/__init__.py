@@ -1,0 +1,20 @@
+"""Experiment harness: trial runners, per-claim experiments, tables, figures."""
+
+from . import experiments
+from .experiments import REGISTRY, ExperimentResult
+from .figures import Figure
+from .runner import Trial, run_boulinier_trial, run_fga_trial, run_unison_trial, sweep
+from .tables import Table
+
+__all__ = [
+    "experiments",
+    "REGISTRY",
+    "ExperimentResult",
+    "Figure",
+    "Table",
+    "Trial",
+    "run_unison_trial",
+    "run_boulinier_trial",
+    "run_fga_trial",
+    "sweep",
+]

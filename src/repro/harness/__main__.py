@@ -1,0 +1,42 @@
+"""Command-line entry point: run experiments by id and print their reports.
+
+Usage::
+
+    python -m repro.harness            # list experiments
+    python -m repro.harness T5 F3      # run selected experiments
+    python -m repro.harness all        # run everything (slow)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import REGISTRY
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("Available experiments (pass ids, or 'all'):")
+        for key in REGISTRY:
+            print(f"  {key}")
+        return 0
+    wanted = list(REGISTRY) if argv == ["all"] else argv
+    failed = []
+    for key in wanted:
+        if key not in REGISTRY:
+            print(f"unknown experiment {key!r}; available: {', '.join(REGISTRY)}")
+            return 2
+        result = REGISTRY[key]()
+        print(result.render())
+        print()
+        if not result.ok:
+            failed.append(key)
+    if failed:
+        print(f"FAILED experiments: {', '.join(failed)}")
+        return 1
+    print("All selected experiments PASSED.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

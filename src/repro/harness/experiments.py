@@ -1,0 +1,817 @@
+"""The per-claim experiment registry (see DESIGN.md §4 and EXPERIMENTS.md).
+
+The paper's evaluation is analytical; every theorem bound and comparison
+claim maps to one experiment here.  Each experiment function returns an
+:class:`ExperimentResult` whose ``ok`` flag asserts the claim's empirical
+counterpart (measured ≤ bound, or comparison direction), whose ``table``
+holds the printable rows, and whose ``data`` keeps raw series for figures.
+
+Benchmarks in ``benchmarks/`` call these functions with small default
+grids; larger sweeps can be run directly, e.g.::
+
+    from repro.harness import experiments
+    print(experiments.experiment_t3_t4(sizes=(10, 20, 40), trials=5).table)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Callable, Sequence
+
+from ..alliance.fga import FGA
+from ..alliance.functions import INSTANCES, dominating_set
+from ..alliance.spec import (
+    is_fga_stable,
+    is_minimal_dominating_set,
+    is_one_minimal,
+    one_minimality_guaranteed,
+)
+from ..alliance.turau import TurauMIS
+from ..analysis import bounds
+from ..analysis.stats import fit_power_law, summarize
+from ..baselines.mono_reset import MonoReset
+from ..core.daemon import (
+    AdversarialDaemon,
+    CentralDaemon,
+    DistributedRandomDaemon,
+    LocallyCentralDaemon,
+    SynchronousDaemon,
+)
+from ..core.detectors import measure_stabilization
+from ..core.simulator import Simulator
+from ..faults.injector import corrupt_processes
+from ..reset.sdr import SDR, SDR_RULES
+from ..topology import by_name
+from ..unison.unison import Unison
+from .runner import run_boulinier_trial, run_fga_trial, run_unison_trial
+from .figures import Figure
+from .tables import Table
+
+__all__ = [
+    "ExperimentResult",
+    "SdrMoveCounter",
+    "experiment_t1_t2",
+    "experiment_t3_t4",
+    "experiment_t5",
+    "experiment_t6_t7",
+    "experiment_t8",
+    "experiment_t9",
+    "experiment_t10",
+    "figure_f1_f2",
+    "figure_f3",
+    "figure_f4",
+    "figure_f5",
+    "figure_f6",
+    "experiment_p1",
+    "experiment_a1",
+    "REGISTRY",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment: printable table, pass flag, raw data."""
+
+    experiment_id: str
+    claim: str
+    table: Table
+    ok: bool
+    data: dict[str, Any] = field(default_factory=dict)
+    figure: Figure | None = None
+
+    def render(self) -> str:
+        parts = [f"[{self.experiment_id}] {self.claim}", self.table.render()]
+        if self.figure is not None:
+            parts.append(self.figure.render())
+        parts.append(f"RESULT: {'PASS' if self.ok else 'FAIL'}")
+        return "\n\n".join(parts)
+
+
+class SdrMoveCounter:
+    """Observer tallying SDR-rule moves per process (for Corollary 4)."""
+
+    def __init__(self, n: int):
+        self.counts = [0] * n
+        self.rules = set(SDR_RULES)
+
+    def __call__(self, sim, record) -> None:
+        for u, rule in record.selection.items():
+            if rule in self.rules:
+                self.counts[u] += 1
+
+    @property
+    def touched(self) -> int:
+        """Number of processes that executed at least one SDR rule."""
+        return sum(1 for c in self.counts if c)
+
+
+def _delay_strategy(cfg, u: int, rule: str, step: int) -> float:
+    """Adversarial scoring: run input moves first, feedback/completion last.
+
+    Stretches executions toward the move-complexity worst case: the daemon
+    lets the input algorithm churn before letting resets make progress.
+    """
+    if rule not in SDR_RULES:
+        return 3.0
+    if rule in ("rule_RB", "rule_R"):
+        return 2.0
+    if rule == "rule_RF":
+        return 1.0
+    return 0.0  # rule_C
+
+
+def _daemon_menu(network):
+    return {
+        "synchronous": SynchronousDaemon(),
+        "central": CentralDaemon(),
+        "locally-central": LocallyCentralDaemon(network),
+        "distributed-random": DistributedRandomDaemon(0.5),
+        "adversarial": AdversarialDaemon(_delay_strategy),
+    }
+
+
+# ======================================================================
+# T1/T2 — SDR layer bounds (Corollaries 4 and 5)
+# ======================================================================
+def experiment_t1_t2(
+    sizes: Sequence[int] = (8, 12, 16),
+    topologies: Sequence[str] = ("ring", "random", "tree"),
+    trials: int = 3,
+    daemons: Sequence[str] = ("distributed-random", "adversarial", "synchronous"),
+) -> ExperimentResult:
+    """Cor. 4: ≤ 3n+3 SDR moves per process; Cor. 5: normal config ≤ 3n rounds."""
+    table = Table(
+        "T1/T2 — SDR bounds (input: U), worst measurement per cell",
+        ["topology", "n", "daemon", "max SDR moves/proc", "bound 3n+3",
+         "rounds", "bound 3n", "ok"],
+    )
+    ok = True
+    for topo in topologies:
+        for n in sizes:
+            net = by_name(topo, n, seed=1)
+            for daemon_name in daemons:
+                worst_moves = worst_rounds = 0
+                for seed in range(trials):
+                    sdr = SDR(Unison(net))
+                    rng = Random(seed)
+                    cfg = sdr.random_configuration(rng)
+                    counter = SdrMoveCounter(net.n)
+                    sim = Simulator(
+                        sdr, _daemon_menu(net)[daemon_name], config=cfg,
+                        seed=seed, observers=[counter],
+                    )
+                    detector, _ = measure_stabilization(sim, sdr.is_normal, max_steps=2_000_000)
+                    # Run past stabilization: per-process SDR moves are a
+                    # whole-execution bound, not just to stabilization.
+                    sim.run(max_steps=20 * net.n)
+                    worst_moves = max(worst_moves, max(counter.counts))
+                    worst_rounds = max(worst_rounds, detector.rounds or 0)
+                move_bound = bounds.sdr_moves_per_process_bound(net.n)
+                round_bound = bounds.sdr_rounds_bound(net.n)
+                cell_ok = worst_moves <= move_bound and worst_rounds <= round_bound
+                ok &= cell_ok
+                table.add_row(topo, net.n, daemon_name, worst_moves, move_bound,
+                              worst_rounds, round_bound, cell_ok)
+    return ExperimentResult(
+        "T1/T2",
+        "Any process executes ≤ 3n+3 SDR moves; normal configuration within ≤ 3n rounds",
+        table,
+        ok,
+    )
+
+
+# ======================================================================
+# T3/T4 — U ∘ SDR stabilization bounds (Theorems 6 and 7)
+# ======================================================================
+def experiment_t3_t4(
+    sizes: Sequence[int] = (8, 12, 16),
+    topologies: Sequence[str] = ("ring", "grid", "random"),
+    trials: int = 3,
+    scenarios: Sequence[str] = ("random", "gradient", "split"),
+) -> ExperimentResult:
+    """Thm. 6: moves ≤ (3D+3)n²+(3D+1)(n−1)+1; Thm. 7: rounds ≤ 3n."""
+    table = Table(
+        "T3/T4 — U ∘ SDR stabilization, worst measurement per cell",
+        ["topology", "n", "D", "scenario", "moves", "move bound", "rounds",
+         "round bound", "ok"],
+    )
+    ok = True
+    for topo in topologies:
+        for n in sizes:
+            net = by_name(topo, n, seed=2)
+            for scenario in scenarios:
+                worst_moves = worst_rounds = 0
+                for seed in range(trials):
+                    trial = run_unison_trial(net, seed=seed, scenario=scenario)
+                    worst_moves = max(worst_moves, trial.moves)
+                    worst_rounds = max(worst_rounds, trial.rounds)
+                mb = bounds.unison_move_bound(net.n, net.diameter)
+                rb = bounds.unison_rounds_bound(net.n)
+                cell_ok = worst_moves <= mb and worst_rounds <= rb
+                ok &= cell_ok
+                table.add_row(topo, net.n, net.diameter, scenario, worst_moves,
+                              mb, worst_rounds, rb, cell_ok)
+    return ExperimentResult(
+        "T3/T4",
+        "U ∘ SDR stabilizes within O(D·n²) moves and 3n rounds",
+        table,
+        ok,
+    )
+
+
+# ======================================================================
+# T5 — comparison with the reset-tail baseline [11]
+# ======================================================================
+def experiment_t5(
+    sizes: Sequence[int] = (8, 12, 16, 20),
+    topology: str = "ring",
+    trials: int = 3,
+    scenario: str = "gradient",
+) -> ExperimentResult:
+    """§5.3: ours wins in moves (strictly, on average) and matches O(n) rounds."""
+    table = Table(
+        "T5 — U ∘ SDR vs Boulinier-style baseline (means over seeds)",
+        ["n", "ours moves", "baseline moves", "move ratio", "ours rounds",
+         "baseline rounds", "ok"],
+    )
+    ok = True
+    data: dict[str, list] = {"n": [], "ours_moves": [], "base_moves": []}
+    for n in sizes:
+        net = by_name(topology, n, seed=3)
+        ours_m, base_m, ours_r, base_r = [], [], [], []
+        for seed in range(trials):
+            ours = run_unison_trial(net, seed=seed, scenario=scenario)
+            base = run_boulinier_trial(net, seed=seed, scenario=scenario)
+            ours_m.append(ours.moves)
+            base_m.append(base.moves)
+            ours_r.append(ours.rounds)
+            base_r.append(base.rounds)
+        mean = lambda xs: sum(xs) / len(xs)
+        ratio = mean(base_m) / max(mean(ours_m), 1)
+        row_ok = mean(base_m) >= mean(ours_m)
+        ok &= row_ok
+        table.add_row(n, f"{mean(ours_m):.0f}", f"{mean(base_m):.0f}",
+                      f"{ratio:.2f}x", f"{mean(ours_r):.1f}", f"{mean(base_r):.1f}", row_ok)
+        data["n"].append(n)
+        data["ours_moves"].append(mean(ours_m))
+        data["base_moves"].append(mean(base_m))
+    return ExperimentResult(
+        "T5",
+        "U ∘ SDR uses fewer moves than the reset-tail baseline at equal disorder",
+        table,
+        ok,
+        data=data,
+    )
+
+
+# ======================================================================
+# T6/T7 — FGA ∘ SDR bounds (Theorems 12/13/14)
+# ======================================================================
+def experiment_t6_t7(
+    sizes: Sequence[int] = (8, 12, 16),
+    topologies: Sequence[str] = ("random", "grid"),
+    trials: int = 3,
+    scenarios: Sequence[str] = ("random", "hollow"),
+) -> ExperimentResult:
+    """Thm. 12: silent, ≤ (n+1)(16mΔ+36m+27n) moves; Thm. 14: ≤ 8n+4 rounds."""
+    table = Table(
+        "T6/T7 — FGA ∘ SDR (dominating-set instance), worst per cell",
+        ["topology", "n", "m", "Δ", "scenario", "moves", "move bound",
+         "rounds", "round bound", "ok"],
+    )
+    ok = True
+    for topo in topologies:
+        for n in sizes:
+            net = by_name(topo, n, seed=4)
+            f, g = dominating_set(net)
+            for scenario in scenarios:
+                worst_moves = worst_rounds = 0
+                alliances_ok = True
+                for seed in range(trials):
+                    trial = run_fga_trial(net, f, g, seed=seed, scenario=scenario)
+                    worst_moves = max(worst_moves, trial.moves)
+                    worst_rounds = max(worst_rounds, trial.rounds)
+                    alliances_ok &= is_one_minimal(net, trial.extra["alliance"], f, g)
+                mb = bounds.fga_sdr_move_bound(net.n, net.m, net.max_degree)
+                rb = bounds.fga_sdr_rounds_bound(net.n)
+                cell_ok = worst_moves <= mb and worst_rounds <= rb and alliances_ok
+                ok &= cell_ok
+                table.add_row(topo, net.n, net.m, net.max_degree, scenario,
+                              worst_moves, mb, worst_rounds, rb, cell_ok)
+    return ExperimentResult(
+        "T6/T7",
+        "FGA ∘ SDR is silent, 1-minimal, within O(Δ·n·m) moves and 8n+4 rounds",
+        table,
+        ok,
+    )
+
+
+# ======================================================================
+# T8 — standalone FGA from γ_init (Cor. 11/12, Lemma 25)
+# ======================================================================
+def experiment_t8(
+    sizes: Sequence[int] = (8, 12, 16),
+    topologies: Sequence[str] = ("random", "ring"),
+    trials: int = 3,
+) -> ExperimentResult:
+    """Standalone FGA from γ_init: total/per-process moves and round bounds."""
+    table = Table(
+        "T8 — standalone FGA from γ_init, worst per cell",
+        ["topology", "n", "moves", "bound 16Δm+36m+24n", "max/proc",
+         "per-proc bound", "rounds", "bound 5n+4", "ok"],
+    )
+    ok = True
+    for topo in topologies:
+        for n in sizes:
+            net = by_name(topo, n, seed=5)
+            f, g = dominating_set(net)
+            worst_moves = worst_pp = worst_rounds = 0
+            for seed in range(trials):
+                fga = FGA(net, f, g)
+                sim = Simulator(
+                    fga, DistributedRandomDaemon(0.5),
+                    config=fga.initial_configuration(), seed=seed,
+                )
+                result = sim.run_to_termination(max_steps=2_000_000)
+                worst_moves = max(worst_moves, result.moves)
+                worst_pp = max(worst_pp, max(sim.moves_per_process))
+                worst_rounds = max(worst_rounds, result.rounds)
+            mb = bounds.fga_standalone_move_bound(net.n, net.m, net.max_degree)
+            ppb = bounds.fga_standalone_moves_per_process_bound(
+                net.max_degree, net.max_degree
+            )
+            rb = bounds.fga_standalone_rounds_bound(net.n)
+            cell_ok = worst_moves <= mb and worst_pp <= ppb and worst_rounds <= rb
+            ok &= cell_ok
+            table.add_row(topo, net.n, worst_moves, mb, worst_pp, ppb,
+                          worst_rounds, rb, cell_ok)
+    return ExperimentResult(
+        "T8",
+        "Standalone FGA terminates within 16Δm+36m+24n moves and 5n+4 rounds",
+        table,
+        ok,
+    )
+
+
+# ======================================================================
+# T9 — the six alliance instances (Section 6.1)
+# ======================================================================
+def experiment_t9(
+    n: int = 12,
+    topology: str = "random",
+    trials: int = 2,
+) -> ExperimentResult:
+    """Each classical instance is solved; outputs verified 1-minimal."""
+    table = Table(
+        "T9 — classical (f,g)-alliance instances via FGA ∘ SDR",
+        ["instance", "n", "|A| (mean)", "moves (mean)", "rounds (mean)",
+         "f>g (Thm 8)", "minimality ok"],
+    )
+    ok = True
+    for name, factory in sorted(INSTANCES.items()):
+        net = by_name(topology, n, seed=6)
+        try:
+            f, g = factory(net)
+        except Exception:
+            # Instance infeasible on this topology draw (degree too low);
+            # retry on a denser graph.
+            net = by_name("complete", max(n, 6), seed=6)
+            f, g = factory(net)
+        # Reproduction finding (see DESIGN.md): Theorem 8's 1-minimality
+        # only follows when f > g pointwise; otherwise the published guards
+        # enforce the weaker "FGA-1-minimality" (strict score margin).
+        guaranteed = one_minimality_guaranteed(f, g)
+        checker = is_one_minimal if guaranteed else is_fga_stable
+        sizes, moves, rounds, minimal = [], [], [], True
+        for seed in range(trials):
+            trial = run_fga_trial(net, f, g, seed=seed, scenario="random")
+            sizes.append(trial.extra["alliance_size"])
+            moves.append(trial.moves)
+            rounds.append(trial.rounds)
+            minimal &= checker(net, trial.extra["alliance"], f, g)
+        ok &= minimal
+        mean = lambda xs: sum(xs) / len(xs)
+        table.add_row(name, net.n, f"{mean(sizes):.1f}", f"{mean(moves):.0f}",
+                      f"{mean(rounds):.1f}", guaranteed, minimal)
+    return ExperimentResult(
+        "T9",
+        "The six instances of Section 6.1 are solved by FGA ∘ SDR "
+        "(1-minimality verified where Theorem 8's f > g hypothesis holds; "
+        "FGA-1-minimality otherwise — see the reproduction finding in "
+        "DESIGN.md §6)",
+        table,
+        ok,
+    )
+
+
+# ======================================================================
+# T10 — FGA(1,0) ∘ SDR vs Turau-style MIS
+# ======================================================================
+def experiment_t10(
+    sizes: Sequence[int] = (8, 12, 16),
+    topology: str = "random",
+    trials: int = 3,
+) -> ExperimentResult:
+    """Both compute minimal dominating sets; the specialized baseline is
+    cheaper in moves (the price of FGA's generality), both are correct."""
+    table = Table(
+        "T10 — minimal dominating set: FGA ∘ SDR vs Turau-style MIS",
+        ["n", "FGA moves", "Turau moves", "FGA |A|", "Turau |A|",
+         "both correct"],
+    )
+    ok = True
+    for n in sizes:
+        net = by_name(topology, n, seed=7)
+        f, g = dominating_set(net)
+        fga_moves, turau_moves, fga_sizes, turau_sizes = [], [], [], []
+        correct = True
+        for seed in range(trials):
+            trial = run_fga_trial(net, f, g, seed=seed, scenario="random")
+            fga_moves.append(trial.moves)
+            fga_sizes.append(trial.extra["alliance_size"])
+            correct &= is_one_minimal(net, trial.extra["alliance"], f, g)
+
+            mis = TurauMIS(net)
+            sim = Simulator(
+                mis, DistributedRandomDaemon(0.5),
+                config=mis.random_configuration(Random(seed)), seed=seed,
+            )
+            sim.run_to_termination(max_steps=1_000_000)
+            members = mis.members(sim.cfg)
+            turau_moves.append(sim.move_count)
+            turau_sizes.append(len(members))
+            correct &= is_minimal_dominating_set(net, members)
+        ok &= correct
+        mean = lambda xs: sum(xs) / len(xs)
+        table.add_row(n, f"{mean(fga_moves):.0f}", f"{mean(turau_moves):.0f}",
+                      f"{mean(fga_sizes):.1f}", f"{mean(turau_sizes):.1f}", correct)
+    return ExperimentResult(
+        "T10",
+        "FGA(1,0) ∘ SDR and the Turau-style baseline both produce minimal "
+        "dominating sets",
+        table,
+        ok,
+    )
+
+
+# ======================================================================
+# Figures
+# ======================================================================
+def figure_f1_f2(
+    sizes: Sequence[int] = (8, 12, 16, 24),
+    topology: str = "ring",
+    trials: int = 3,
+    scenario: str = "gradient",
+) -> ExperimentResult:
+    """F1: rounds vs n; F2: moves vs n (log–log) with fitted exponents."""
+    fig = Figure("F2 — stabilization moves vs n", "n", "moves", loglog=True)
+    table = Table(
+        "F1/F2 — unison scaling (means over seeds)",
+        ["n", "ours rounds", "base rounds", "ours moves", "base moves"],
+    )
+    ours_pts, base_pts = [], []
+    for n in sizes:
+        net = by_name(topology, n, seed=8)
+        ours_m, base_m, ours_r, base_r = [], [], [], []
+        for seed in range(trials):
+            ours = run_unison_trial(net, seed=seed, scenario=scenario)
+            base = run_boulinier_trial(net, seed=seed, scenario=scenario)
+            ours_m.append(ours.moves)
+            base_m.append(base.moves)
+            ours_r.append(ours.rounds)
+            base_r.append(base.rounds)
+        mean = lambda xs: sum(xs) / len(xs)
+        table.add_row(n, f"{mean(ours_r):.1f}", f"{mean(base_r):.1f}",
+                      f"{mean(ours_m):.0f}", f"{mean(base_m):.0f}")
+        ours_pts.append((n, mean(ours_m)))
+        base_pts.append((n, mean(base_m)))
+    fig.add("U o SDR", ours_pts)
+    fig.add("boulinier", base_pts)
+    ours_exp, _ = fit_power_law([p[0] for p in ours_pts], [max(p[1], 1) for p in ours_pts])
+    base_exp, _ = fit_power_law([p[0] for p in base_pts], [max(p[1], 1) for p in base_pts])
+    # Shape claim: the baseline grows at least as fast as ours.
+    ok = base_exp >= ours_exp - 0.25
+    return ExperimentResult(
+        "F1/F2",
+        "Move growth exponent: ours ≈ n^"
+        f"{ours_exp:.2f}, baseline ≈ n^{base_exp:.2f}",
+        table,
+        ok,
+        data={"ours_exponent": ours_exp, "base_exponent": base_exp},
+        figure=fig,
+    )
+
+
+def figure_f3(
+    n: int = 24,
+    topology: str = "random",
+    fault_counts: Sequence[int] = (1, 2, 4, 8),
+    trials: int = 4,
+) -> ExperimentResult:
+    """F3 (ablation): multi-initiator concurrency vs number of faults.
+
+    By design (Section 3.3) a reset floods the whole connected network —
+    ``rule_RB`` makes even locally-correct processes join — so the
+    *footprint* is always ``n`` once any reset starts.  What cooperation
+    buys is concurrency without restarts: more fault sites mean more
+    initiators (``rule_R``), yet the per-process reset work stays at one
+    wave (≈ 3 SDR moves each: RB/R, RF, C) and recovery cost does not blow
+    up with the fault count.
+    """
+    net = by_name(topology, n, seed=9)
+    fig = Figure("F3 — initiators and cost vs fault count", "#faults", "count")
+    table = Table(
+        "F3 — cooperative multi-initiator resets (means over seeds)",
+        ["#faults", "initiators (mean)", "footprint (mean)",
+         "SDR moves/proc (max)", "rounds (mean)", "n"],
+    )
+    ok = True
+    for k in fault_counts:
+        initiators, footprints, per_proc, rounds = [], [], [], []
+        for seed in range(trials):
+            sdr = SDR(Unison(net))
+            rng = Random(seed)
+            cfg = corrupt_processes(
+                sdr, sdr.initial_configuration(),
+                rng.sample(range(net.n), k), rng,
+            )
+            counter = SdrMoveCounter(net.n)
+            sim = Simulator(sdr, DistributedRandomDaemon(0.5), config=cfg,
+                            seed=seed, observers=[counter])
+            detector, _ = measure_stabilization(sim, sdr.is_normal, max_steps=1_000_000)
+            initiators.append(sim.moves_per_rule.get("rule_R", 0))
+            footprints.append(counter.touched)
+            per_proc.append(max(counter.counts))
+            rounds.append(detector.rounds or 0)
+            # Per-process reset work stays one wave regardless of k.
+            ok &= max(counter.counts) <= bounds.sdr_moves_per_process_bound(net.n)
+        mean = lambda xs: sum(xs) / len(xs)
+        fig.add_point("initiators", k, mean(initiators))
+        fig.add_point("rounds", k, mean(rounds))
+        table.add_row(k, f"{mean(initiators):.1f}", f"{mean(footprints):.1f}",
+                      max(per_proc), f"{mean(rounds):.1f}", net.n)
+    return ExperimentResult(
+        "F3",
+        "Concurrent resets cooperate: initiators scale with the fault sites "
+        "while per-process reset work stays a single wave (footprint is "
+        "global by design — Section 3.3)",
+        table,
+        ok,
+        figure=fig,
+    )
+
+
+def figure_f4(
+    sizes: Sequence[int] = (8, 12, 16, 24),
+    topology: str = "random",
+    trials: int = 3,
+) -> ExperimentResult:
+    """F4: FGA ∘ SDR rounds vs n against the 8n+4 line."""
+    fig = Figure("F4 — FGA ∘ SDR rounds vs n", "n", "rounds")
+    table = Table(
+        "F4 — FGA ∘ SDR round scaling (worst over seeds)",
+        ["n", "rounds (worst)", "bound 8n+4", "ok"],
+    )
+    ok = True
+    for n in sizes:
+        net = by_name(topology, n, seed=10)
+        f, g = dominating_set(net)
+        worst = 0
+        for seed in range(trials):
+            trial = run_fga_trial(net, f, g, seed=seed, scenario="random")
+            worst = max(worst, trial.rounds)
+        rb = bounds.fga_sdr_rounds_bound(net.n)
+        row_ok = worst <= rb
+        ok &= row_ok
+        fig.add_point("measured", n, worst)
+        fig.add_point("bound", n, rb)
+        table.add_row(n, worst, rb, row_ok)
+    return ExperimentResult(
+        "F4", "FGA ∘ SDR rounds stay under the 8n+4 line", table, ok, figure=fig
+    )
+
+
+def figure_f5(
+    n: int = 16,
+    topology: str = "random",
+    trials: int = 3,
+) -> ExperimentResult:
+    """F5 (ablation): daemon sensitivity of U ∘ SDR stabilization."""
+    net = by_name(topology, n, seed=11)
+    fig = Figure("F5 — moves by daemon", "daemon#", "moves")
+    table = Table(
+        "F5 — U ∘ SDR under different daemons (means over seeds)",
+        ["daemon", "moves (mean)", "rounds (mean)", "within bounds"],
+    )
+    ok = True
+    for i, daemon_name in enumerate(sorted(_daemon_menu(net))):
+        moves, rounds = [], []
+        for seed in range(trials):
+            sdr = SDR(Unison(net))
+            cfg = sdr.random_configuration(Random(seed))
+            sim = Simulator(sdr, _daemon_menu(net)[daemon_name], config=cfg, seed=seed)
+            detector, _ = measure_stabilization(sim, sdr.is_normal, max_steps=2_000_000)
+            moves.append(detector.moves or 0)
+            rounds.append(detector.rounds or 0)
+        mean = lambda xs: sum(xs) / len(xs)
+        within = max(moves) <= bounds.unison_move_bound(net.n, net.diameter) and \
+            max(rounds) <= bounds.unison_rounds_bound(net.n)
+        ok &= within
+        fig.add_point(daemon_name, i, mean(moves))
+        table.add_row(daemon_name, f"{mean(moves):.0f}", f"{mean(rounds):.1f}", within)
+    return ExperimentResult(
+        "F5", "Bounds hold under every daemon in the zoo", table, ok, figure=fig
+    )
+
+
+def figure_f6(
+    sizes: Sequence[int] = (8, 12, 16, 24),
+    topology: str = "random",
+    trials: int = 3,
+    faults: int = 2,
+) -> ExperimentResult:
+    """F6: cooperative multi-initiator SDR vs mono-initiator reset wave.
+
+    Same input algorithm (U), same fault scenario; the mono-initiator
+    baseline pays a whole-network wave per recovery.
+    """
+    fig = Figure("F6 — recovery moves: SDR vs mono-initiator", "n", "moves")
+    table = Table(
+        "F6 — recovery from k=2 faults (means over seeds)",
+        ["n", "SDR moves", "mono moves", "SDR rounds", "mono rounds"],
+    )
+    data: dict[str, list] = {"n": [], "sdr": [], "mono": []}
+    for n in sizes:
+        net = by_name(topology, n, seed=12)
+        sdr_m, mono_m, sdr_r, mono_r = [], [], [], []
+        for seed in range(trials):
+            rng = Random(seed)
+            victims = rng.sample(range(net.n), min(faults, net.n))
+
+            sdr = SDR(Unison(net))
+            cfg = corrupt_processes(
+                sdr, sdr.initial_configuration(), victims, Random(seed),
+                variables=("c",),
+            )
+            sim = Simulator(sdr, DistributedRandomDaemon(0.5), config=cfg, seed=seed)
+            det, _ = measure_stabilization(sim, sdr.is_normal, max_steps=1_000_000)
+            sdr_m.append(det.moves or 0)
+            sdr_r.append(det.rounds or 0)
+
+            mono = MonoReset(Unison(net))
+            cfg = corrupt_processes(
+                mono, mono.initial_configuration(), victims, Random(seed),
+                variables=("c",),
+            )
+            sim = Simulator(mono, DistributedRandomDaemon(0.5), config=cfg, seed=seed)
+            det, _ = measure_stabilization(sim, mono.is_normal, max_steps=1_000_000)
+            mono_m.append(det.moves or 0)
+            mono_r.append(det.rounds or 0)
+        mean = lambda xs: sum(xs) / len(xs)
+        table.add_row(n, f"{mean(sdr_m):.0f}", f"{mean(mono_m):.0f}",
+                      f"{mean(sdr_r):.1f}", f"{mean(mono_r):.1f}")
+        fig.add_point("SDR", n, mean(sdr_m))
+        fig.add_point("mono", n, mean(mono_m))
+        data["n"].append(n)
+        data["sdr"].append(mean(sdr_m))
+        data["mono"].append(mean(mono_m))
+    # Claim: at the largest size, localized cooperative resets are cheaper.
+    ok = data["sdr"][-1] <= data["mono"][-1]
+    return ExperimentResult(
+        "F6",
+        "Cooperative multi-initiator resets beat the mono-initiator wave on "
+        "localized faults",
+        table,
+        ok,
+        data=data,
+        figure=fig,
+    )
+
+
+# ======================================================================
+# P1 — structural properties (Theorem 3, Remarks 4/5)
+# ======================================================================
+def experiment_p1(
+    sizes: Sequence[int] = (6, 8, 10),
+    topologies: Sequence[str] = ("ring", "random"),
+    trials: int = 3,
+) -> ExperimentResult:
+    """Alive roots never created; ≤ n+1 segments; rule language per segment."""
+    from ..core.trace import Trace
+    from ..reset.analysis import (
+        alive_roots,
+        segment_rule_sequences_ok,
+        split_segments,
+    )
+
+    table = Table(
+        "P1 — structural proof artifacts on recorded executions",
+        ["topology", "n", "seed", "AR monotone", "segments", "bound n+1",
+         "language ok"],
+    )
+    ok = True
+    for topo in topologies:
+        for n in sizes:
+            net = by_name(topo, n, seed=13)
+            for seed in range(trials):
+                sdr = SDR(Unison(net))
+                cfg = sdr.random_configuration(Random(seed))
+                trace = Trace(record_configurations=True)
+                sim = Simulator(sdr, DistributedRandomDaemon(0.5), config=cfg,
+                                seed=seed, trace=trace)
+                measure_stabilization(sim, sdr.is_normal, max_steps=500_000)
+                sim.run(max_steps=5 * n)
+                counts = [len(alive_roots(sdr, c)) for c in trace.configurations]
+                monotone = all(a >= b for a, b in zip(counts, counts[1:]))
+                segments = split_segments(sdr, trace)
+                lang_ok = segment_rule_sequences_ok(sdr, trace)
+                row_ok = monotone and len(segments) <= bounds.segments_bound(n) and lang_ok
+                ok &= row_ok
+                table.add_row(topo, n, seed, monotone, len(segments),
+                              bounds.segments_bound(n), lang_ok)
+    return ExperimentResult(
+        "P1",
+        "No alive root is ever created; executions split into ≤ n+1 segments "
+        "whose per-process SDR rule sequences match Theorem 4's language",
+        table,
+        ok,
+    )
+
+
+# ======================================================================
+# A1 — safe-convergence ablation (related work: Carrier et al. [16])
+# ======================================================================
+def experiment_a1(
+    sizes: Sequence[int] = (8, 12, 16),
+    topology: str = "random",
+    trials: int = 3,
+) -> ExperimentResult:
+    """A1 (extension): how quickly does FGA ∘ SDR become *feasible*?
+
+    Carrier et al. [16] advocate *safe convergence*: reach some valid
+    (not necessarily minimal) alliance fast, then keep refining.  FGA ∘ SDR
+    does not claim safe convergence, but its reset discipline gives a
+    related two-phase behaviour we can measure: starting from the hollow
+    alliance (maximal violation), the reset wave restores the full alliance
+    (feasible) long before the removal phase reaches 1-minimality.  This
+    experiment reports both stopwatch readings.
+    """
+    from ..alliance.spec import is_alliance
+
+    table = Table(
+        "A1 — rounds to feasibility vs rounds to 1-minimal termination "
+        "(hollow start, means over seeds)",
+        ["n", "rounds to alliance", "rounds to terminal", "feasible early"],
+    )
+    ok = True
+    for n in sizes:
+        net = by_name(topology, n, seed=14)
+        f, g = dominating_set(net)
+        to_alliance, to_terminal = [], []
+        for seed in range(trials):
+            sdr = SDR(FGA(net, f, g))
+            from ..faults.scenarios import hollow_alliance
+
+            cfg = hollow_alliance(sdr)
+            sim = Simulator(sdr, DistributedRandomDaemon(0.5), config=cfg, seed=seed)
+            detector, _ = measure_stabilization(
+                sim,
+                lambda c: is_alliance(net, {u for u in net.processes() if c[u]["col"]}, f, g),
+                max_steps=2_000_000,
+                name="feasible",
+            )
+            to_alliance.append(detector.rounds or 0)
+            result = sim.run_to_termination(max_steps=2_000_000)
+            to_terminal.append(result.rounds)
+        mean = lambda xs: sum(xs) / len(xs)
+        early = mean(to_alliance) <= mean(to_terminal)
+        ok &= early
+        table.add_row(n, f"{mean(to_alliance):.1f}", f"{mean(to_terminal):.1f}", early)
+    return ExperimentResult(
+        "A1",
+        "Feasibility (any valid alliance) is restored well before 1-minimal "
+        "termination — the two-phase behaviour related work calls safe "
+        "convergence",
+        table,
+        ok,
+    )
+
+
+#: Experiment registry for programmatic access (id → callable).
+REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
+    "T1/T2": experiment_t1_t2,
+    "T3/T4": experiment_t3_t4,
+    "T5": experiment_t5,
+    "T6/T7": experiment_t6_t7,
+    "T8": experiment_t8,
+    "T9": experiment_t9,
+    "T10": experiment_t10,
+    "F1/F2": figure_f1_f2,
+    "F3": figure_f3,
+    "F4": figure_f4,
+    "F5": figure_f5,
+    "F6": figure_f6,
+    "P1": experiment_p1,
+    "A1": experiment_a1,
+}

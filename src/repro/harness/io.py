@@ -1,0 +1,85 @@
+"""Persistence helpers for experiment data (CSV / JSON, stdlib only).
+
+Sweeps produce :class:`~repro.harness.runner.Trial` records; these helpers
+flatten them for downstream analysis outside Python (spreadsheets, R,
+gnuplot) and dump :class:`~repro.harness.experiments.ExperimentResult`
+tables losslessly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Iterable, Sequence
+
+from .experiments import ExperimentResult
+from .runner import Trial
+
+__all__ = ["trial_rows", "write_trials_csv", "write_result_json"]
+
+_TRIAL_FIELDS = (
+    "algorithm",
+    "scenario",
+    "daemon",
+    "seed",
+    "n",
+    "m",
+    "diameter",
+    "max_degree",
+    "rounds",
+    "moves",
+    "steps",
+)
+
+
+def trial_rows(trials: Iterable[Trial]) -> list[dict]:
+    """Flatten trials to plain dicts (extras inlined with ``extra_`` prefix)."""
+    rows = []
+    for trial in trials:
+        row = {field: getattr(trial, field) for field in _TRIAL_FIELDS}
+        row["sdr_moves"] = trial.metrics.sdr_moves
+        row["input_moves"] = trial.metrics.input_moves
+        row["max_moves_per_process"] = trial.metrics.max_moves_per_process
+        for key, value in trial.extra.items():
+            if isinstance(value, (int, float, str, bool)):
+                row[f"extra_{key}"] = value
+        rows.append(row)
+    return rows
+
+
+def write_trials_csv(trials: Sequence[Trial], path: str | pathlib.Path) -> pathlib.Path:
+    """Write a trial sweep to CSV; returns the path written."""
+    path = pathlib.Path(path)
+    rows = trial_rows(trials)
+    if not rows:
+        raise ValueError("no trials to write")
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames, restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_result_json(result: ExperimentResult, path: str | pathlib.Path) -> pathlib.Path:
+    """Dump an experiment result (table rows + figure series) as JSON."""
+    path = pathlib.Path(path)
+    payload = {
+        "experiment_id": result.experiment_id,
+        "claim": result.claim,
+        "ok": result.ok,
+        "columns": result.table.columns,
+        "rows": result.table.rows,
+        "figure": (
+            {name: sorted(points) for name, points in result.figure.series.items()}
+            if result.figure is not None
+            else None
+        ),
+    }
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    return path

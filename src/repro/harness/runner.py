@@ -1,0 +1,206 @@
+"""Single-trial runners shared by the experiments and benchmarks.
+
+A *trial* fixes (topology, algorithm, initial-configuration scenario,
+daemon, seed), runs to stabilization (or termination), and reports a flat
+record of measurements.  Sweeps iterate trials over parameter grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Callable
+
+from ..alliance.fga import FGA
+from ..analysis.metrics import RunMetrics, collect_metrics
+from ..core.daemon import Daemon, make_daemon
+from ..core.detectors import measure_stabilization
+from ..core.graph import Network
+from ..core.simulator import Simulator
+from ..faults.injector import corrupt_processes
+from ..faults.scenarios import clock_gradient, clock_split, fake_reset_wave, hollow_alliance
+from ..reset.sdr import SDR
+from ..unison.boulinier import BoulinierUnison
+from ..unison.unison import CLOCK, Unison
+
+__all__ = ["Trial", "run_unison_trial", "run_boulinier_trial", "run_fga_trial", "sweep"]
+
+
+@dataclass(frozen=True)
+class Trial:
+    """Flat record of one stabilization measurement."""
+
+    algorithm: str
+    scenario: str
+    daemon: str
+    seed: int
+    n: int
+    m: int
+    diameter: int
+    max_degree: int
+    rounds: int
+    moves: int
+    steps: int
+    metrics: RunMetrics
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+def _make_daemon(spec: str | Daemon, network: Network) -> Daemon:
+    if isinstance(spec, Daemon):
+        return spec
+    return make_daemon(spec, network)
+
+
+def _unison_start(sdr: SDR, scenario: str, rng: Random):
+    if scenario == "random":
+        return sdr.random_configuration(rng)
+    if scenario == "gradient":
+        return clock_gradient(sdr)
+    if scenario == "split":
+        return clock_split(sdr)
+    if scenario == "fake-wave":
+        return fake_reset_wave(sdr, rng)
+    if scenario.startswith("faults:"):
+        k = int(scenario.split(":", 1)[1])
+        cfg = sdr.initial_configuration()
+        victims = rng.sample(range(sdr.network.n), min(k, sdr.network.n))
+        return corrupt_processes(sdr, cfg, victims, rng)
+    raise ValueError(f"unknown unison scenario {scenario!r}")
+
+
+def run_unison_trial(
+    network: Network,
+    seed: int = 0,
+    daemon: str | Daemon = "distributed-random",
+    scenario: str = "random",
+    period: int | None = None,
+    max_steps: int = 2_000_000,
+) -> Trial:
+    """Run ``U ∘ SDR`` to its first normal configuration."""
+    rng = Random(seed)
+    sdr = SDR(Unison(network, period=period))
+    cfg = _unison_start(sdr, scenario, rng)
+    sim = Simulator(sdr, _make_daemon(daemon, network), config=cfg, seed=seed)
+    detector, _ = measure_stabilization(sim, sdr.is_normal, max_steps=max_steps)
+    return Trial(
+        algorithm="U o SDR",
+        scenario=scenario,
+        daemon=sim.daemon.name,
+        seed=seed,
+        n=network.n,
+        m=network.m,
+        diameter=network.diameter,
+        max_degree=network.max_degree,
+        rounds=detector.rounds or 0,
+        moves=detector.moves or 0,
+        steps=detector.step or 0,
+        metrics=collect_metrics(sim),
+    )
+
+
+def run_boulinier_trial(
+    network: Network,
+    seed: int = 0,
+    daemon: str | Daemon = "distributed-random",
+    period: int | None = None,
+    alpha: int | None = None,
+    scenario: str = "random",
+    max_steps: int = 5_000_000,
+) -> Trial:
+    """Run the reset-tail baseline to its first legitimate configuration.
+
+    The ``gradient``/``split`` scenarios mirror the ``U ∘ SDR`` ones on the
+    shared clock variable so head-to-head comparisons start from the same
+    amount of clock disorder.
+    """
+    rng = Random(seed)
+    algo = BoulinierUnison(network, period=period, alpha=alpha)
+    if scenario == "random":
+        cfg = algo.random_configuration(rng)
+    elif scenario == "gradient":
+        cfg = algo.initial_configuration()
+        for u in network.processes():
+            cfg.set(u, "r", (3 * u) % algo.period)
+    elif scenario == "split":
+        cfg = algo.initial_configuration()
+        far = algo.period // 2
+        for u in network.processes():
+            cfg.set(u, "r", 0 if u < network.n // 2 else far)
+    else:
+        raise ValueError(f"unknown boulinier scenario {scenario!r}")
+    sim = Simulator(algo, _make_daemon(daemon, network), config=cfg, seed=seed)
+    detector, _ = measure_stabilization(sim, algo.is_legitimate, max_steps=max_steps)
+    return Trial(
+        algorithm="boulinier",
+        scenario=scenario,
+        daemon=sim.daemon.name,
+        seed=seed,
+        n=network.n,
+        m=network.m,
+        diameter=network.diameter,
+        max_degree=network.max_degree,
+        rounds=detector.rounds or 0,
+        moves=detector.moves or 0,
+        steps=detector.step or 0,
+        metrics=collect_metrics(sim),
+        extra={"period": algo.period, "alpha": algo.alpha},
+    )
+
+
+def run_fga_trial(
+    network: Network,
+    f,
+    g,
+    seed: int = 0,
+    daemon: str | Daemon = "distributed-random",
+    scenario: str = "random",
+    max_steps: int = 5_000_000,
+) -> Trial:
+    """Run ``FGA ∘ SDR`` to termination (the composition is silent)."""
+    rng = Random(seed)
+    sdr = SDR(FGA(network, f, g))
+    if scenario == "random":
+        cfg = sdr.random_configuration(rng)
+    elif scenario == "init":
+        cfg = sdr.initial_configuration()
+    elif scenario == "hollow":
+        cfg = hollow_alliance(sdr)
+    elif scenario.startswith("faults:"):
+        k = int(scenario.split(":", 1)[1])
+        cfg = sdr.initial_configuration()
+        victims = rng.sample(range(network.n), min(k, network.n))
+        cfg = corrupt_processes(sdr, cfg, victims, rng)
+    else:
+        raise ValueError(f"unknown FGA scenario {scenario!r}")
+    sim = Simulator(sdr, _make_daemon(daemon, network), config=cfg, seed=seed)
+    result = sim.run_to_termination(max_steps=max_steps)
+    alliance = sdr.input.alliance(sim.cfg)
+    return Trial(
+        algorithm="FGA o SDR",
+        scenario=scenario,
+        daemon=sim.daemon.name,
+        seed=seed,
+        n=network.n,
+        m=network.m,
+        diameter=network.diameter,
+        max_degree=network.max_degree,
+        rounds=result.rounds,
+        moves=result.moves,
+        steps=result.steps,
+        metrics=collect_metrics(sim),
+        extra={"alliance_size": len(alliance), "alliance": frozenset(alliance)},
+    )
+
+
+def sweep(
+    trial_fn: Callable[..., Trial],
+    networks: list[Network],
+    seeds: range | list[int],
+    **kwargs,
+) -> list[Trial]:
+    """Run ``trial_fn`` over the (network × seed) grid."""
+    trials = []
+    for network in networks:
+        for seed in seeds:
+            trials.append(trial_fn(network, seed=seed, **kwargs))
+    return trials

@@ -1,0 +1,32 @@
+"""SDR — the paper's self-stabilizing distributed cooperative reset."""
+
+from . import analysis
+from .interface import Host, InputAlgorithm, TrivialHost
+from .requirements import (
+    RequirementObserver,
+    check_configuration,
+    check_independence,
+    check_requirements,
+    check_reset_establishes,
+)
+from .sdr import C, DIST, RB, RF, SDR, SDR_RULES, ST, STATUSES
+
+__all__ = [
+    "SDR",
+    "InputAlgorithm",
+    "Host",
+    "TrivialHost",
+    "RequirementObserver",
+    "check_requirements",
+    "check_configuration",
+    "check_independence",
+    "check_reset_establishes",
+    "analysis",
+    "C",
+    "RB",
+    "RF",
+    "ST",
+    "DIST",
+    "STATUSES",
+    "SDR_RULES",
+]

@@ -1,0 +1,257 @@
+"""Proof artifacts of Section 4 as executable analyses.
+
+The paper's move-complexity argument is built on a small vocabulary:
+
+* **alive / dead roots** (Definition 1) — initiators of resets; alive roots
+  are never created (Theorem 3), so their count only decreases;
+* **segments** (Definition 3) — maximal execution chunks in which the
+  number of alive roots stays constant; every execution has at most ``n+1``
+  of them (Remark 5);
+* **reset parents / branches** (Definitions 4, 5) — the trails a reset
+  leaves in the network, forming a DAG ordered by the distance values;
+* **per-segment rule language** (Theorem 4 / Corollary 3) — within one
+  segment a process's SDR moves match
+  ``(rule_C + ε)(rule_RB + rule_R + ε)(rule_RF + ε)``;
+* **attractors ``P1 ⊇ P2 ⊇ P3 ⊇ P4``** (Definition 6) — the staged
+  convergence towards normal configurations.
+
+These functions power the property-based tests and the bound-validation
+benchmarks; they all operate on recorded traces with configuration
+snapshots (small systems) or on single configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.configuration import Configuration
+from ..core.trace import Trace
+from .sdr import C, DIST, RB, RF, SDR, SDR_RULES, ST
+
+__all__ = [
+    "alive_roots",
+    "dead_roots",
+    "reset_parents",
+    "reset_children",
+    "max_branch_depth",
+    "reset_branches",
+    "Segment",
+    "split_segments",
+    "sdr_sequence_in_language",
+    "segment_rule_sequences_ok",
+    "attractor_level",
+    "attractor_p1",
+    "attractor_p2",
+    "attractor_p3",
+    "attractor_p4",
+]
+
+
+# ----------------------------------------------------------------------
+# Roots (Definitions 1 and 2)
+# ----------------------------------------------------------------------
+def alive_roots(sdr: SDR, cfg: Configuration) -> set[int]:
+    """``AR(γ)``: processes satisfying ``P_Up ∨ P_root``."""
+    return {u for u in sdr.network.processes() if sdr.is_alive_root(cfg, u)}
+
+
+def dead_roots(sdr: SDR, cfg: Configuration) -> set[int]:
+    """Processes satisfying the dead-root predicate of Definition 1."""
+    return {u for u in sdr.network.processes() if sdr.is_dead_root(cfg, u)}
+
+
+# ----------------------------------------------------------------------
+# Reset parents and branches (Definitions 4 and 5)
+# ----------------------------------------------------------------------
+def rparent(sdr: SDR, cfg: Configuration, v: int, u: int) -> bool:
+    """``RParent(v, u)``: ``v`` caused ``u``'s participation in a reset.
+
+    Holds iff ``v ∈ N(u)``, ``st_u ≠ C``, ``P_reset(u)``, ``d_u > d_v`` and
+    ``(st_u = st_v ∨ st_v = RB)``.
+    """
+    return (
+        sdr.network.are_neighbors(u, v)
+        and cfg[u][ST] != C
+        and sdr.input.p_reset(cfg, u)
+        and cfg[u][DIST] > cfg[v][DIST]
+        and (cfg[u][ST] == cfg[v][ST] or cfg[v][ST] == RB)
+    )
+
+
+def reset_parents(sdr: SDR, cfg: Configuration, u: int) -> list[int]:
+    """All reset parents of ``u`` (a process may have several)."""
+    return [v for v in sdr.network.neighbors(u) if rparent(sdr, cfg, v, u)]
+
+
+def reset_children(sdr: SDR, cfg: Configuration, v: int) -> list[int]:
+    """All reset children of ``v``."""
+    return [u for u in sdr.network.neighbors(v) if rparent(sdr, cfg, v, u)]
+
+
+def _roots(sdr: SDR, cfg: Configuration) -> set[int]:
+    return alive_roots(sdr, cfg) | dead_roots(sdr, cfg)
+
+
+def max_branch_depth(sdr: SDR, cfg: Configuration) -> dict[int, int]:
+    """``md(u)``: the maximum depth of ``u`` over all reset branches.
+
+    Only processes belonging to at least one branch appear.  Computed by a
+    longest-path DP over the parent→child DAG (acyclic because ``d``
+    strictly increases along branches), seeded at the alive/dead roots.
+    """
+    depth: dict[int, int] = {u: 0 for u in _roots(sdr, cfg)}
+    # Relax in order of increasing d: every RParent edge goes up in d.
+    order = sorted(
+        (u for u in sdr.network.processes() if cfg[u][ST] != C),
+        key=lambda u: cfg[u][DIST],
+    )
+    for u in order:
+        if u not in depth:
+            continue
+        for child in reset_children(sdr, cfg, u):
+            candidate = depth[u] + 1
+            if candidate > depth.get(child, -1):
+                depth[child] = candidate
+    return depth
+
+
+def reset_branches(sdr: SDR, cfg: Configuration, limit: int = 100_000) -> list[list[int]]:
+    """Enumerate all maximal reset branches (test-sized systems only).
+
+    A branch is ``u1 … uk`` with ``u1`` an alive or dead root and
+    ``RParent(u_{i-1}, u_i)`` for each link.  ``limit`` bounds the number
+    of enumerated branches to guard against combinatorial blowups.
+    """
+    branches: list[list[int]] = []
+
+    def extend(prefix: list[int]) -> None:
+        if len(branches) >= limit:
+            raise RuntimeError("too many reset branches to enumerate")
+        children = reset_children(sdr, cfg, prefix[-1])
+        children = [c for c in children if c not in prefix]
+        if not children:
+            branches.append(list(prefix))
+            return
+        for child in children:
+            prefix.append(child)
+            extend(prefix)
+            prefix.pop()
+
+    for root in sorted(_roots(sdr, cfg)):
+        extend([root])
+    return branches
+
+
+# ----------------------------------------------------------------------
+# Segments (Definition 3)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Segment:
+    """One segment of an execution, as configuration-index bounds.
+
+    ``start``/``stop`` index into the trace's configuration list:
+    the segment spans configurations ``γ_start … γ_stop`` inclusive.
+    """
+
+    start: int
+    stop: int
+    alive_roots_at_start: int
+
+
+def split_segments(sdr: SDR, trace: Trace) -> list[Segment]:
+    """Split a recorded execution into segments (Definition 3).
+
+    Requires configuration snapshots.  A new segment starts right after any
+    step in which ``|AR|`` decreased.
+    """
+    configs = trace.configurations
+    if not configs:
+        raise ValueError("trace has no configuration snapshots")
+    counts = [len(alive_roots(sdr, cfg)) for cfg in configs]
+    segments: list[Segment] = []
+    start = 0
+    for i in range(1, len(configs)):
+        if counts[i] < counts[i - 1]:
+            segments.append(Segment(start, i, counts[start]))
+            start = i
+    segments.append(Segment(start, len(configs) - 1, counts[start]))
+    return segments
+
+
+# ----------------------------------------------------------------------
+# Per-segment rule language (Theorem 4, Corollary 3)
+# ----------------------------------------------------------------------
+def sdr_sequence_in_language(rules: list[str]) -> bool:
+    """Whether an SDR-rule sequence matches
+    ``(rule_C + ε)(rule_RB + rule_R + ε)(rule_RF + ε)``."""
+    i = 0
+    if i < len(rules) and rules[i] == "rule_C":
+        i += 1
+    if i < len(rules) and rules[i] in ("rule_RB", "rule_R"):
+        i += 1
+    if i < len(rules) and rules[i] == "rule_RF":
+        i += 1
+    return i == len(rules)
+
+
+def segment_rule_sequences_ok(sdr: SDR, trace: Trace) -> bool:
+    """Check Theorem 4 on a recorded execution.
+
+    For every segment and every process, the subsequence of SDR rules the
+    process executed within the segment must be in the language above
+    (input-algorithm rules may interleave freely — Corollary 3).
+    """
+    segments = split_segments(sdr, trace)
+    sdr_rules = set(SDR_RULES)
+    for seg in segments:
+        per_process: dict[int, list[str]] = {}
+        for record in trace.records[seg.start : seg.stop]:
+            for u, rule in record.selection.items():
+                if rule in sdr_rules:
+                    per_process.setdefault(u, []).append(rule)
+        for u, seq in per_process.items():
+            if not sdr_sequence_in_language(seq):
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Attractors (Definition 6)
+# ----------------------------------------------------------------------
+def attractor_p1(sdr: SDR, cfg: Configuration) -> bool:
+    """``P1``: ``¬P_Up(u)`` everywhere."""
+    return not any(sdr.p_up(cfg, u) for u in sdr.network.processes())
+
+
+def attractor_p2(sdr: SDR, cfg: Configuration) -> bool:
+    """``P2``: ``P1`` and ``¬P_RB(u)`` everywhere."""
+    return attractor_p1(sdr, cfg) and not any(
+        sdr.p_rb(cfg, u) for u in sdr.network.processes()
+    )
+
+
+def attractor_p3(sdr: SDR, cfg: Configuration) -> bool:
+    """``P3``: ``P2`` and no process has status ``RB``."""
+    return attractor_p2(sdr, cfg) and all(
+        cfg[u][ST] != RB for u in sdr.network.processes()
+    )
+
+
+def attractor_p4(sdr: SDR, cfg: Configuration) -> bool:
+    """``P4`` (normal configurations): ``P3`` and no status ``RF``."""
+    return attractor_p3(sdr, cfg) and all(
+        cfg[u][ST] != RF for u in sdr.network.processes()
+    )
+
+
+def attractor_level(sdr: SDR, cfg: Configuration) -> int:
+    """Highest attractor index (0–4) the configuration satisfies."""
+    level = 0
+    for i, pred in enumerate(
+        (attractor_p1, attractor_p2, attractor_p3, attractor_p4), start=1
+    ):
+        if pred(sdr, cfg):
+            level = i
+        else:
+            break
+    return level

@@ -1,0 +1,47 @@
+"""Topology generators and graph properties for experiment workloads."""
+
+from .generators import (
+    TOPOLOGIES,
+    binary_tree,
+    by_name,
+    caterpillar,
+    complete,
+    grid,
+    hypercube,
+    line,
+    lollipop,
+    random_connected,
+    random_regular,
+    random_tree,
+    ring,
+    star,
+    torus,
+)
+from .properties import (
+    cyclomatic_characteristic_exact,
+    cyclomatic_characteristic_upper_bound,
+    longest_chordless_cycle,
+    safe_unison_parameters,
+)
+
+__all__ = [
+    "TOPOLOGIES",
+    "by_name",
+    "ring",
+    "line",
+    "star",
+    "complete",
+    "grid",
+    "torus",
+    "binary_tree",
+    "random_tree",
+    "hypercube",
+    "caterpillar",
+    "lollipop",
+    "random_connected",
+    "random_regular",
+    "longest_chordless_cycle",
+    "cyclomatic_characteristic_upper_bound",
+    "cyclomatic_characteristic_exact",
+    "safe_unison_parameters",
+]

@@ -1,0 +1,193 @@
+"""Named topology generators used across tests, examples, and benchmarks.
+
+Every generator returns a connected :class:`~repro.core.graph.Network`.
+Generators that involve randomness take an explicit ``seed`` so experiment
+sweeps are reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from random import Random
+
+import networkx as nx
+
+from ..core.exceptions import TopologyError
+from ..core.graph import Network
+
+__all__ = [
+    "ring",
+    "line",
+    "star",
+    "complete",
+    "grid",
+    "torus",
+    "binary_tree",
+    "random_tree",
+    "hypercube",
+    "caterpillar",
+    "lollipop",
+    "random_connected",
+    "random_regular",
+    "by_name",
+    "TOPOLOGIES",
+]
+
+
+def ring(n: int) -> Network:
+    """Cycle of ``n ≥ 3`` processes."""
+    if n < 3:
+        raise TopologyError("a ring needs at least 3 processes")
+    return Network(nx.cycle_graph(n))
+
+
+def line(n: int) -> Network:
+    """Path of ``n ≥ 2`` processes."""
+    if n < 2:
+        raise TopologyError("a line needs at least 2 processes")
+    return Network(nx.path_graph(n))
+
+
+def star(n: int) -> Network:
+    """Star with one hub and ``n-1`` leaves (``n ≥ 2``)."""
+    if n < 2:
+        raise TopologyError("a star needs at least 2 processes")
+    return Network(nx.star_graph(n - 1))
+
+
+def complete(n: int) -> Network:
+    """Clique on ``n ≥ 2`` processes."""
+    if n < 2:
+        raise TopologyError("a complete graph needs at least 2 processes")
+    return Network(nx.complete_graph(n))
+
+
+def grid(rows: int, cols: int) -> Network:
+    """2D mesh ``rows × cols`` (both ≥ 1, at least 2 processes total)."""
+    if rows * cols < 2:
+        raise TopologyError("a grid needs at least 2 processes")
+    graph = nx.grid_2d_graph(rows, cols)
+    return Network(nx.convert_node_labels_to_integers(graph, ordering="sorted"))
+
+
+def torus(rows: int, cols: int) -> Network:
+    """2D torus (grid with wraparound); needs ``rows, cols ≥ 3``."""
+    if rows < 3 or cols < 3:
+        raise TopologyError("a torus needs rows, cols >= 3")
+    graph = nx.grid_2d_graph(rows, cols, periodic=True)
+    return Network(nx.convert_node_labels_to_integers(graph, ordering="sorted"))
+
+
+def binary_tree(height: int) -> Network:
+    """Complete binary tree of the given height (``height ≥ 1``)."""
+    if height < 1:
+        raise TopologyError("binary tree height must be >= 1")
+    return Network(nx.balanced_tree(2, height))
+
+
+def random_tree(n: int, seed: int = 0) -> Network:
+    """Uniform random labeled tree on ``n ≥ 2`` nodes."""
+    if n < 2:
+        raise TopologyError("a tree needs at least 2 processes")
+    rng = Random(seed)
+    # Random Prüfer sequence → uniform random labeled tree.
+    if n == 2:
+        return Network([(0, 1)])
+    prufer = [rng.randrange(n) for _ in range(n - 2)]
+    graph = nx.from_prufer_sequence(prufer)
+    return Network(graph)
+
+
+def hypercube(dim: int) -> Network:
+    """Boolean hypercube of dimension ``dim ≥ 1`` (``2**dim`` processes)."""
+    if dim < 1:
+        raise TopologyError("hypercube dimension must be >= 1")
+    graph = nx.hypercube_graph(dim)
+    return Network(nx.convert_node_labels_to_integers(graph, ordering="sorted"))
+
+
+def caterpillar(spine: int, legs: int) -> Network:
+    """Path of ``spine`` nodes, each with ``legs`` pendant leaves."""
+    if spine < 2:
+        raise TopologyError("caterpillar spine must have >= 2 nodes")
+    if legs < 0:
+        raise TopologyError("legs must be >= 0")
+    graph = nx.path_graph(spine)
+    nxt = spine
+    for s in range(spine):
+        for _ in range(legs):
+            graph.add_edge(s, nxt)
+            nxt += 1
+    return Network(graph)
+
+
+def lollipop(clique: int, tail: int) -> Network:
+    """Clique of size ``clique`` glued to a path of ``tail`` nodes."""
+    if clique < 3 or tail < 1:
+        raise TopologyError("lollipop needs clique >= 3 and tail >= 1")
+    return Network(nx.lollipop_graph(clique, tail))
+
+
+def random_connected(n: int, p: float = 0.3, seed: int = 0) -> Network:
+    """Connected Erdős–Rényi-style graph on ``n ≥ 2`` nodes.
+
+    A random spanning tree guarantees connectivity; each remaining pair is
+    added independently with probability ``p``.
+    """
+    if n < 2:
+        raise TopologyError("need at least 2 processes")
+    if not 0.0 <= p <= 1.0:
+        raise TopologyError("edge probability must be in [0, 1]")
+    rng = Random(seed)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(1, n):
+        graph.add_edge(order[i], order[rng.randrange(i)])
+    for u, v in itertools.combinations(range(n), 2):
+        if not graph.has_edge(u, v) and rng.random() < p:
+            graph.add_edge(u, v)
+    return Network(graph)
+
+
+def random_regular(n: int, d: int, seed: int = 0) -> Network:
+    """Connected random ``d``-regular graph (retries seeds until connected)."""
+    if n <= d or (n * d) % 2 != 0:
+        raise TopologyError("need n > d and n*d even for a d-regular graph")
+    for attempt in range(64):
+        graph = nx.random_regular_graph(d, n, seed=seed + attempt)
+        if nx.is_connected(graph):
+            return Network(graph)
+    raise TopologyError(f"could not produce a connected {d}-regular graph on {n} nodes")
+
+
+#: Registry used by the experiment harness: name → builder taking (n, seed).
+TOPOLOGIES = {
+    "ring": lambda n, seed=0: ring(n),
+    "line": lambda n, seed=0: line(n),
+    "star": lambda n, seed=0: star(n),
+    "complete": lambda n, seed=0: complete(n),
+    "grid": lambda n, seed=0: _square_grid(n),
+    "tree": lambda n, seed=0: random_tree(n, seed=seed),
+    "random": lambda n, seed=0: random_connected(n, p=0.25, seed=seed),
+    "sparse": lambda n, seed=0: random_connected(n, p=0.05, seed=seed),
+}
+
+
+def _square_grid(n: int) -> Network:
+    """Nearly square grid with at least ``n`` nodes (rows*cols ≥ n)."""
+    rows = max(1, int(n**0.5))
+    cols = (n + rows - 1) // rows
+    return grid(rows, cols)
+
+
+def by_name(name: str, n: int, seed: int = 0) -> Network:
+    """Look up a topology family by name and build an ``n``-ish instance."""
+    try:
+        builder = TOPOLOGIES[name]
+    except KeyError:
+        raise TopologyError(
+            f"unknown topology {name!r}; choose from {sorted(TOPOLOGIES)}"
+        ) from None
+    return builder(n, seed=seed)

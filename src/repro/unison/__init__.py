@@ -1,0 +1,30 @@
+"""Unison: Algorithm U, its specification, and baseline algorithms."""
+
+from .boulinier import BoulinierUnison, couvreur_parameters, default_parameters
+from .skew import edge_offset, max_edge_skew, phase_spread
+from .spec import (
+    SafetyMonitor,
+    circularly_close,
+    increment_counts,
+    liveness_holds,
+    safety_holds,
+    safety_violations,
+)
+from .unison import CLOCK, Unison
+
+__all__ = [
+    "Unison",
+    "CLOCK",
+    "BoulinierUnison",
+    "default_parameters",
+    "couvreur_parameters",
+    "SafetyMonitor",
+    "circularly_close",
+    "increment_counts",
+    "liveness_holds",
+    "safety_holds",
+    "safety_violations",
+    "edge_offset",
+    "max_edge_skew",
+    "phase_spread",
+]

@@ -1,0 +1,55 @@
+"""Clock-skew analytics for unison executions.
+
+Beyond the binary safety predicate, experiments sometimes want *how far*
+clocks have drifted: the per-edge circular offset and the global phase
+spread (how many distinct "ticks" coexist).  For configurations satisfying
+safety, neighbor offsets are in {−1, 0, +1} and the global spread is at
+most the network diameter + 1.
+"""
+
+from __future__ import annotations
+
+from ..core.configuration import Configuration
+from ..core.graph import Network
+
+__all__ = ["edge_offset", "max_edge_skew", "phase_spread"]
+
+
+def edge_offset(a: int, b: int, period: int) -> int:
+    """Signed circular offset from ``a`` to ``b`` in ``(−K/2, K/2]``."""
+    diff = (b - a) % period
+    if diff > period // 2:
+        diff -= period
+    return diff
+
+
+def max_edge_skew(
+    network: Network, cfg: Configuration, period: int, clock_var: str = "c"
+) -> int:
+    """Largest absolute circular offset across any edge."""
+    worst = 0
+    for u, v in network.edges():
+        offset = edge_offset(cfg[u][clock_var], cfg[v][clock_var], period)
+        worst = max(worst, abs(offset))
+    return worst
+
+
+def phase_spread(
+    network: Network, cfg: Configuration, period: int, clock_var: str = "c"
+) -> int:
+    """Number of increments separating the most- and least-advanced clocks.
+
+    Computed along shortest paths from process 0 by accumulating signed
+    edge offsets (well-defined whenever every edge is safe, since offsets
+    are then in {−1, 0, 1} and consistent around cycles of length < K).
+    """
+    import networkx as nx
+
+    graph = network.to_networkx()
+    level = {0: 0}
+    for u, v in nx.bfs_edges(graph, 0):
+        level[v] = level[u] + edge_offset(
+            cfg[u][clock_var], cfg[v][clock_var], period
+        )
+    values = list(level.values())
+    return max(values) - min(values)

@@ -1,0 +1,220 @@
+"""Unit tests for FGA's macros, predicates, and rules (Algorithm 3)."""
+
+import pytest
+
+from repro.alliance import FGA
+from repro.alliance.fga import resolve_node_function
+from repro.core import AlgorithmError, Configuration, Network
+
+PATH = Network([(0, 1), (1, 2)])  # ids = indices
+
+
+def make(f=1, g=0, net=PATH):
+    return FGA(net, f, g)
+
+
+def cfg_of(*quads):
+    """Build a configuration from (col, scr, canQ, ptr) per process."""
+    return Configuration(
+        [{"col": c, "scr": s, "canQ": q, "ptr": p} for c, s, q, p in quads]
+    )
+
+
+ALL_IN = cfg_of((True, 1, True, None), (True, 1, True, None), (True, 1, True, None))
+
+
+class TestNodeFunctions:
+    def test_constant_sequence_callable(self):
+        net = PATH
+        assert resolve_node_function(2, net) == (2, 2, 2)
+        assert resolve_node_function([0, 1, 2], net) == (0, 1, 2)
+        assert resolve_node_function(lambda u: u * u, net) == (0, 1, 4)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(AlgorithmError):
+            resolve_node_function([1, 2], PATH)
+
+    def test_degree_feasibility_enforced(self):
+        with pytest.raises(AlgorithmError, match="degree"):
+            FGA(PATH, 2, 0)  # endpoints have degree 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(AlgorithmError, match="non-negative"):
+            FGA(PATH, -1, 0)
+
+
+class TestMacros:
+    def test_in_alliance_count(self):
+        fga = make()
+        cfg = cfg_of((True, 1, True, None), (False, 1, True, None), (True, 1, True, None))
+        assert fga.in_alliance_count(cfg, 1) == 2
+        assert fga.in_alliance_count(cfg, 0) == 0
+
+    def test_real_scr_thresholds_for_member(self):
+        fga = make(f=1, g=0)
+        # Member compares #InAll against g=0: any neighbors in -> scr 1.
+        assert fga.real_scr(ALL_IN, 1) == 1
+        hollow = cfg_of((False, 1, True, None), (True, 1, True, None), (False, 1, True, None))
+        assert fga.real_scr(hollow, 1) == 0  # == g? no: #InAll=0 == g=0 -> 0
+
+    def test_real_scr_thresholds_for_non_member(self):
+        fga = make(f=1, g=0)
+        lonely = cfg_of((False, 1, True, None), (False, 1, True, None), (True, 1, True, None))
+        assert fga.real_scr(lonely, 0) == -1  # 0 < f=1
+        assert fga.real_scr(lonely, 1) == 0   # 1 == f
+        mid = cfg_of((True, 1, True, None), (False, 1, True, None), (True, 1, True, None))
+        assert fga.real_scr(mid, 1) == 1      # 2 > f
+
+    def test_real_scr_col_override(self):
+        fga = make(f=1, g=0)
+        # Same counts, but evaluate as if u had left the alliance.
+        assert fga.real_scr(ALL_IN, 1, col=False) == 1  # 2 > f=1
+
+    def test_p_can_quit(self):
+        fga = make(f=1, g=0)
+        assert fga.p_can_quit(ALL_IN, 1)
+        low_scr = cfg_of((True, 0, True, None), (True, 1, True, None), (True, 1, True, None))
+        assert not fga.p_can_quit(low_scr, 1)  # neighbor scr != 1
+        out = cfg_of((True, 1, True, None), (False, 1, True, None), (True, 1, True, None))
+        assert not fga.p_can_quit(out, 1)  # not a member
+
+    def test_p_to_quit_needs_unanimous_pointers(self):
+        fga = make(f=1, g=0)
+        pointed = cfg_of((True, 1, True, 1), (True, 1, True, 1), (True, 1, True, 1))
+        assert fga.p_to_quit(pointed, 1)
+        partial = cfg_of((True, 1, True, 1), (True, 1, True, 1), (True, 1, True, None))
+        assert not fga.p_to_quit(partial, 1)
+
+    def test_best_ptr_smallest_id_wins(self):
+        fga = make(f=1, g=0)
+        assert fga.best_ptr(ALL_IN, 1) == 0  # ids are indices; 0 < 1 < 2
+
+    def test_best_ptr_bottom_when_scr_low(self):
+        fga = make(f=1, g=0)
+        low = cfg_of((True, 1, True, None), (True, 0, True, None), (True, 1, True, None))
+        assert fga.best_ptr(low, 1) is None
+
+    def test_best_ptr_bottom_when_nobody_can_quit(self):
+        fga = make(f=1, g=0)
+        nobody = cfg_of((True, 1, False, None), (True, 1, False, None), (True, 1, False, None))
+        assert fga.best_ptr(nobody, 1) is None
+
+    def test_best_ptr_respects_identifier_order(self):
+        net = Network([(0, 1), (1, 2)], ids={0: 50, 1: 10, 2: 30})
+        fga = FGA(net, 1, 0)
+        assert fga.best_ptr(ALL_IN, 1) == 1  # own id 10 smallest in N[1]
+        assert fga.best_ptr(ALL_IN, 0) == 1  # neighbor with id 10
+
+
+class TestPredicatesForSdr:
+    def test_p_reset(self):
+        fga = make()
+        assert fga.p_reset(ALL_IN, 0)
+        dirty = cfg_of((True, 1, True, 1), (True, 1, True, None), (True, 1, True, None))
+        assert not fga.p_reset(dirty, 0)
+
+    def test_reset_updates_establish_p_reset(self):
+        fga = make()
+        cfg = cfg_of((False, -1, False, 2), (True, 1, True, None), (True, 1, True, None))
+        probe = cfg.copy()
+        for var, val in fga.reset_updates(cfg, 0).items():
+            probe.set(0, var, val)
+        assert fga.p_reset(probe, 0)
+
+    def test_p_icorrect_happy_paths(self):
+        fga = make(f=1, g=0)
+        assert fga.p_icorrect(ALL_IN, 1)  # scr = realScr = 1
+        ptr_ok = cfg_of((False, 1, True, None), (True, 1, True, 0), (True, 1, True, None))
+        # ptr=0, scr=1, col_0 false: third disjunct.
+        assert fga.p_icorrect(ptr_ok, 1)
+
+    def test_p_icorrect_fails_on_negative_real_score(self):
+        fga = make(f=1, g=1)
+        isolated = cfg_of((True, 1, True, None), (False, 1, True, None), (True, 1, True, None))
+        # 1 not in alliance with one member neighbor... member 0 has
+        # #InAll = 0 < g=1: realScr(0) = -1.
+        assert not fga.p_icorrect(isolated, 0)
+
+    def test_p_icorrect_fails_on_stale_pointer_to_member(self):
+        fga = make(f=1, g=0)
+        stale = cfg_of((True, 1, True, None), (True, 1, True, 0), (True, 1, True, None))
+        # ptr_1 = 0 but col_0 still true and scr=1=realScr... disjunct 1 applies
+        assert fga.p_icorrect(stale, 1)
+        worse = cfg_of((True, 1, True, None), (True, 0, True, 0), (True, 1, True, None))
+        # scr=0 != realScr=1, ptr != bottom, col_ptr true: all disjuncts fail.
+        assert not fga.p_icorrect(worse, 1)
+
+
+class TestRules:
+    def test_rule_clr_updates_everything_consistently(self):
+        fga = make(f=1, g=0)
+        pointed = cfg_of((True, 1, True, 1), (True, 1, True, 1), (True, 1, True, 1))
+        assert fga.guard("rule_Clr", pointed, 1)
+        updates = fga.execute("rule_Clr", pointed, 1)
+        assert updates["col"] is False
+        assert updates["scr"] == 1  # two member neighbors > f
+        # canQ must be false now (no longer a member).
+        assert updates["canQ"] is False
+
+    def test_rule_clr_locally_central(self):
+        """Two neighbors can never be simultaneously enabled to quit."""
+        fga = make(f=1, g=0)
+        pointed = cfg_of((True, 1, True, 1), (True, 1, True, 1), (True, 1, True, 1))
+        enabled = [u for u in range(3) if fga.guard("rule_Clr", pointed, u)]
+        assert enabled == [1]
+
+    def test_rule_p1_clears_pointer_first(self):
+        fga = make(f=1, g=0)
+        cfg = cfg_of((True, 1, True, 2), (True, 1, True, None), (False, 0, False, None))
+        # bestPtr(0) is ⊥ or 0... ptr_0=2 stale (canQ_2 false).
+        if fga.guard("rule_P1", cfg, 0):
+            updates = fga.execute("rule_P1", cfg, 0)
+            assert updates["ptr"] is None
+
+    def test_rule_p2_points_after_clearing(self):
+        fga = make(f=1, g=0)
+        cfg = cfg_of((True, 1, True, None), (True, 1, True, None), (True, 1, True, None))
+        assert fga.guard("rule_P2", cfg, 0)
+        updates = fga.execute("rule_P2", cfg, 0)
+        assert updates["ptr"] == 0  # smallest id in N[0] with canQ
+
+    def test_rule_q_refreshes_score(self):
+        fga = make(f=1, g=0)
+        stale = cfg_of((True, 0, True, None), (True, 1, True, None), (True, 1, True, None))
+        # 0: realScr=1 != scr=0, ptr=⊥ so P_updPtr... bestPtr with scr 0 is ⊥ =
+        # ptr: not P_updPtr; rule_Q applies.
+        assert fga.guard("rule_Q", stale, 0)
+        updates = fga.execute("rule_Q", stale, 0)
+        assert updates["scr"] == 1
+
+    def test_rule_q_resets_pointer_on_low_score(self):
+        fga = make(f=1, g=1, net=Network([(0, 1), (1, 2), (0, 2)]))
+        cfg = cfg_of((True, -1, False, 0), (True, 1, True, None), (False, 1, True, None))
+        # realScr(0): member, #InAll = 1 == g -> 0; ensure ptr cleared when <= 0
+        if fga.guard("rule_Q", cfg, 0):
+            updates = fga.execute("rule_Q", cfg, 0)
+            if updates["scr"] <= 0:
+                assert updates["ptr"] is None
+
+
+class TestStates:
+    def test_gamma_init(self):
+        fga = make()
+        state = fga.initial_state(0)
+        assert state == {"col": True, "scr": 1, "canQ": True, "ptr": None}
+
+    def test_random_state_domains(self):
+        from random import Random
+
+        fga = make()
+        rng = Random(0)
+        for _ in range(50):
+            state = fga.random_state(1, rng)
+            assert state["scr"] in (-1, 0, 1)
+            assert state["ptr"] in (None, 0, 1, 2)
+            assert isinstance(state["col"], bool)
+
+    def test_alliance_extraction(self):
+        fga = make()
+        cfg = cfg_of((True, 1, True, None), (False, 1, True, None), (True, 1, True, None))
+        assert fga.alliance(cfg) == {0, 2}

@@ -1,0 +1,134 @@
+"""Integration tests for the silent self-stabilizing composition
+``FGA ∘ SDR`` (Theorems 11–14)."""
+
+from random import Random
+
+import pytest
+
+from repro.alliance import (
+    FGA,
+    dominating_set,
+    instance_by_name,
+    is_fga_stable,
+    is_one_minimal,
+    one_minimality_guaranteed,
+)
+from repro.analysis import bounds
+from repro.core import DistributedRandomDaemon, Simulator, SynchronousDaemon
+from repro.faults import corrupt_processes, hollow_alliance
+from repro.reset import SDR
+from repro.topology import by_name, complete, ring
+
+
+def sdr_init(net, f, g):
+    """γ_init of the composition (clean SDR layer, full alliance)."""
+    return SDR(FGA(net, f, g)).initial_configuration()
+
+
+def run(net, f, g, cfg, seed=0, daemon=None):
+    sdr = SDR(FGA(net, f, g))
+    sim = Simulator(
+        sdr, daemon or DistributedRandomDaemon(0.5),
+        config=cfg if cfg is not None else sdr.random_configuration(Random(seed)),
+        seed=seed,
+    )
+    result = sim.run_to_termination(max_steps=2_000_000)
+    return sdr, sim, result
+
+
+class TestSilentSelfStabilization:
+    @pytest.mark.parametrize("topo", ["ring", "random", "grid"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_terminates_from_arbitrary_configuration(self, topo, seed):
+        """Theorem 12 (silence) + Theorem 11 (terminal = 1-minimal)."""
+        net = by_name(topo, 8, seed=seed)
+        f, g = dominating_set(net)
+        sdr, sim, result = run(net, f, g, cfg=None, seed=seed)
+        assert result.terminal
+        assert is_one_minimal(net, sdr.input.alliance(sim.cfg), f, g)
+
+    def test_terminal_configurations_are_normal(self):
+        net = ring(7)
+        f, g = dominating_set(net)
+        sdr, sim, _ = run(net, f, g, cfg=None, seed=3)
+        assert sdr.is_normal(sim.cfg)
+        assert sim.cfg.variable("st") == ["C"] * net.n
+
+    def test_recovers_from_hollow_alliance(self):
+        """Worst violation: everyone out of the alliance (realScr < 0)."""
+        net = by_name("random", 9, seed=4)
+        f, g = dominating_set(net)
+        sdr = SDR(FGA(net, f, g))
+        cfg = hollow_alliance(sdr)
+        sdr, sim, result = run(net, f, g, cfg=cfg, seed=4)
+        assert is_one_minimal(net, sdr.input.alliance(sim.cfg), f, g)
+
+    def test_recovers_from_small_fault(self):
+        net = ring(8)
+        f, g = dominating_set(net)
+        sdr = SDR(FGA(net, f, g))
+        # Stabilize once, then flip one process's membership bit.
+        sim = Simulator(sdr, DistributedRandomDaemon(0.5),
+                        config=sdr.random_configuration(Random(5)), seed=5)
+        sim.run_to_termination(max_steps=2_000_000)
+        faulty = corrupt_processes(sdr, sim.cfg, [3], Random(5), variables=("col",))
+        sdr2, sim2, _ = run(net, f, g, cfg=faulty, seed=6)
+        assert is_one_minimal(net, sdr2.input.alliance(sim2.cfg), f, g)
+
+
+class TestBounds:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_move_bound_theorem12(self, seed):
+        net = by_name("random", 8, seed=seed)
+        f, g = dominating_set(net)
+        _, _, result = run(net, f, g, cfg=None, seed=seed)
+        assert result.moves <= bounds.fga_sdr_move_bound(net.n, net.m, net.max_degree)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_rounds_bound_theorem14(self, seed):
+        net = ring(8)
+        f, g = dominating_set(net)
+        _, _, result = run(net, f, g, cfg=None, seed=seed)
+        assert result.rounds <= bounds.fga_sdr_rounds_bound(net.n)
+
+    def test_synchronous_daemon_bounds(self):
+        net = ring(9)
+        f, g = dominating_set(net)
+        _, _, result = run(net, f, g, cfg=None, seed=7, daemon=SynchronousDaemon())
+        assert result.rounds <= bounds.fga_sdr_rounds_bound(net.n)
+
+
+class TestInstancesUnderSdr:
+    @pytest.mark.parametrize(
+        "name",
+        ["dominating-set", "2-dominating-set", "2-tuple-dominating-set",
+         "global-offensive", "global-defensive", "global-powerful"],
+    )
+    def test_all_six_instances_stabilize(self, name):
+        net = complete(6)  # dense enough for every instance
+        f, g = instance_by_name(name, net)
+        sdr, sim, result = run(net, f, g, cfg=None, seed=8)
+        assert result.terminal
+        members = sdr.input.alliance(sim.cfg)
+        if one_minimality_guaranteed(f, g):
+            # Theorem 8 applies as stated.
+            assert is_one_minimal(net, members, f, g)
+        else:
+            # Reproduction finding: with f ≤ g somewhere the published
+            # guards only enforce the strict-margin variant.
+            assert is_fga_stable(net, members, f, g)
+
+    def test_reproduction_finding_defensive_gap(self):
+        """With f < g, FGA's terminal alliance can fail strict 1-minimality
+        (removable member with realScr = 0): the documented gap in the
+        paper's Theorem 8 proof for u = m."""
+        from repro.core import Network
+
+        net = Network([(0, 1), (0, 2), (1, 3), (1, 4), (2, 3), (2, 4)])
+        f = (1,) * 5
+        g = (2,) * 5
+        sdr, sim, result = run(net, f, g, cfg=sdr_init(net, f, g), seed=0)
+        members = sdr.input.alliance(sim.cfg)
+        assert members == set(range(5))  # nobody could leave
+        assert not is_one_minimal(net, members, f, g)
+        assert is_fga_stable(net, members, f, g)

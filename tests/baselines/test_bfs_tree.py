@@ -1,0 +1,60 @@
+"""Tests for the BFS spanning tree substrate."""
+
+from random import Random
+
+import pytest
+
+from repro.baselines import BfsTree
+from repro.baselines.bfs_tree import DIST_VAR, PARENT_VAR
+from repro.core import DistributedRandomDaemon, Network, Simulator, SynchronousDaemon
+from repro.topology import by_name, grid, line, ring
+
+
+class TestInitialState:
+    def test_initial_configuration_is_correct_tree(self):
+        net = grid(3, 3)
+        tree = BfsTree(net, root=0)
+        cfg = tree.initial_configuration()
+        assert tree.is_correct_tree(cfg)
+        assert tree.is_terminal(cfg)
+
+    def test_root_state(self):
+        tree = BfsTree(line(4), root=0)
+        assert tree.initial_state(0) == {DIST_VAR: 0, PARENT_VAR: None}
+        assert tree.initial_state(3) == {DIST_VAR: 3, PARENT_VAR: 2}
+
+    def test_invalid_root_rejected(self):
+        with pytest.raises(ValueError):
+            BfsTree(line(4), root=9)
+
+
+class TestSelfStabilization:
+    @pytest.mark.parametrize("topo", ["ring", "random", "grid", "tree"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_converges_from_random_states(self, topo, seed):
+        net = by_name(topo, 9, seed=seed)
+        tree = BfsTree(net, root=0)
+        sim = Simulator(
+            tree, DistributedRandomDaemon(0.5),
+            config=tree.random_configuration(Random(seed)), seed=seed,
+        )
+        result = sim.run_to_termination(max_steps=500_000)
+        assert tree.is_correct_tree(sim.cfg)
+
+    def test_fake_small_distances_get_corrected(self):
+        """A corrupted dist=0 at a non-root rises back (bounded domain)."""
+        net = line(5)
+        tree = BfsTree(net, root=0)
+        cfg = tree.initial_configuration()
+        cfg.set(4, DIST_VAR, 0)
+        sim = Simulator(tree, SynchronousDaemon(), config=cfg, seed=0)
+        sim.run_to_termination(max_steps=10_000)
+        assert tree.is_correct_tree(sim.cfg)
+        assert sim.cfg[4][DIST_VAR] == 4
+
+    def test_children_view(self):
+        net = line(4)
+        tree = BfsTree(net, root=0)
+        cfg = tree.initial_configuration()
+        assert tree.children(cfg, 0) == [1]
+        assert tree.children(cfg, 3) == []

@@ -1,0 +1,97 @@
+"""Tests for the silent self-stabilizing max-id leader election."""
+
+from random import Random
+
+import networkx as nx
+import pytest
+
+from repro.baselines import LDIST, LID, LeaderElection
+from repro.core import (
+    Configuration,
+    DistributedRandomDaemon,
+    Network,
+    Simulator,
+    SynchronousDaemon,
+)
+from repro.topology import by_name, line, ring
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("topo", ["ring", "random", "tree", "star"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_elects_true_leader_from_random_states(self, topo, seed):
+        net = by_name(topo, 9, seed=seed)
+        algo = LeaderElection(net)
+        sim = Simulator(
+            algo, DistributedRandomDaemon(0.5),
+            config=algo.random_configuration(Random(seed)), seed=seed,
+        )
+        result = sim.run_to_termination(max_steps=500_000)
+        assert algo.elected(sim.cfg)
+        assert result.terminal
+
+    def test_initial_configuration_converges(self):
+        net = ring(8)
+        algo = LeaderElection(net)
+        sim = Simulator(algo, SynchronousDaemon(), seed=0)
+        sim.run_to_termination(max_steps=10_000)
+        assert algo.elected(sim.cfg)
+
+    def test_nontrivial_ids(self):
+        net = Network([(0, 1), (1, 2), (2, 3)], ids={0: 5, 1: 99, 2: 7, 3: 12})
+        algo = LeaderElection(net)
+        assert algo.true_leader == 1
+        sim = Simulator(algo, SynchronousDaemon(), seed=0)
+        sim.run_to_termination(max_steps=10_000)
+        assert all(sim.cfg[u][LID] == 99 for u in net.processes())
+        assert sim.cfg.variable(LDIST) == [1, 0, 1, 2]
+
+
+class TestFakeLeaderElimination:
+    def test_fake_id_larger_than_all_real_ids_dies(self):
+        """A corrupted lid with no living source must be flushed out by the
+        distance cap."""
+        net = line(5)  # ids 0..4, true leader 4
+        algo = LeaderElection(net)
+        cfg = Configuration(
+            [{"lid": 1000, "ldist": 0} if u == 0 else {"lid": u, "ldist": 0}
+             for u in range(5)]
+        )
+        sim = Simulator(algo, SynchronousDaemon(), config=cfg, seed=0)
+        sim.run_to_termination(max_steps=50_000)
+        assert algo.elected(sim.cfg)
+        assert all(sim.cfg[u][LID] == 4 for u in range(5))
+
+    def test_everyone_believes_the_fake(self):
+        net = ring(6)
+        algo = LeaderElection(net)
+        cfg = Configuration([{"lid": 777, "ldist": 2} for _ in range(6)])
+        sim = Simulator(algo, DistributedRandomDaemon(0.6), config=cfg, seed=3)
+        sim.run_to_termination(max_steps=100_000)
+        assert algo.elected(sim.cfg)
+
+
+class TestSpanningTree:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_converged_election_induces_a_spanning_tree(self, seed):
+        net = by_name("random", 10, seed=seed)
+        algo = LeaderElection(net)
+        sim = Simulator(
+            algo, DistributedRandomDaemon(0.5),
+            config=algo.random_configuration(Random(seed)), seed=seed,
+        )
+        sim.run_to_termination(max_steps=500_000)
+        edges = algo.spanning_tree_edges(sim.cfg)
+        assert len(edges) == net.n - 1
+        tree = nx.Graph(edges)
+        tree.add_nodes_from(net.processes())
+        assert nx.is_connected(tree)
+        assert algo.parent_of(sim.cfg, algo.true_leader) is None
+
+    def test_parents_point_toward_leader(self):
+        net = line(5)
+        algo = LeaderElection(net)
+        sim = Simulator(algo, SynchronousDaemon(), seed=0)
+        sim.run_to_termination(max_steps=10_000)
+        for u in range(4):
+            assert algo.parent_of(sim.cfg, u) == u + 1

@@ -1,0 +1,69 @@
+"""Unit tests for the :class:`~repro.core.algorithm.Algorithm` base class."""
+
+from random import Random
+
+import pytest
+
+from repro.core import AlgorithmError, Network
+from tests.toys import Countdown, MaxFlood
+
+
+@pytest.fixture
+def net():
+    return Network([(0, 1), (1, 2), (2, 3)])
+
+
+class TestDeclaration:
+    def test_variables_and_rules(self, net):
+        algo = MaxFlood(net)
+        assert algo.variables() == ("x",)
+        assert algo.rule_names() == ("rule_max",)
+
+    def test_check_rule_rejects_unknown(self, net):
+        with pytest.raises(AlgorithmError, match="unknown rule"):
+            MaxFlood(net).check_rule("rule_nope")
+
+    def test_validate_state(self, net):
+        algo = MaxFlood(net)
+        algo.validate_state({"x": 1}, 0)
+        with pytest.raises(AlgorithmError):
+            algo.validate_state({"y": 1}, 0)
+        with pytest.raises(AlgorithmError):
+            algo.validate_state({"x": 1, "extra": 2}, 0)
+
+
+class TestConfigurations:
+    def test_initial_configuration(self, net):
+        cfg = MaxFlood(net).initial_configuration()
+        assert cfg.variable("x") == [0, 1, 2, 3]
+
+    def test_random_configuration_seeded(self, net):
+        algo = MaxFlood(net)
+        a = algo.random_configuration(Random(7))
+        b = algo.random_configuration(Random(7))
+        assert a == b
+
+
+class TestDerivedQueries:
+    def test_enabled_rules_and_processes(self, net):
+        algo = MaxFlood(net)
+        cfg = algo.initial_configuration()
+        # Process 3 holds the max; everyone with a larger neighbor is enabled.
+        assert algo.enabled_rules(cfg, 0) == ("rule_max",)
+        assert algo.enabled_rules(cfg, 3) == ()
+        assert algo.enabled_processes(cfg) == [0, 1, 2]
+
+    def test_is_terminal(self, net):
+        algo = MaxFlood(net)
+        from repro.core import Configuration
+
+        flat = Configuration([{"x": 5} for _ in range(4)])
+        assert algo.is_terminal(flat)
+        assert not algo.is_terminal(algo.initial_configuration())
+
+    def test_countdown_enabled_until_zero(self, net):
+        algo = Countdown(net, start=1)
+        cfg = algo.initial_configuration()
+        assert algo.enabled_processes(cfg) == [0, 1, 2, 3]
+        cfg.apply({u: {"k": 0} for u in range(4)})
+        assert algo.is_terminal(cfg)

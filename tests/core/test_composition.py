@@ -1,0 +1,74 @@
+"""Unit tests for generic algorithm composition."""
+
+import pytest
+
+from repro.core import AlgorithmError, Composition, Network, Simulator, SynchronousDaemon
+from tests.toys import Countdown, MaxFlood
+
+NET = Network([(0, 1), (1, 2)])
+
+
+class TestConstruction:
+    def test_merges_variables_and_rules(self):
+        comp = Composition([MaxFlood(NET), Countdown(NET)])
+        assert set(comp.variables()) == {"x", "k"}
+        assert comp.rule_names() == ("max-flood:rule_max", "countdown:rule_dec")
+
+    def test_name_follows_paper_order(self):
+        comp = Composition([MaxFlood(NET), Countdown(NET)])
+        # A ∘ B lists the later layer first: B's rules run "under" A.
+        assert comp.name == "countdown o max-flood"
+
+    def test_custom_name(self):
+        comp = Composition([MaxFlood(NET)], name="solo")
+        assert comp.name == "solo"
+
+    def test_variable_collision_rejected(self):
+        class OtherFlood(MaxFlood):
+            name = "other-flood"
+
+        with pytest.raises(AlgorithmError, match="declared by both"):
+            Composition([MaxFlood(NET), OtherFlood(NET)])
+
+    def test_duplicate_component_names_rejected(self):
+        a, b = Countdown(NET), Countdown(NET)
+        with pytest.raises(AlgorithmError):
+            Composition([a, b])
+
+    def test_different_networks_rejected(self):
+        other = Network([(0, 1)])
+        with pytest.raises(AlgorithmError, match="share one network"):
+            Composition([MaxFlood(NET), Countdown(other)])
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(AlgorithmError):
+            Composition([])
+
+
+class TestSemantics:
+    def test_guard_and_execute_dispatch(self):
+        comp = Composition([MaxFlood(NET), Countdown(NET, start=1)])
+        cfg = comp.initial_configuration()
+        assert comp.guard("countdown:rule_dec", cfg, 0)
+        assert comp.execute("countdown:rule_dec", cfg, 0) == {"k": 0}
+        assert comp.guard("max-flood:rule_max", cfg, 0)
+        assert comp.execute("max-flood:rule_max", cfg, 0) == {"x": 1}
+
+    def test_initial_state_merged(self):
+        comp = Composition([MaxFlood(NET), Countdown(NET, start=2)])
+        assert comp.initial_state(1) == {"x": 1, "k": 2}
+
+    def test_component_lookup(self):
+        flood = MaxFlood(NET)
+        comp = Composition([flood, Countdown(NET)])
+        assert comp.component("max-flood") is flood
+        with pytest.raises(AlgorithmError):
+            comp.component("missing")
+
+    def test_composed_execution_terminates(self):
+        comp = Composition([MaxFlood(NET), Countdown(NET, start=2)])
+        sim = Simulator(comp, SynchronousDaemon(), seed=0)
+        result = sim.run_to_termination(max_steps=100)
+        assert sim.cfg.variable("x") == [2, 2, 2]
+        assert sim.cfg.variable("k") == [0, 0, 0]
+        assert result.moves > 0

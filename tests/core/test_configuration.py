@@ -1,0 +1,86 @@
+"""Unit tests for :mod:`repro.core.configuration`."""
+
+import pytest
+
+from repro.core import Configuration
+from repro.core.configuration import freeze_state, state_equal
+
+
+@pytest.fixture
+def cfg():
+    return Configuration([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}, {"a": 3, "b": "z"}])
+
+
+class TestAccess:
+    def test_getitem_returns_state_dict(self, cfg):
+        assert cfg[1] == {"a": 2, "b": "y"}
+
+    def test_len_and_iter(self, cfg):
+        assert len(cfg) == 3
+        assert [s["a"] for s in cfg] == [1, 2, 3]
+
+    def test_get(self, cfg):
+        assert cfg.get(2, "b") == "z"
+
+    def test_variable_vector(self, cfg):
+        assert cfg.variable("a") == [1, 2, 3]
+
+    def test_build(self):
+        cfg = Configuration.build(3, lambda u: {"v": u * u})
+        assert cfg.variable("v") == [0, 1, 4]
+
+
+class TestMutation:
+    def test_apply_updates_selected_processes(self, cfg):
+        cfg.apply({0: {"a": 10}, 2: {"b": "w"}})
+        assert cfg[0] == {"a": 10, "b": "x"}
+        assert cfg[1] == {"a": 2, "b": "y"}
+        assert cfg[2] == {"a": 3, "b": "w"}
+
+    def test_apply_is_atomic_with_respect_to_reads(self, cfg):
+        # Updates computed from the frozen pre-state, then applied together.
+        updates = {u: {"a": cfg[(u + 1) % 3]["a"]} for u in range(3)}
+        cfg.apply(updates)
+        assert cfg.variable("a") == [2, 3, 1]
+
+    def test_set_single_variable(self, cfg):
+        cfg.set(1, "a", 99)
+        assert cfg[1]["a"] == 99
+
+
+class TestSnapshots:
+    def test_copy_is_independent(self, cfg):
+        clone = cfg.copy()
+        clone.set(0, "a", 42)
+        assert cfg[0]["a"] == 1
+
+    def test_snapshot_is_hashable_and_stable(self, cfg):
+        snap = cfg.snapshot()
+        hash(snap)
+        assert snap == cfg.copy().snapshot()
+
+    def test_restrict_projects_variables(self, cfg):
+        proj = cfg.restrict(["a"])
+        assert proj[0] == {"a": 1}
+        assert "b" not in proj[0]
+
+    def test_equality(self, cfg):
+        assert cfg == cfg.copy()
+        other = cfg.copy()
+        other.set(0, "a", 0)
+        assert cfg != other
+
+    def test_repr_small_and_large(self):
+        small = Configuration([{"a": 1}])
+        assert "a" in repr(small)
+        big = Configuration([{"a": i} for i in range(20)])
+        assert "20 processes" in repr(big)
+
+
+class TestHelpers:
+    def test_freeze_state_sorted(self):
+        assert freeze_state({"b": 2, "a": 1}) == (("a", 1), ("b", 2))
+
+    def test_state_equal(self):
+        assert state_equal({"a": 1}, {"a": 1})
+        assert not state_equal({"a": 1}, {"a": 2})

@@ -1,0 +1,72 @@
+"""Unit tests for stabilization detectors."""
+
+import pytest
+
+from repro.core import (
+    Network,
+    NotStabilized,
+    Simulator,
+    StabilizationDetector,
+    SynchronousDaemon,
+    measure_stabilization,
+)
+from tests.toys import Countdown, MaxFlood
+
+PATH = Network([(0, 1), (1, 2)])
+
+
+class TestStabilizationDetector:
+    def test_detects_on_initial_configuration(self):
+        algo = Countdown(PATH, start=0)
+        detector = StabilizationDetector(lambda cfg: True)
+        Simulator(algo, SynchronousDaemon(), seed=0, observers=[detector]).run(max_steps=1)
+        # on_start is wired by measure_stabilization; call manually here.
+        detector.on_start(Simulator(algo, SynchronousDaemon(), seed=0))
+        assert detector.hit
+        assert detector.step == 0
+
+    def test_records_first_hit_counts(self):
+        algo = Countdown(PATH, start=3)
+        predicate = lambda cfg: all(s["k"] <= 1 for s in cfg)
+        sim = Simulator(algo, SynchronousDaemon(), seed=0)
+        detector, result = measure_stabilization(sim, predicate)
+        assert detector.hit
+        assert detector.step == 2
+        assert detector.rounds == 2
+        assert detector.moves == 6
+
+    def test_violations_after_hit_for_closed_predicate(self):
+        algo = Countdown(PATH, start=4)
+        predicate = lambda cfg: all(s["k"] <= 2 for s in cfg)
+        sim = Simulator(algo, SynchronousDaemon(), seed=0)
+        detector, _ = measure_stabilization(sim, predicate, run_past=10)
+        assert detector.violations_after_hit == 0
+
+    def test_non_closed_predicate_counts_violations(self):
+        algo = Countdown(PATH, start=4)
+        predicate = lambda cfg: cfg[0]["k"] == 2  # holds once, then breaks
+        sim = Simulator(algo, SynchronousDaemon(), seed=0)
+        detector, _ = measure_stabilization(sim, predicate, run_past=10)
+        assert detector.violations_after_hit > 0
+
+    def test_require_hit(self):
+        detector = StabilizationDetector(lambda cfg: False, name="never")
+        with pytest.raises(NotStabilized):
+            detector.require_hit()
+
+    def test_measure_raises_when_budget_exhausted(self):
+        algo = Countdown(PATH, start=100)
+        sim = Simulator(algo, SynchronousDaemon(), seed=0)
+        with pytest.raises(NotStabilized):
+            measure_stabilization(sim, lambda cfg: False, max_steps=5)
+
+    def test_repr(self):
+        detector = StabilizationDetector(lambda cfg: True, name="legit")
+        assert "legit" in repr(detector)
+
+    def test_terminal_predicate(self):
+        algo = MaxFlood(PATH)
+        sim = Simulator(algo, SynchronousDaemon(), seed=0)
+        detector, result = measure_stabilization(sim, algo.is_terminal)
+        assert detector.hit
+        assert sim.is_terminal()

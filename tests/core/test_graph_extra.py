@@ -1,0 +1,40 @@
+"""Additional Network coverage: constructors and interop paths."""
+
+import networkx as nx
+import pytest
+
+from repro.core import Network
+
+
+class TestFromNetworkx:
+    def test_classmethod_constructor(self):
+        net = Network.from_networkx(nx.cycle_graph(5))
+        assert net.n == 5
+
+    def test_with_ids_via_classmethod(self):
+        net = Network.from_networkx(nx.path_graph(3), ids={0: 9, 1: 4, 2: 6})
+        assert net.ids == (9, 4, 6)
+
+    def test_string_node_graph_roundtrip(self):
+        graph = nx.Graph([("x", "y"), ("y", "z")])
+        net = Network.from_networkx(graph)
+        dense = net.to_networkx()
+        assert sorted(dense.nodes()) == [0, 1, 2]
+        assert dense.number_of_edges() == 2
+
+    def test_source_graph_mutation_does_not_leak(self):
+        graph = nx.path_graph(4)
+        net = Network(graph)
+        graph.add_edge(0, 3)
+        assert net.m == 3  # frozen at construction
+
+
+class TestDiameterCaching:
+    def test_diameter_is_stable(self):
+        net = Network(nx.path_graph(6))
+        assert net.diameter == 5
+        assert net.diameter == 5  # cached path
+
+    def test_edges_iteration_matches_m(self):
+        net = Network(nx.complete_graph(5))
+        assert len(list(net.edges())) == net.m

@@ -1,0 +1,68 @@
+"""Unit tests for the neutralization-based round counter."""
+
+import pytest
+
+from repro.core import RoundCounter
+
+
+class TestRoundCounter:
+    def test_requires_start(self):
+        counter = RoundCounter()
+        with pytest.raises(RuntimeError):
+            counter.observe_step([0], [0], [])
+
+    def test_single_process_single_round(self):
+        counter = RoundCounter()
+        counter.start([0])
+        done = counter.observe_step(activated=[0], enabled_before=[0], enabled_after=[])
+        assert done == 1
+        assert counter.completed == 1
+
+    def test_round_waits_for_all_enabled(self):
+        counter = RoundCounter()
+        counter.start([0, 1])
+        assert counter.observe_step([0], [0, 1], [0, 1]) == 0
+        assert counter.completed == 0
+        assert counter.observe_step([1], [0, 1], [0, 1]) == 1
+        assert counter.completed == 1
+
+    def test_neutralization_resolves_pending(self):
+        counter = RoundCounter()
+        counter.start([0, 1])
+        # Process 1 is neutralized: enabled before, disabled after, not activated.
+        assert counter.observe_step([0], [0, 1], [0]) == 1
+
+    def test_new_round_pending_is_enabled_after(self):
+        counter = RoundCounter()
+        counter.start([0])
+        counter.observe_step([0], [0], [1, 2])
+        assert counter.pending == frozenset({1, 2})
+
+    def test_disable_then_reenable_still_counts_first_disable(self):
+        counter = RoundCounter()
+        counter.start([0, 1])
+        # 1 gets neutralized in step 0 even though it re-enables later.
+        assert counter.observe_step([0], [0, 1], [0]) == 1
+        # New round starts with pending {0}.
+        assert counter.pending == frozenset({0})
+
+    def test_terminal_start(self):
+        counter = RoundCounter()
+        counter.start([])
+        assert counter.observe_step([], [], []) == 0
+        assert counter.completed == 0
+
+    def test_activation_of_unpending_process_does_not_close_round(self):
+        counter = RoundCounter()
+        counter.start([0])
+        # Process 5 (enabled later, not pending) moving doesn't affect round 1.
+        assert counter.observe_step([5], [0, 5], [0, 5]) == 0
+        assert counter.pending == frozenset({0})
+
+    def test_multiple_rounds_sequence(self):
+        counter = RoundCounter()
+        counter.start([0, 1])
+        counter.observe_step([0, 1], [0, 1], [0, 1])  # round 1 done
+        counter.observe_step([0], [0, 1], [0, 1])     # round 2 partial
+        counter.observe_step([1], [0, 1], [])         # round 2 done
+        assert counter.completed == 2

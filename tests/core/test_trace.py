@@ -1,0 +1,69 @@
+"""Unit tests for :mod:`repro.core.trace`."""
+
+import pytest
+
+from repro.core import Network, ScriptedDaemon, Simulator, Trace
+from repro.core.trace import StepRecord
+from tests.toys import Countdown
+
+PAIR = Network([(0, 1)])
+
+
+def make_trace():
+    algo = Countdown(PAIR, start=2)
+    trace = Trace(record_configurations=True)
+    sim = Simulator(
+        algo, ScriptedDaemon([[0], [1], [0, 1]]), seed=0, trace=trace
+    )
+    sim.run_to_termination(max_steps=10)
+    return trace
+
+
+class TestStepRecord:
+    def test_moves_and_executed(self):
+        record = StepRecord(0, {1: "r", 3: "r"}, (1, 3), (), 1)
+        assert record.moves == 2
+        assert record.executed(1)
+        assert not record.executed(0)
+
+
+class TestTrace:
+    def test_records_and_lengths(self):
+        trace = make_trace()
+        assert len(trace) == 3
+        assert [r.moves for r in trace] == [1, 1, 2]
+
+    def test_moves_of_and_rules_of(self):
+        trace = make_trace()
+        assert trace.moves_of(0) == 2
+        assert trace.moves_of(1) == 2
+        assert trace.rules_of(0) == ["rule_dec", "rule_dec"]
+
+    def test_steps_with_rule(self):
+        trace = make_trace()
+        assert trace.steps_with_rule("rule_dec") == [0, 1, 2]
+        assert trace.steps_with_rule("rule_other") == []
+
+    def test_configuration_snapshots(self):
+        trace = make_trace()
+        assert trace.configuration(0).variable("k") == [2, 2]
+        assert trace.configuration(3).variable("k") == [0, 0]
+
+    def test_pairs_iteration(self):
+        trace = make_trace()
+        triples = list(trace.pairs())
+        assert len(triples) == 3
+        pre, record, post = triples[0]
+        assert pre.variable("k") == [2, 2]
+        assert post.variable("k") == [1, 2]
+        assert record.selection == {0: "rule_dec"}
+
+    def test_without_snapshots_raises(self):
+        trace = Trace(record_configurations=False)
+        algo = Countdown(PAIR, start=1)
+        sim = Simulator(algo, ScriptedDaemon([[0, 1]]), seed=0, trace=trace)
+        sim.run_to_termination(max_steps=5)
+        with pytest.raises(ValueError):
+            trace.configuration(0)
+        with pytest.raises(ValueError):
+            list(trace.pairs())

@@ -1,0 +1,91 @@
+"""Tests for transient-fault injection."""
+
+from random import Random
+
+import pytest
+
+from repro.faults import FaultPlan, corrupt_processes, corrupt_variables
+from repro.reset import SDR
+from repro.topology import ring
+from repro.unison import Unison
+
+NET = ring(8)
+
+
+def make_sdr():
+    return SDR(Unison(NET))
+
+
+class TestCorruptProcesses:
+    def test_only_targets_change(self):
+        sdr = make_sdr()
+        cfg = sdr.initial_configuration()
+        out = corrupt_processes(sdr, cfg, [2, 5], Random(0))
+        for u in NET.processes():
+            if u in (2, 5):
+                continue
+            assert out[u] == cfg[u]
+
+    def test_original_configuration_untouched(self):
+        sdr = make_sdr()
+        cfg = sdr.initial_configuration()
+        corrupt_processes(sdr, cfg, [0], Random(0))
+        assert cfg[0] == sdr.initial_state(0)
+
+    def test_variable_restriction(self):
+        sdr = make_sdr()
+        cfg = sdr.initial_configuration()
+        out = corrupt_processes(sdr, cfg, list(NET.processes()), Random(1), variables=("c",))
+        for u in NET.processes():
+            assert out[u]["st"] == "C"
+            assert out[u]["d"] == 0
+
+    def test_values_stay_in_domain(self):
+        sdr = make_sdr()
+        cfg = sdr.initial_configuration()
+        out = corrupt_processes(sdr, cfg, list(NET.processes()), Random(2))
+        for u in NET.processes():
+            assert out[u]["st"] in ("C", "RB", "RF")
+            assert 0 <= out[u]["c"] < sdr.input.period
+            assert 0 <= out[u]["d"] <= 2 * NET.n
+
+    def test_corrupt_variables_explicit(self):
+        sdr = make_sdr()
+        cfg = sdr.initial_configuration()
+        out = corrupt_variables(sdr, cfg, [(3, "c")], Random(3))
+        assert out[3]["st"] == "C"
+
+
+class TestFaultPlan:
+    def test_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            FaultPlan(0)
+
+    def test_picks_k_distinct_victims(self):
+        plan = FaultPlan(4)
+        sdr = make_sdr()
+        victims = plan.pick_victims(sdr, Random(0))
+        assert len(victims) == len(set(victims)) == 4
+
+    def test_clustered_victims_form_connected_region(self):
+        import networkx as nx
+
+        plan = FaultPlan(4, clustered=True)
+        sdr = make_sdr()
+        for seed in range(5):
+            victims = plan.pick_victims(sdr, Random(seed))
+            sub = sdr.network.to_networkx().subgraph(victims)
+            assert nx.is_connected(sub)
+
+    def test_k_capped_at_n(self):
+        plan = FaultPlan(100)
+        sdr = make_sdr()
+        assert len(plan.pick_victims(sdr, Random(1))) == NET.n
+
+    def test_apply_returns_corrupted_copy_and_victims(self):
+        plan = FaultPlan(2, variables=("c",))
+        sdr = make_sdr()
+        cfg = sdr.initial_configuration()
+        out, victims = plan.apply(sdr, cfg, Random(4))
+        assert len(victims) == 2
+        assert all(out[u]["st"] == "C" for u in NET.processes())

@@ -1,0 +1,53 @@
+"""Tests for adversarial initial-configuration builders."""
+
+from random import Random
+
+from repro.alliance import FGA, dominating_set
+from repro.faults import clock_gradient, clock_split, fake_reset_wave, hollow_alliance
+from repro.reset import SDR
+from repro.topology import ring
+from repro.unison import Unison
+
+NET = ring(8)
+
+
+class TestClockScenarios:
+    def test_gradient_spreads_clocks(self):
+        sdr = SDR(Unison(NET))
+        cfg = clock_gradient(sdr)
+        values = set(cfg.variable("c"))
+        assert len(values) > 2
+        assert all(cfg[u]["st"] == "C" for u in NET.processes())
+
+    def test_split_has_two_camps(self):
+        sdr = SDR(Unison(NET))
+        cfg = clock_split(sdr)
+        assert set(cfg.variable("c")) == {0, sdr.input.period // 2}
+
+    def test_gradient_is_not_normal(self):
+        sdr = SDR(Unison(NET))
+        cfg = clock_gradient(sdr)
+        assert not sdr.is_normal(cfg)
+
+
+class TestFakeResetWave:
+    def test_wave_covers_requested_fraction(self):
+        sdr = SDR(Unison(NET))
+        cfg = fake_reset_wave(sdr, Random(0), fraction=0.5)
+        touched = [u for u in NET.processes() if cfg[u]["st"] != "C"]
+        assert len(touched) == 4
+
+    def test_wave_distances_mimic_bfs(self):
+        sdr = SDR(Unison(NET))
+        cfg = fake_reset_wave(sdr, Random(1), fraction=0.5)
+        touched = {u: cfg[u]["d"] for u in NET.processes() if cfg[u]["st"] != "C"}
+        assert min(touched.values()) == 0
+
+
+class TestHollowAlliance:
+    def test_everyone_out(self):
+        f, g = dominating_set(NET)
+        sdr = SDR(FGA(NET, f, g))
+        cfg = hollow_alliance(sdr)
+        assert not any(cfg.variable("col"))
+        assert not sdr.is_normal(cfg)

@@ -1,0 +1,38 @@
+"""Tests for the ``python -m repro.harness`` command-line entry point."""
+
+import pytest
+
+from repro.harness import __main__ as cli
+from repro.harness import experiments
+from repro.harness.experiments import ExperimentResult
+from repro.harness.tables import Table
+
+
+def _fake_result(ok: bool) -> ExperimentResult:
+    table = Table("fake", ["x"])
+    table.add_row(1)
+    return ExperimentResult("FAKE", "fake claim", table, ok)
+
+
+class TestCli:
+    def test_no_args_lists_experiments(self, capsys):
+        assert cli.main([]) == 0
+        out = capsys.readouterr().out
+        for key in experiments.REGISTRY:
+            assert key in out
+
+    def test_unknown_experiment_is_an_error(self, capsys):
+        assert cli.main(["NOPE"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_passing_experiment_returns_zero(self, capsys, monkeypatch):
+        monkeypatch.setitem(cli.REGISTRY, "FAKE-PASS", lambda: _fake_result(True))
+        assert cli.main(["FAKE-PASS"]) == 0
+        out = capsys.readouterr().out
+        assert "RESULT: PASS" in out
+        assert "All selected experiments PASSED" in out
+
+    def test_failing_experiment_returns_one(self, capsys, monkeypatch):
+        monkeypatch.setitem(cli.REGISTRY, "FAKE-FAIL", lambda: _fake_result(False))
+        assert cli.main(["FAKE-FAIL"]) == 1
+        assert "FAILED experiments: FAKE-FAIL" in capsys.readouterr().out

@@ -1,0 +1,69 @@
+"""Tests for the harness table and figure renderers."""
+
+import pytest
+
+from repro.harness import Figure, Table
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("demo", ["name", "value"])
+        table.add_row("alpha", 1)
+        table.add_row("b", 123456)
+        out = table.render()
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[2] and "value" in lines[2]
+        assert all(len(line) == len(lines[2]) for line in lines[2:])
+
+    def test_formatting_of_cell_types(self):
+        table = Table("t", ["a", "b", "c"])
+        table.add_row(True, 1.234, "x")
+        rendered = table.render()
+        assert "yes" in rendered
+        assert "1.23" in rendered
+
+    def test_wrong_arity_rejected(self):
+        table = Table("t", ["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_extend(self):
+        table = Table("t", ["a", "b"])
+        table.extend([(1, 2), (3, 4)])
+        assert len(table.rows) == 2
+
+    def test_str_is_render(self):
+        table = Table("t", ["a"])
+        table.add_row(7)
+        assert str(table) == table.render()
+
+
+class TestFigure:
+    def test_empty_figure(self):
+        fig = Figure("empty")
+        assert "empty figure" in fig.render()
+
+    def test_plot_contains_markers_and_legend(self):
+        fig = Figure("f", "x", "y")
+        fig.add("s1", [(1, 1), (2, 2)])
+        fig.add_point("s2", 3, 1)
+        out = fig.render(width=20, height=6)
+        assert "legend:" in out
+        assert "s1" in out and "s2" in out
+        assert "o" in out and "x" in out
+
+    def test_loglog_flag_shown(self):
+        fig = Figure("f", loglog=True)
+        fig.add("s", [(1, 1), (10, 100)])
+        assert "(log-log)" in fig.render()
+
+    def test_to_rows_sorted(self):
+        fig = Figure("f")
+        fig.add("s", [(2, 20), (1, 10)])
+        assert fig.to_rows() == [("s", 1.0, 10.0), ("s", 2.0, 20.0)]
+
+    def test_single_point_does_not_crash(self):
+        fig = Figure("f")
+        fig.add_point("s", 5, 5)
+        fig.render()

@@ -1,0 +1,77 @@
+"""Integration of the Arora–Gouda-style substrate stack:
+leader election → rooted tree → mono-initiator reset hosting unison."""
+
+from random import Random
+
+import pytest
+
+from repro.baselines import BfsTree, LeaderElection, MonoReset
+from repro.core import (
+    Composition,
+    DistributedRandomDaemon,
+    Simulator,
+    measure_stabilization,
+)
+from repro.faults import corrupt_processes
+from repro.topology import by_name
+from repro.unison import Unison, safety_holds
+
+
+class TestFullStack:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_elect_then_reset_pipeline(self, seed):
+        """Phase 1: elect a root from arbitrary election states.
+        Phase 2: run the mono-initiator reset rooted at the elected leader
+        and recover the hosted unison from corrupted clocks."""
+        net = by_name("random", 10, seed=seed)
+
+        election = LeaderElection(net)
+        sim = Simulator(
+            election, DistributedRandomDaemon(0.5),
+            config=election.random_configuration(Random(seed)), seed=seed,
+        )
+        sim.run_to_termination(max_steps=500_000)
+        assert election.elected(sim.cfg)
+        root = election.true_leader
+
+        mono = MonoReset(Unison(net), root=root)
+        cfg = corrupt_processes(
+            mono, mono.initial_configuration(), [1, 4], Random(seed),
+            variables=("c",),
+        )
+        sim2 = Simulator(mono, DistributedRandomDaemon(0.5), config=cfg, seed=seed)
+        detector, _ = measure_stabilization(sim2, mono.is_normal, max_steps=500_000)
+        assert detector.hit
+        sim2.run(max_steps=100)
+        assert safety_holds(net, sim2.cfg, mono.input.period)
+
+    def test_generic_composition_of_independent_layers(self):
+        """Leader election and a BFS tree run side by side under the generic
+        composition operator without interfering."""
+        net = by_name("random", 9, seed=3)
+        election = LeaderElection(net)
+        tree = BfsTree(net, root=0)
+        comp = Composition([election, tree])
+        cfg = comp.random_configuration(Random(3))
+        sim = Simulator(comp, DistributedRandomDaemon(0.5), config=cfg, seed=3)
+        sim.run_to_termination(max_steps=500_000)
+        assert election.elected(sim.cfg)
+        assert tree.is_correct_tree(sim.cfg)
+
+    def test_election_tree_matches_bfs_distances(self):
+        """The election's induced spanning tree has BFS distances to the
+        leader — the same substrate quality BfsTree provides for a fixed
+        root."""
+        import networkx as nx
+
+        net = by_name("random", 10, seed=4)
+        election = LeaderElection(net)
+        sim = Simulator(
+            election, DistributedRandomDaemon(0.5),
+            config=election.random_configuration(Random(4)), seed=4,
+        )
+        sim.run_to_termination(max_steps=500_000)
+        graph = net.to_networkx()
+        true = nx.single_source_shortest_path_length(graph, election.true_leader)
+        for u in net.processes():
+            assert sim.cfg[u]["ldist"] == true[u]

@@ -1,0 +1,80 @@
+"""Property-based tests for the baseline algorithms."""
+
+from random import Random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.alliance import TurauMIS, is_minimal_dominating_set
+from repro.baselines import BfsTree
+from repro.core import DistributedRandomDaemon, Simulator, measure_stabilization
+from repro.topology import random_connected
+from repro.unison import BoulinierUnison
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def networks(draw):
+    n = draw(st.integers(min_value=3, max_value=9))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_connected(n, p=0.35, seed=seed)
+
+
+class TestBoulinierProperties:
+    @given(networks(), st.integers(min_value=-6, max_value=30),
+           st.integers(min_value=-6, max_value=30))
+    @SETTINGS
+    def test_comparability_is_symmetric_and_reflexive(self, net, a, b):
+        algo = BoulinierUnison(net, period=31, alpha=6)
+        assert algo.comparable(a, a)
+        assert algo.comparable(a, b) == algo.comparable(b, a)
+
+    @given(networks(), st.integers(min_value=0, max_value=10_000))
+    @SETTINGS
+    def test_converges_and_legitimacy_is_closed(self, net, seed):
+        algo = BoulinierUnison(net)
+        cfg = algo.random_configuration(Random(seed))
+        sim = Simulator(algo, DistributedRandomDaemon(0.5), config=cfg, seed=seed)
+        measure_stabilization(sim, algo.is_legitimate, max_steps=1_000_000)
+        for _ in range(25):
+            if sim.step() is None:
+                break
+            assert algo.is_legitimate(sim.cfg)
+
+    @given(networks(), st.integers(min_value=0, max_value=10_000))
+    @SETTINGS
+    def test_exactly_one_rule_enabled_per_process(self, net, seed):
+        algo = BoulinierUnison(net)
+        cfg = algo.random_configuration(Random(seed))
+        for u in net.processes():
+            assert len(algo.enabled_rules(cfg, u)) <= 1
+
+
+class TestTurauProperties:
+    @given(networks(), st.integers(min_value=0, max_value=10_000))
+    @SETTINGS
+    def test_always_terminates_on_minimal_dominating_set(self, net, seed):
+        algo = TurauMIS(net)
+        cfg = algo.random_configuration(Random(seed))
+        sim = Simulator(algo, DistributedRandomDaemon(0.5), config=cfg, seed=seed)
+        sim.run_to_termination(max_steps=500_000)
+        members = algo.members(sim.cfg)
+        assert is_minimal_dominating_set(net, members)
+        for u in members:
+            assert not any(v in members for v in net.neighbors(u))
+
+
+class TestBfsTreeProperties:
+    @given(networks(), st.integers(min_value=0, max_value=10_000))
+    @SETTINGS
+    def test_always_converges_to_the_true_bfs_tree(self, net, seed):
+        tree = BfsTree(net, root=0)
+        cfg = tree.random_configuration(Random(seed))
+        sim = Simulator(tree, DistributedRandomDaemon(0.5), config=cfg, seed=seed)
+        sim.run_to_termination(max_steps=500_000)
+        assert tree.is_correct_tree(sim.cfg)

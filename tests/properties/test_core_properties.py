@@ -1,0 +1,95 @@
+"""Property-based tests for the simulation kernel itself."""
+
+from random import Random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DistributedRandomDaemon,
+    ModelViolation,
+    Simulator,
+    SynchronousDaemon,
+)
+from repro.reset import SDR
+from repro.topology import random_connected
+from repro.unison import Unison
+from tests.toys import MaxFlood
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(
+    st.integers(min_value=3, max_value=10),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=10_000),
+)
+@SETTINGS
+def test_incremental_enabled_set_matches_full_recompute(n, graph_seed, run_seed):
+    """The paranoid cross-check never fires on SDR executions."""
+    net = random_connected(n, p=0.3, seed=graph_seed)
+    sdr = SDR(Unison(net))
+    cfg = sdr.random_configuration(Random(run_seed))
+    sim = Simulator(
+        sdr, DistributedRandomDaemon(0.5), config=cfg, seed=run_seed, paranoid=True
+    )
+    sim.run(max_steps=120)  # raises ModelViolation on divergence
+
+
+@given(
+    st.integers(min_value=3, max_value=10),
+    st.integers(min_value=0, max_value=10_000),
+)
+@SETTINGS
+def test_max_flood_terminates_at_global_max(n, seed):
+    """Determinism + termination sanity: MaxFlood always floods the max."""
+    net = random_connected(n, p=0.3, seed=seed)
+    algo = MaxFlood(net)
+    cfg = algo.random_configuration(Random(seed))
+    target = max(cfg.variable("x"))
+    sim = Simulator(algo, DistributedRandomDaemon(0.5), config=cfg, seed=seed)
+    sim.run_to_termination(max_steps=100_000)
+    assert sim.cfg.variable("x") == [target] * n
+
+
+@given(
+    st.integers(min_value=3, max_value=8),
+    st.integers(min_value=0, max_value=10_000),
+)
+@SETTINGS
+def test_rounds_never_exceed_steps(n, seed):
+    """Rounds are coarser than steps: completed rounds ≤ steps, and under
+    the synchronous daemon every step closes exactly one round."""
+    net = random_connected(n, p=0.3, seed=seed)
+    algo = MaxFlood(net)
+    cfg = algo.random_configuration(Random(seed))
+    sim = Simulator(algo, SynchronousDaemon(), config=cfg, seed=seed)
+    result = sim.run_to_termination(max_steps=10_000)
+    assert result.rounds == result.steps
+
+    sim2 = Simulator(algo, DistributedRandomDaemon(0.4), config=cfg, seed=seed)
+    result2 = sim2.run_to_termination(max_steps=10_000)
+    assert result2.rounds <= result2.steps
+
+
+@given(
+    st.integers(min_value=3, max_value=8),
+    st.integers(min_value=0, max_value=10_000),
+)
+@SETTINGS
+def test_same_seed_reproduces_execution(n, seed):
+    """Identical (algorithm, config, daemon, seed) gives identical runs."""
+    net = random_connected(n, p=0.3, seed=seed)
+    sdr = SDR(Unison(net))
+    cfg = sdr.random_configuration(Random(seed))
+
+    def run_once():
+        sim = Simulator(sdr, DistributedRandomDaemon(0.5), config=cfg.copy(), seed=seed)
+        sim.run(max_steps=80)
+        return sim.cfg.snapshot(), sim.move_count, sim.rounds.completed
+
+    assert run_once() == run_once()

@@ -1,0 +1,105 @@
+"""Property-based tests for FGA and its composition with SDR."""
+
+from random import Random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.alliance import FGA, is_alliance, is_fga_stable, is_one_minimal
+from repro.analysis import bounds
+from repro.core import DistributedRandomDaemon, Simulator
+from repro.reset import SDR
+from repro.topology import random_connected
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def fga_instances(draw):
+    """Random network + feasible (f, g) + seed."""
+    n = draw(st.integers(min_value=4, max_value=8))
+    graph_seed = draw(st.integers(min_value=0, max_value=10_000))
+    net = random_connected(n, p=0.4, seed=graph_seed)
+    f, g = [], []
+    for u in net.processes():
+        deg = net.degree(u)
+        fu = draw(st.integers(min_value=0, max_value=deg))
+        gu = draw(st.integers(min_value=0, max_value=deg))
+        f.append(fu)
+        g.append(gu)
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return net, tuple(f), tuple(g), seed
+
+
+@given(fga_instances())
+@SETTINGS
+def test_composition_is_silent_and_correct(instance):
+    """Theorems 11–13 over random feasible (f,g): the composition always
+    terminates, within the move bound, on an FGA-stable alliance."""
+    net, f, g, seed = instance
+    sdr = SDR(FGA(net, f, g))
+    cfg = sdr.random_configuration(Random(seed))
+    sim = Simulator(sdr, DistributedRandomDaemon(0.5), config=cfg, seed=seed)
+    result = sim.run_to_termination(max_steps=500_000)
+    assert result.moves <= bounds.fga_sdr_move_bound(net.n, net.m, net.max_degree)
+    members = sdr.input.alliance(sim.cfg)
+    assert is_alliance(net, members, f, g)
+    assert is_fga_stable(net, members, f, g)
+
+
+@given(fga_instances())
+@SETTINGS
+def test_theorem8_when_f_strictly_dominates_g(instance):
+    """With f > g pointwise, terminal alliances are strictly 1-minimal."""
+    net, f, g, seed = instance
+    # Lift f above g, clamped to the degree (keeps the instance feasible).
+    f = tuple(min(net.degree(u), max(f[u], g[u] + 1)) for u in net.processes())
+    g = tuple(min(g[u], f[u] - 1) for u in net.processes())
+    assert all(fu > gu for fu, gu in zip(f, g))
+    sdr = SDR(FGA(net, f, g))
+    cfg = sdr.random_configuration(Random(seed))
+    sim = Simulator(sdr, DistributedRandomDaemon(0.5), config=cfg, seed=seed)
+    sim.run_to_termination(max_steps=500_000)
+    assert is_one_minimal(net, sdr.input.alliance(sim.cfg), f, g)
+
+
+@given(fga_instances())
+@SETTINGS
+def test_corollary9_p_icorrect_closed_by_fga(instance):
+    """Corollary 9: P_ICorrect(u) is closed by FGA (standalone)."""
+    net, f, g, seed = instance
+    fga = FGA(net, f, g)
+    cfg = fga.random_configuration(Random(seed))
+    sim = Simulator(fga, DistributedRandomDaemon(0.5), config=cfg, seed=seed, strict=True)
+    correct = [fga.p_icorrect(sim.cfg, u) for u in net.processes()]
+    for _ in range(40):
+        if sim.step() is None:
+            break
+        now = [fga.p_icorrect(sim.cfg, u) for u in net.processes()]
+        for before, after in zip(correct, now):
+            assert not (before and not after)
+        correct = now
+
+
+@given(fga_instances())
+@SETTINGS
+def test_lemma21_scr_one_or_ptr_bottom_closed(instance):
+    """Lemma 21: scr = 1 ∨ ptr = ⊥ is closed by FGA."""
+    net, f, g, seed = instance
+    fga = FGA(net, f, g)
+    cfg = fga.random_configuration(Random(seed))
+    sim = Simulator(fga, DistributedRandomDaemon(0.5), config=cfg, seed=seed)
+    def holds(state):
+        return state["scr"] == 1 or state["ptr"] is None
+    ok = [holds(sim.cfg[u]) for u in net.processes()]
+    for _ in range(40):
+        if sim.step() is None:
+            break
+        now = [holds(sim.cfg[u]) for u in net.processes()]
+        for before, after in zip(ok, now):
+            assert not (before and not after)
+        ok = now

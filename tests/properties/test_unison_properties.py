@@ -1,0 +1,80 @@
+"""Property-based tests for Algorithm U and its composition with SDR."""
+
+from random import Random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import bounds
+from repro.core import Configuration, DistributedRandomDaemon, Simulator, measure_stabilization
+from repro.reset import SDR
+from repro.topology import random_connected
+from repro.unison import Unison, safety_holds
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def networks(draw):
+    n = draw(st.integers(min_value=4, max_value=9))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_connected(n, p=0.3, seed=seed)
+
+
+@st.composite
+def safe_clock_configs(draw):
+    """A network plus a configuration satisfying unison safety everywhere,
+    built by assigning clocks from a BFS-consistent gradient."""
+    net = draw(networks())
+    period = net.n + 1 + draw(st.integers(min_value=0, max_value=5))
+    base = draw(st.integers(min_value=0, max_value=period - 1))
+    # BFS layering: neighbors differ by at most one level.
+    import networkx as nx
+
+    depth = nx.single_source_shortest_path_length(net.to_networkx(), 0)
+    sign = draw(st.sampled_from([1, -1]))
+    cfg = Configuration([{"c": (base + sign * depth[u]) % period} for u in net.processes()])
+    return net, period, cfg
+
+
+@given(safe_clock_configs())
+@SETTINGS
+def test_lemma17_safety_is_closed_under_u(instance):
+    """Lemma 17: P_ICorrect (safety) is closed by U."""
+    net, period, cfg = instance
+    u = Unison(net, period=period)
+    assert safety_holds(net, cfg, period)
+    sim = Simulator(u, DistributedRandomDaemon(0.5), config=cfg, seed=1)
+    for _ in range(50):
+        if sim.step() is None:
+            break
+        assert safety_holds(net, sim.cfg, period)
+
+
+@given(safe_clock_configs())
+@SETTINGS
+def test_lemma18_no_deadlock_in_safe_configurations(instance):
+    """Lemma 18: configurations satisfying P_ICorrect ∧ P_Clean everywhere
+    are never terminal (K > n)."""
+    net, period, cfg = instance
+    u = Unison(net, period=period)
+    assert not u.is_terminal(cfg)
+
+
+@given(networks(), st.integers(min_value=0, max_value=10_000))
+@SETTINGS
+def test_composition_converges_and_stays_safe(net, seed):
+    """Theorems 6/7 + closure: stabilization within bounds, then safety."""
+    sdr = SDR(Unison(net))
+    cfg = sdr.random_configuration(Random(seed))
+    sim = Simulator(sdr, DistributedRandomDaemon(0.5), config=cfg, seed=seed)
+    detector, _ = measure_stabilization(sim, sdr.is_normal, max_steps=200_000)
+    assert detector.rounds <= bounds.unison_rounds_bound(net.n)
+    assert detector.moves <= bounds.unison_move_bound(net.n, net.diameter)
+    for _ in range(30):
+        sim.step()
+        assert safety_holds(net, sim.cfg, sdr.input.period)

@@ -1,0 +1,237 @@
+"""Unit tests for SDR's predicates and macros (Algorithm 1), on hand-built
+configurations of ``U ∘ SDR`` over small graphs."""
+
+import pytest
+
+from repro.core import Configuration, Network
+from repro.reset import C, RB, RF, SDR
+from repro.unison import Unison
+
+PATH = Network([(0, 1), (1, 2)])  # 0 - 1 - 2
+TRIANGLE = Network([(0, 1), (1, 2), (0, 2)])
+
+
+def make(net=PATH, period=None):
+    return SDR(Unison(net, period=period))
+
+
+def cfg_of(*triples):
+    """Build a configuration from (st, d, c) per process."""
+    return Configuration([{"st": st, "d": d, "c": c} for st, d, c in triples])
+
+
+class TestPClean:
+    def test_all_c_is_clean(self):
+        sdr = make()
+        cfg = cfg_of((C, 0, 0), (C, 0, 0), (C, 0, 0))
+        assert all(sdr.p_clean(cfg, u) for u in range(3))
+
+    def test_own_status_breaks_cleanliness(self):
+        sdr = make()
+        cfg = cfg_of((RB, 0, 0), (C, 0, 0), (C, 0, 0))
+        assert not sdr.p_clean(cfg, 0)
+        assert not sdr.p_clean(cfg, 1)  # neighbor of the RB process
+        assert sdr.p_clean(cfg, 2)  # not adjacent to it
+
+
+class TestPCorrect:
+    def test_correct_when_not_c(self):
+        sdr = make()
+        # Clocks wildly wrong but status RB: P_Correct vacuous.
+        cfg = cfg_of((RB, 0, 0), (C, 0, 2), (C, 0, 0))
+        assert sdr.p_correct(cfg, 0)
+
+    def test_incorrect_clock_with_status_c(self):
+        sdr = make(period=5)
+        cfg = cfg_of((C, 0, 0), (C, 0, 2), (C, 0, 2))
+        assert not sdr.p_correct(cfg, 0)
+        assert not sdr.p_correct(cfg, 1)
+        assert sdr.p_correct(cfg, 2)
+
+
+class TestPR1PR2:
+    def test_p_r1_requires_rf_neighbor_and_unreset_state(self):
+        sdr = make()
+        cfg = cfg_of((C, 0, 3), (RF, 0, 0), (C, 0, 0))
+        assert sdr.p_r1(cfg, 0)  # c=3 ≠ 0 and neighbor RF
+        assert not sdr.p_r1(cfg, 2)  # c=0 satisfies P_reset
+
+    def test_p_r1_false_without_rf_neighbor(self):
+        sdr = make()
+        cfg = cfg_of((C, 0, 3), (RB, 0, 0), (C, 0, 0))
+        assert not sdr.p_r1(cfg, 0)
+
+    def test_p_r2_detects_unreset_resetting_process(self):
+        sdr = make()
+        cfg = cfg_of((RB, 0, 3), (C, 0, 0), (RF, 0, 0))
+        assert sdr.p_r2(cfg, 0)  # RB but c ≠ 0
+        assert not sdr.p_r2(cfg, 1)  # status C
+        assert not sdr.p_r2(cfg, 2)  # RF and c = 0
+
+
+class TestPRB:
+    def test_joins_broadcasting_neighbor(self):
+        sdr = make()
+        cfg = cfg_of((RB, 0, 0), (C, 0, 1), (C, 0, 2))
+        assert sdr.p_rb(cfg, 1)
+        assert not sdr.p_rb(cfg, 2)  # no RB neighbor
+        assert not sdr.p_rb(cfg, 0)  # not status C
+
+
+class TestPRF:
+    def test_all_neighbors_covered(self):
+        sdr = make()
+        # 1 is RB at distance 1; neighbors: 0 RB d=0 (≤), 2 RF reset.
+        cfg = cfg_of((RB, 0, 0), (RB, 1, 0), (RF, 2, 0))
+        assert sdr.p_rf(cfg, 1)
+
+    def test_blocked_by_deeper_broadcasting_neighbor(self):
+        sdr = make()
+        # 1's neighbor 2 is RB with greater distance: must wait.
+        cfg = cfg_of((RB, 0, 0), (RB, 1, 0), (RB, 2, 0))
+        assert not sdr.p_rf(cfg, 1)
+        assert sdr.p_rf(cfg, 2)  # deepest process may feed back
+
+    def test_blocked_by_c_neighbor(self):
+        sdr = make()
+        cfg = cfg_of((C, 0, 0), (RB, 1, 0), (RF, 2, 0))
+        assert not sdr.p_rf(cfg, 1)
+
+    def test_requires_own_reset_state(self):
+        sdr = make()
+        cfg = cfg_of((RB, 0, 0), (RB, 1, 5), (RF, 2, 0))
+        assert not sdr.p_rf(cfg, 1)  # c=5: P_reset fails
+
+    def test_rf_neighbor_must_be_reset(self):
+        sdr = make()
+        cfg = cfg_of((RB, 0, 0), (RB, 1, 0), (RF, 2, 3))
+        assert not sdr.p_rf(cfg, 1)
+
+
+class TestPC:
+    def test_feedback_root_completes(self):
+        sdr = make()
+        # 0 is RF at distance 0, neighbor 1 RF with d ≥: can complete.
+        cfg = cfg_of((RF, 0, 0), (RF, 1, 0), (RF, 2, 0))
+        assert sdr.p_c(cfg, 0)
+        assert not sdr.p_c(cfg, 1)  # neighbor 0 has smaller d and isn't C
+
+    def test_complete_next_to_c_neighbors(self):
+        sdr = make()
+        cfg = cfg_of((C, 0, 0), (RF, 1, 0), (C, 0, 0))
+        assert sdr.p_c(cfg, 1)
+
+    def test_blocked_by_unreset_member(self):
+        sdr = make()
+        cfg = cfg_of((C, 0, 4), (RF, 1, 0), (C, 0, 0))
+        assert not sdr.p_c(cfg, 1)  # neighbor 0 violates P_reset
+
+    def test_blocked_by_rb_neighbor(self):
+        sdr = make()
+        cfg = cfg_of((RB, 2, 0), (RF, 1, 0), (C, 0, 0))
+        assert not sdr.p_c(cfg, 1)
+
+
+class TestPUp:
+    def test_fires_on_locally_incorrect_clock(self):
+        sdr = make(period=5)
+        cfg = cfg_of((C, 0, 0), (C, 0, 2), (C, 0, 2))
+        assert sdr.p_up(cfg, 0)
+        assert sdr.p_up(cfg, 1)
+        assert not sdr.p_up(cfg, 2)
+
+    def test_rb_neighbor_suppresses_initiation(self):
+        sdr = make(period=5)
+        # 1 would initiate (incoherent with 0) but 0 broadcasts: join instead.
+        cfg = cfg_of((RB, 0, 0), (C, 0, 2), (C, 0, 2))
+        assert not sdr.p_up(cfg, 1)
+        assert sdr.p_rb(cfg, 1)
+
+    def test_fires_on_p_r2(self):
+        sdr = make()
+        cfg = cfg_of((RF, 0, 3), (C, 0, 0), (C, 0, 0))
+        assert sdr.p_up(cfg, 0)
+
+
+class TestRootsPredicates:
+    def test_p_root(self):
+        sdr = make()
+        cfg = cfg_of((RB, 0, 0), (RB, 1, 0), (C, 0, 0))
+        assert sdr.p_root(cfg, 0)
+        assert not sdr.p_root(cfg, 1)
+
+    def test_alive_root_includes_p_up(self):
+        sdr = make(period=5)
+        cfg = cfg_of((C, 0, 0), (C, 0, 2), (C, 0, 2))
+        assert sdr.is_alive_root(cfg, 0)
+
+    def test_dead_root(self):
+        sdr = make()
+        cfg = cfg_of((RF, 0, 0), (RF, 1, 0), (RF, 2, 0))
+        assert sdr.is_dead_root(cfg, 0)
+        assert not sdr.is_dead_root(cfg, 1)
+
+
+class TestMacrosAndRules:
+    def test_be_root_via_rule_r(self):
+        sdr = make(period=5)
+        cfg = cfg_of((C, 3, 4), (C, 0, 1), (C, 0, 1))
+        updates = sdr.execute("rule_R", cfg, 0)
+        assert updates == {"st": RB, "d": 0, "c": 0}
+
+    def test_compute_joins_minimum_distance_plus_one(self):
+        net = Network([(0, 1), (1, 2), (1, 3)])
+        sdr = SDR(Unison(net))
+        cfg = Configuration(
+            [
+                {"st": RB, "d": 4, "c": 0},
+                {"st": C, "d": 0, "c": 2},
+                {"st": RB, "d": 2, "c": 0},
+                {"st": C, "d": 0, "c": 0},
+            ]
+        )
+        updates = sdr.execute("rule_RB", cfg, 1)
+        assert updates["st"] == RB
+        assert updates["d"] == 3  # min(4, 2) + 1
+        assert updates["c"] == 0  # reset applied
+
+    def test_rule_rf_and_rule_c_only_touch_status(self):
+        sdr = make()
+        cfg = cfg_of((RB, 1, 0), (RF, 2, 0), (C, 0, 0))
+        assert sdr.execute("rule_RF", cfg, 0) == {"st": RF}
+        assert sdr.execute("rule_C", cfg, 1) == {"st": C}
+
+    def test_input_rule_delegated(self):
+        sdr = make(period=5)
+        cfg = cfg_of((C, 0, 1), (C, 0, 1), (C, 0, 2))
+        assert sdr.guard("rule_U", cfg, 0)
+        assert sdr.execute("rule_U", cfg, 0) == {"c": 2}
+
+
+class TestCompositionHygiene:
+    def test_variable_collision_rejected(self):
+        from repro.core import AlgorithmError
+        from repro.reset.interface import InputAlgorithm
+
+        class BadInput(Unison):
+            def variables(self):
+                return ("c", "st")
+
+        with pytest.raises(AlgorithmError, match="SDR's variables"):
+            SDR(BadInput(PATH))
+
+    def test_rule_collision_rejected(self):
+        from repro.core import AlgorithmError
+
+        class BadInput(Unison):
+            def rule_names(self):
+                return ("rule_RB",)
+
+        with pytest.raises(AlgorithmError, match="rule labels"):
+            SDR(BadInput(PATH))
+
+    def test_normal_configuration_characterization(self):
+        sdr = make(period=5)
+        assert sdr.is_normal(cfg_of((C, 0, 0), (C, 0, 1), (C, 0, 1)))
+        assert not sdr.is_normal(cfg_of((C, 0, 0), (C, 0, 2), (C, 0, 2)))
+        assert not sdr.is_normal(cfg_of((RB, 0, 0), (C, 0, 0), (C, 0, 0)))

@@ -1,0 +1,134 @@
+"""Scripted multi-initiator wave scenarios: the cooperative behaviours the
+paper's Section 3.3/3.4 narrative describes, driven step by step."""
+
+import pytest
+
+from repro.core import Configuration, Network, ScriptedDaemon, Simulator
+from repro.reset import C, RB, RF, SDR
+from repro.reset.analysis import alive_roots, max_branch_depth, reset_branches
+from repro.unison import Unison
+
+LINE5 = Network([(0, 1), (1, 2), (2, 3), (3, 4)])
+STAR = Network([(0, 1), (0, 2), (0, 3)])
+
+
+def cfg_of(net, *triples):
+    assert len(triples) == net.n
+    return Configuration([{"st": st, "d": d, "c": c} for st, d, c in triples])
+
+
+class TestTwoConcurrentResets:
+    def test_waves_meet_and_merge_without_restart(self):
+        """Both endpoints of a line initiate; the middle joins whichever
+        broadcast reaches it, and the distance DAG lets both feed back."""
+        sdr = SDR(Unison(LINE5, period=6))
+        start = cfg_of(
+            LINE5,
+            (C, 0, 3), (C, 0, 0), (C, 0, 0), (C, 0, 0), (C, 0, 3),
+        )
+        sim = Simulator(
+            sdr,
+            ScriptedDaemon([
+                {0: "rule_R", 4: "rule_R"},      # two roots
+                {1: "rule_RB", 3: "rule_RB"},    # waves spread inward
+                {2: "rule_RB"},                  # middle joins (one wave)
+            ]),
+            config=start,
+            seed=0,
+        )
+        for _ in range(3):
+            sim.step()
+        assert sim.cfg.variable("st") == [RB] * 5
+        assert sim.cfg.variable("d") == [0, 1, 2, 1, 0]
+        # Two distinct roots, both alive:
+        assert alive_roots(sdr, sim.cfg) == {0, 4}
+        # The middle process belongs to branches of both resets:
+        branches = reset_branches(sdr, sim.cfg)
+        initial_extremities = {branch[0] for branch in branches if 2 in branch}
+        assert initial_extremities == {0, 4}
+
+    def test_feedback_consumes_both_roots(self):
+        sdr = SDR(Unison(LINE5, period=6))
+        start = cfg_of(
+            LINE5,
+            (RB, 0, 0), (RB, 1, 0), (RB, 2, 0), (RB, 1, 0), (RB, 0, 0),
+        )
+        script = [
+            {2: "rule_RF"},
+            {1: "rule_RF", 3: "rule_RF"},
+            {0: "rule_RF", 4: "rule_RF"},
+            {0: "rule_C", 4: "rule_C"},
+            {1: "rule_C", 3: "rule_C"},
+            {2: "rule_C"},
+        ]
+        sim = Simulator(sdr, ScriptedDaemon(script), config=start, seed=0)
+        ar_counts = [len(alive_roots(sdr, sim.cfg))]
+        for _ in script:
+            sim.step()
+            ar_counts.append(len(alive_roots(sdr, sim.cfg)))
+        assert sim.cfg.variable("st") == [C] * 5
+        assert sdr.is_normal(sim.cfg)
+        # Alive roots only ever decrease (Theorem 3):
+        assert all(a >= b for a, b in zip(ar_counts, ar_counts[1:]))
+        assert ar_counts[-1] == 0
+
+
+class TestStarWave:
+    def test_hub_initiates_leaves_join_then_feed_back(self):
+        sdr = SDR(Unison(STAR, period=5))
+        start = cfg_of(STAR, (C, 0, 2), (C, 0, 0), (C, 0, 0), (C, 0, 0))
+        script = [
+            {0: "rule_R"},
+            {1: "rule_RB", 2: "rule_RB", 3: "rule_RB"},
+            {1: "rule_RF", 2: "rule_RF", 3: "rule_RF"},
+            {0: "rule_RF"},
+            {0: "rule_C"},
+            {1: "rule_C", 2: "rule_C", 3: "rule_C"},
+        ]
+        sim = Simulator(sdr, ScriptedDaemon(script), config=start, seed=0)
+        for _ in script:
+            sim.step()
+        assert sdr.is_normal(sim.cfg)
+        assert sim.cfg.variable("c") == [0, 0, 0, 0]
+
+    def test_branch_depths_on_star(self):
+        sdr = SDR(Unison(STAR, period=5))
+        cfg = cfg_of(STAR, (RB, 0, 0), (RB, 1, 0), (RB, 1, 0), (C, 0, 0))
+        depths = max_branch_depth(sdr, cfg)
+        assert depths[0] == 0
+        assert depths[1] == depths[2] == 1
+        assert 3 not in depths
+
+
+class TestCorruptedWaveStates:
+    def test_rf_island_gets_cleaned(self):
+        """A lone RF process amid correct C processes: neighbors with
+        non-reset state must join/initiate (P_R1), or the island completes
+        if everyone satisfies P_reset."""
+        sdr = SDR(Unison(LINE5, period=6))
+        # All clocks zero (P_reset holds everywhere) and one RF island:
+        start = cfg_of(LINE5, (C, 0, 0), (RF, 3, 0), (C, 0, 0), (C, 0, 0), (C, 0, 0))
+        # rule_C(1) should be enabled: all of N[1] reset, neighbors C or RF≥.
+        assert sdr.guard("rule_C", start, 1)
+        sim = Simulator(sdr, ScriptedDaemon([{1: "rule_C"}]), config=start, seed=0)
+        sim.step()
+        assert sdr.is_normal(sim.cfg)
+
+    def test_rf_island_with_dirty_neighbor_triggers_reset(self):
+        sdr = SDR(Unison(LINE5, period=6))
+        # Neighbor 0 has c=2 (not reset, yet locally "correct" clock-wise
+        # w.r.t. process 1? c=2 vs c=0 is NOT ok) — P_R1 or ¬P_Correct fires.
+        start = cfg_of(LINE5, (C, 0, 2), (RF, 3, 0), (C, 0, 0), (C, 0, 0), (C, 0, 0))
+        assert sdr.p_r1(start, 0)
+        assert sdr.guard("rule_R", start, 0)
+
+    def test_corrupt_distance_zero_in_middle(self):
+        """A broadcast process with corrupted d=0 simply acts as a root:
+        the DAG ordering still prevents deadlock."""
+        sdr = SDR(Unison(LINE5, period=6))
+        start = cfg_of(
+            LINE5, (RB, 0, 0), (RB, 0, 0), (RB, 0, 0), (RB, 0, 0), (RB, 0, 0)
+        )
+        # Everybody at d=0: every process satisfies P_RF (all neighbors RB
+        # with d ≤ d_u) — feedback can start anywhere; no deadlock.
+        assert all(sdr.guard("rule_RF", start, u) for u in range(5))

@@ -1,0 +1,137 @@
+"""Unit tests for topology generators."""
+
+import networkx as nx
+import pytest
+
+from repro.core import TopologyError
+from repro.topology import (
+    TOPOLOGIES,
+    binary_tree,
+    by_name,
+    caterpillar,
+    complete,
+    grid,
+    hypercube,
+    line,
+    lollipop,
+    random_connected,
+    random_regular,
+    random_tree,
+    ring,
+    star,
+    torus,
+)
+
+
+def assert_connected(net):
+    assert nx.is_connected(net.to_networkx())
+
+
+class TestNamedShapes:
+    def test_ring(self):
+        net = ring(6)
+        assert net.n == 6 and net.m == 6
+        assert all(net.degree(u) == 2 for u in net.processes())
+        assert net.diameter == 3
+
+    def test_ring_too_small(self):
+        with pytest.raises(TopologyError):
+            ring(2)
+
+    def test_line(self):
+        net = line(5)
+        assert net.n == 5 and net.m == 4
+        assert net.diameter == 4
+
+    def test_star(self):
+        net = star(7)
+        assert net.n == 7 and net.m == 6
+        assert net.max_degree == 6
+        assert net.diameter == 2
+
+    def test_complete(self):
+        net = complete(5)
+        assert net.m == 10
+        assert net.diameter == 1
+
+    def test_grid(self):
+        net = grid(3, 4)
+        assert net.n == 12 and net.m == 3 * 3 + 4 * 2  # 17 edges
+        assert net.diameter == 5
+
+    def test_torus(self):
+        net = torus(3, 3)
+        assert net.n == 9
+        assert all(net.degree(u) == 4 for u in net.processes())
+
+    def test_torus_too_small(self):
+        with pytest.raises(TopologyError):
+            torus(2, 3)
+
+    def test_binary_tree(self):
+        net = binary_tree(3)
+        assert net.n == 15
+        assert net.m == 14
+
+    def test_hypercube(self):
+        net = hypercube(3)
+        assert net.n == 8
+        assert all(net.degree(u) == 3 for u in net.processes())
+
+    def test_caterpillar(self):
+        net = caterpillar(4, 2)
+        assert net.n == 4 + 8
+        assert_connected(net)
+
+    def test_lollipop(self):
+        net = lollipop(4, 3)
+        assert net.n == 7
+        assert net.max_degree == 4
+
+
+class TestRandomShapes:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_connected_is_connected(self, seed):
+        net = random_connected(15, p=0.1, seed=seed)
+        assert net.n == 15
+        assert_connected(net)
+
+    def test_random_connected_seed_deterministic(self):
+        a = random_connected(10, p=0.3, seed=4)
+        b = random_connected(10, p=0.3, seed=4)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_random_connected_p_one_is_complete(self):
+        net = random_connected(6, p=1.0, seed=0)
+        assert net.m == 15
+
+    def test_random_tree_is_tree(self):
+        for seed in range(4):
+            net = random_tree(12, seed=seed)
+            assert net.m == net.n - 1
+            assert_connected(net)
+
+    def test_random_regular(self):
+        net = random_regular(10, 3, seed=1)
+        assert all(net.degree(u) == 3 for u in net.processes())
+        assert_connected(net)
+
+    def test_random_regular_invalid(self):
+        with pytest.raises(TopologyError):
+            random_regular(4, 5, seed=0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(TopologyError):
+            random_connected(5, p=1.5)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    def test_by_name_builds_connected_networks(self, name):
+        net = by_name(name, 9, seed=2)
+        assert net.n >= 9 if name == "grid" else net.n == 9
+        assert_connected(net)
+
+    def test_unknown_name(self):
+        with pytest.raises(TopologyError, match="unknown topology"):
+            by_name("donut", 9)

@@ -1,0 +1,62 @@
+"""Unit tests for graph properties used in unison parameter choices."""
+
+import pytest
+
+from repro.topology import (
+    complete,
+    cyclomatic_characteristic_exact,
+    cyclomatic_characteristic_upper_bound,
+    line,
+    longest_chordless_cycle,
+    lollipop,
+    random_tree,
+    ring,
+    safe_unison_parameters,
+)
+
+
+class TestLongestChordlessCycle:
+    def test_tree_convention(self):
+        assert longest_chordless_cycle(line(6)) == 2
+        assert longest_chordless_cycle(random_tree(10, seed=1)) == 2
+
+    def test_ring_is_its_own_hole(self):
+        assert longest_chordless_cycle(ring(7)) == 7
+
+    def test_complete_graph_has_only_triangles(self):
+        assert longest_chordless_cycle(complete(6)) == 3
+
+    def test_lollipop(self):
+        # Clique contributes triangles; the tail contributes no cycle.
+        assert longest_chordless_cycle(lollipop(4, 3)) == 3
+
+
+class TestCyclomaticCharacteristic:
+    def test_tree_convention(self):
+        assert cyclomatic_characteristic_upper_bound(line(5)) == 2
+        assert cyclomatic_characteristic_exact(line(5)) == 2
+
+    def test_ring_exact(self):
+        # A cycle has exactly one fundamental cycle: the whole ring.
+        assert cyclomatic_characteristic_exact(ring(5)) == 5
+
+    def test_upper_bound_dominates_exact(self):
+        for net in (ring(5), complete(5), lollipop(4, 2)):
+            assert cyclomatic_characteristic_upper_bound(net) >= \
+                cyclomatic_characteristic_exact(net)
+
+    def test_exact_refuses_large_graphs(self):
+        with pytest.raises(ValueError):
+            cyclomatic_characteristic_exact(ring(11), max_n=10)
+
+    def test_complete_exact_is_triangle(self):
+        assert cyclomatic_characteristic_exact(complete(5)) == 3
+
+
+class TestSafeParameters:
+    @pytest.mark.parametrize("net", [ring(6), line(6), complete(5)])
+    def test_parameters_meet_requirements(self, net):
+        k, alpha = safe_unison_parameters(net)
+        assert k > net.n
+        assert alpha >= longest_chordless_cycle(net) - 2
+        assert alpha >= 1

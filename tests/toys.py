@@ -1,0 +1,110 @@
+"""Tiny algorithms used by the kernel tests.
+
+These exercise the simulator independently of the paper's algorithms:
+
+* :class:`MaxFlood` — silent max-propagation (terminal: all values equal);
+* :class:`Countdown` — neighbor-independent counter (always enabled until
+  zero; handy for daemon accounting tests);
+* :class:`CopyNeighbor` — copies a neighbor's value; distinguishes
+  composite atomicity from sequential interleaving.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.core import Algorithm, Configuration
+
+
+class MaxFlood(Algorithm):
+    """Each process raises its value to the neighborhood maximum."""
+
+    name = "max-flood"
+    mutually_exclusive_rules = True
+
+    def variables(self):
+        return ("x",)
+
+    def rule_names(self):
+        return ("rule_max",)
+
+    def _target(self, cfg: Configuration, u: int) -> int:
+        return max(cfg[v]["x"] for v in self.network.neighbors(u))
+
+    def guard(self, rule, cfg, u):
+        if not self.network.neighbors(u):
+            return False
+        return cfg[u]["x"] < self._target(cfg, u)
+
+    def execute(self, rule, cfg, u):
+        return {"x": self._target(cfg, u)}
+
+    def initial_state(self, u):
+        return {"x": u}
+
+    def random_state(self, u, rng: Random):
+        return {"x": rng.randrange(100)}
+
+
+class Countdown(Algorithm):
+    """Processes independently count down to zero."""
+
+    name = "countdown"
+    mutually_exclusive_rules = True
+
+    def __init__(self, network, start: int = 3):
+        super().__init__(network)
+        self.start = start
+
+    def variables(self):
+        return ("k",)
+
+    def rule_names(self):
+        return ("rule_dec",)
+
+    def guard(self, rule, cfg, u):
+        return cfg[u]["k"] > 0
+
+    def execute(self, rule, cfg, u):
+        return {"k": cfg[u]["k"] - 1}
+
+    def initial_state(self, u):
+        return {"k": self.start}
+
+    def random_state(self, u, rng: Random):
+        return {"k": rng.randrange(self.start + 1)}
+
+
+class CopyNeighbor(Algorithm):
+    """Copy the smallest-index neighbor's value when it differs.
+
+    Under composite atomicity, two activated neighbors read each other's
+    *pre-step* values, so simultaneous activation swaps values instead of
+    converging — the kernel tests rely on that distinction.
+    """
+
+    name = "copy-neighbor"
+    mutually_exclusive_rules = True
+
+    def variables(self):
+        return ("y",)
+
+    def rule_names(self):
+        return ("rule_copy",)
+
+    def _source(self, u: int) -> int:
+        return self.network.neighbors(u)[0]
+
+    def guard(self, rule, cfg, u):
+        if not self.network.neighbors(u):
+            return False
+        return cfg[u]["y"] != cfg[self._source(u)]["y"]
+
+    def execute(self, rule, cfg, u):
+        return {"y": cfg[self._source(u)]["y"]}
+
+    def initial_state(self, u):
+        return {"y": u}
+
+    def random_state(self, u, rng: Random):
+        return {"y": rng.randrange(10)}

@@ -1,0 +1,136 @@
+"""Tests for the reconstructed reset-tail unison baseline [11]."""
+
+from random import Random
+
+import pytest
+
+from repro.core import (
+    AlgorithmError,
+    Configuration,
+    DistributedRandomDaemon,
+    Network,
+    Simulator,
+    SynchronousDaemon,
+    measure_stabilization,
+)
+from repro.topology import by_name, ring
+from repro.unison import BoulinierUnison, couvreur_parameters, default_parameters
+
+PATH = Network([(0, 1), (1, 2)])
+
+
+def rvals(*values):
+    return Configuration([{"r": v} for v in values])
+
+
+class TestParameters:
+    def test_default_parameters_are_safe(self):
+        k, alpha = default_parameters(10)
+        assert k > 10 and alpha >= 1
+
+    def test_couvreur_parameters(self):
+        k, alpha = couvreur_parameters(10)
+        assert k == 101 and alpha == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(AlgorithmError):
+            BoulinierUnison(PATH, period=2)
+        with pytest.raises(AlgorithmError):
+            BoulinierUnison(PATH, alpha=0)
+
+
+class TestComparability:
+    def test_normal_zone_is_circular(self):
+        algo = BoulinierUnison(PATH, period=10, alpha=3)
+        assert algo.comparable(0, 9)
+        assert algo.comparable(9, 0)
+        assert not algo.comparable(0, 5)
+
+    def test_tail_values_use_integer_distance(self):
+        algo = BoulinierUnison(PATH, period=10, alpha=3)
+        assert algo.comparable(-1, 0)
+        assert algo.comparable(-3, -2)
+        assert not algo.comparable(-3, -1)
+        assert not algo.comparable(-1, 9)  # tail is not circular
+
+
+class TestGuards:
+    def test_normal_advance(self):
+        algo = BoulinierUnison(PATH, period=10, alpha=3)
+        cfg = rvals(1, 1, 2)
+        assert algo.guard("rule_NA", cfg, 0)
+        assert algo.execute("rule_NA", cfg, 0) == {"r": 2}
+        assert not algo.guard("rule_NA", cfg, 2)  # neighbor behind
+
+    def test_reset_on_incomparable_neighbor(self):
+        algo = BoulinierUnison(PATH, period=10, alpha=3)
+        cfg = rvals(0, 5, 5)
+        assert algo.guard("rule_RA", cfg, 0)
+        assert algo.guard("rule_RA", cfg, 1)
+        assert algo.execute("rule_RA", cfg, 0) == {"r": -3}
+        assert not algo.guard("rule_NA", cfg, 0)  # RA suppresses NA
+
+    def test_tail_advance_waits_for_deeper_neighbors(self):
+        algo = BoulinierUnison(PATH, period=10, alpha=4)
+        cfg = rvals(-4, -2, 0)
+        assert algo.guard("rule_TA", cfg, 0)   # neighbor above it
+        assert not algo.guard("rule_TA", cfg, 1)  # neighbor -4 below
+
+    def test_tail_out_requires_near_zero_neighborhood(self):
+        algo = BoulinierUnison(PATH, period=10, alpha=4)
+        assert algo.guard("rule_TO", rvals(-1, 0, 0), 0)
+        assert not algo.guard("rule_TO", rvals(-1, 5, 0), 0)
+        assert not algo.guard("rule_TO", rvals(-1, -3, 0), 0)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("topo", ["ring", "random", "tree"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_converges_from_random_configuration(self, topo, seed):
+        net = by_name(topo, 8, seed=seed)
+        algo = BoulinierUnison(net)
+        cfg = algo.random_configuration(Random(seed))
+        sim = Simulator(algo, DistributedRandomDaemon(0.5), config=cfg, seed=seed)
+        detector, _ = measure_stabilization(sim, algo.is_legitimate, max_steps=1_000_000)
+        assert detector.hit
+
+    def test_legitimate_is_closed_and_live(self):
+        net = ring(6)
+        algo = BoulinierUnison(net)
+        cfg = algo.random_configuration(Random(3))
+        sim = Simulator(algo, DistributedRandomDaemon(0.5), config=cfg, seed=3)
+        measure_stabilization(sim, algo.is_legitimate, max_steps=1_000_000)
+        moved = [0] * net.n
+        for _ in range(400):
+            record = sim.step()
+            assert algo.is_legitimate(sim.cfg)
+            for u in record.selection:
+                moved[u] += 1
+        assert all(m >= 3 for m in moved)  # liveness: everyone keeps ticking
+
+    def test_couvreur_parameterization_converges(self):
+        net = ring(6)
+        k, alpha = couvreur_parameters(net.n)
+        algo = BoulinierUnison(net, period=k, alpha=alpha)
+        cfg = algo.random_configuration(Random(4))
+        sim = Simulator(algo, DistributedRandomDaemon(0.5), config=cfg, seed=4)
+        detector, _ = measure_stabilization(sim, algo.is_legitimate, max_steps=2_000_000)
+        assert detector.hit
+
+    def test_reset_floods_incoherent_region(self):
+        """One incomparable edge drags the whole component into the tail —
+        the global behaviour SDR's cooperative partial resets avoid."""
+        net = ring(6)
+        algo = BoulinierUnison(net, period=14, alpha=6)
+        cfg = Configuration([{"r": 0 if u < 3 else 7} for u in range(6)])
+        sim = Simulator(algo, SynchronousDaemon(), config=cfg, seed=0)
+        saw_tail = set()
+        for _ in range(200):
+            sim.step()
+            for u in net.processes():
+                if sim.cfg[u]["r"] < 0:
+                    saw_tail.add(u)
+            if algo.is_legitimate(sim.cfg):
+                break
+        assert algo.is_legitimate(sim.cfg)
+        assert len(saw_tail) == net.n  # everyone was dragged into the reset

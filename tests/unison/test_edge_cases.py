@@ -1,0 +1,109 @@
+"""Edge-case coverage for unison: tiny networks, boundary periods,
+single-process systems, and n=2 lines."""
+
+from random import Random
+
+import pytest
+
+from repro.core import (
+    DistributedRandomDaemon,
+    Network,
+    Simulator,
+    SynchronousDaemon,
+    measure_stabilization,
+)
+from repro.reset import SDR
+from repro.topology import line, ring
+from repro.unison import BoulinierUnison, Unison, safety_holds
+from repro.analysis import bounds
+
+
+class TestTinyNetworks:
+    def test_two_process_line(self):
+        net = line(2)
+        sdr = SDR(Unison(net))  # K = 3
+        assert sdr.input.period == 3
+        for seed in range(5):
+            cfg = sdr.random_configuration(Random(seed))
+            sim = Simulator(sdr, DistributedRandomDaemon(0.5), config=cfg, seed=seed)
+            detector, _ = measure_stabilization(sim, sdr.is_normal, max_steps=50_000)
+            assert detector.rounds <= bounds.sdr_rounds_bound(2)
+
+    def test_single_process_network(self):
+        net = Network.single()
+        u = Unison(net, period=2)
+        sim = Simulator(u, SynchronousDaemon(), seed=0)
+        # With no neighbors P_Up is vacuous: the clock free-runs.
+        sim.run(max_steps=10)
+        assert sim.move_count == 10
+
+    def test_minimum_period_boundary(self):
+        net = ring(5)
+        sdr = SDR(Unison(net, period=6))  # K = n + 1 exactly
+        cfg = sdr.random_configuration(Random(1))
+        sim = Simulator(sdr, DistributedRandomDaemon(0.5), config=cfg, seed=1)
+        detector, _ = measure_stabilization(sim, sdr.is_normal, max_steps=100_000)
+        sim.run(max_steps=300)
+        assert safety_holds(net, sim.cfg, 6)
+
+    def test_huge_period(self):
+        net = ring(4)
+        sdr = SDR(Unison(net, period=1000))
+        cfg = sdr.random_configuration(Random(2))
+        sim = Simulator(sdr, DistributedRandomDaemon(0.5), config=cfg, seed=2)
+        detector, _ = measure_stabilization(sim, sdr.is_normal, max_steps=100_000)
+        assert detector.rounds <= bounds.sdr_rounds_bound(4)
+
+
+class TestClockWraparound:
+    def test_clocks_wrap_safely_at_period_boundary(self):
+        net = ring(4)
+        u = Unison(net, period=5)
+        from repro.core import Configuration
+
+        cfg = Configuration([{"c": 4}] * 4)
+        sim = Simulator(u, SynchronousDaemon(), config=cfg, seed=0)
+        sim.step()
+        assert sim.cfg.variable("c") == [0, 0, 0, 0]
+        for _ in range(20):
+            sim.step()
+            assert safety_holds(net, sim.cfg, 5)
+
+    def test_mixed_wraparound_edge(self):
+        net = line(2)
+        u = Unison(net, period=5)
+        from repro.core import Configuration
+
+        cfg = Configuration([{"c": 4}, {"c": 0}])  # 0 is one behind (circular)
+        assert u.p_icorrect(cfg, 0)
+        assert u.p_up(cfg, 0)  # neighbor one ahead
+        assert not u.p_up(cfg, 1)  # neighbor one behind
+
+
+class TestBoulinierEdgeCases:
+    def test_two_process_line_converges(self):
+        net = line(2)
+        algo = BoulinierUnison(net)
+        for seed in range(5):
+            cfg = algo.random_configuration(Random(seed))
+            sim = Simulator(algo, DistributedRandomDaemon(0.5), config=cfg, seed=seed)
+            detector, _ = measure_stabilization(sim, algo.is_legitimate, max_steps=100_000)
+            assert detector.hit
+
+    def test_deep_tail_start_climbs_out(self):
+        net = line(3)
+        algo = BoulinierUnison(net, period=10, alpha=5)
+        from repro.core import Configuration
+
+        cfg = Configuration([{"r": -5}, {"r": -3}, {"r": -1}])
+        sim = Simulator(algo, SynchronousDaemon(), config=cfg, seed=0)
+        detector, _ = measure_stabilization(sim, algo.is_legitimate, max_steps=10_000)
+        assert detector.hit
+
+    def test_alpha_one_behaves(self):
+        net = ring(5)
+        algo = BoulinierUnison(net, period=26, alpha=1)
+        cfg = algo.random_configuration(Random(4))
+        sim = Simulator(algo, DistributedRandomDaemon(0.5), config=cfg, seed=4)
+        detector, _ = measure_stabilization(sim, algo.is_legitimate, max_steps=500_000)
+        assert detector.hit

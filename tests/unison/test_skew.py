@@ -1,0 +1,59 @@
+"""Tests for clock-skew analytics."""
+
+from random import Random
+
+import pytest
+
+from repro.core import Configuration, DistributedRandomDaemon, Simulator, measure_stabilization
+from repro.reset import SDR
+from repro.topology import line, ring
+from repro.unison import Unison, edge_offset, max_edge_skew, phase_spread, safety_holds
+
+
+def clocks(*values):
+    return Configuration([{"c": v} for v in values])
+
+
+class TestEdgeOffset:
+    def test_signed_offsets(self):
+        assert edge_offset(0, 1, 10) == 1
+        assert edge_offset(1, 0, 10) == -1
+        assert edge_offset(0, 9, 10) == -1  # wraparound
+        assert edge_offset(9, 0, 10) == 1
+        assert edge_offset(3, 3, 10) == 0
+
+    def test_half_period_convention(self):
+        assert edge_offset(0, 5, 10) == 5  # exactly K/2 stays positive
+
+
+class TestMaxEdgeSkew:
+    def test_safe_configuration_has_skew_at_most_one(self):
+        net = ring(4)
+        assert max_edge_skew(net, clocks(0, 1, 1, 0), 5) == 1
+        assert max_edge_skew(net, clocks(2, 2, 2, 2), 5) == 0
+
+    def test_unsafe_configuration_reports_larger_skew(self):
+        net = line(2)
+        assert max_edge_skew(net, clocks(0, 3), 10) == 3
+
+
+class TestPhaseSpread:
+    def test_flat_configuration(self):
+        net = ring(5)
+        assert phase_spread(net, clocks(4, 4, 4, 4, 4), 6) == 0
+
+    def test_gradient_on_a_line(self):
+        net = line(4)
+        assert phase_spread(net, clocks(0, 1, 2, 3), 10) == 3
+
+    def test_spread_bounded_by_diameter_after_stabilization(self):
+        net = ring(8)
+        sdr = SDR(Unison(net))
+        cfg = sdr.random_configuration(Random(3))
+        sim = Simulator(sdr, DistributedRandomDaemon(0.5), config=cfg, seed=3)
+        measure_stabilization(sim, sdr.is_normal, max_steps=200_000)
+        period = sdr.input.period
+        for _ in range(150):
+            sim.step()
+            assert safety_holds(net, sim.cfg, period)
+            assert phase_spread(net, sim.cfg, period) <= net.diameter + 1
