@@ -1,7 +1,9 @@
 """Benchmarks F1–F6 — the figure experiments.
 
 * F1/F2 — unison scaling: rounds vs n, and moves vs n on log-log axes with
-  fitted growth exponents (ours ≈ n², baseline ≥ ours).
+  fitted growth exponents (ours ≈ n², baseline ≥ ours).  Runs through the
+  ``repro.engine`` campaign engine; the ``_engine_parallel`` variant fans
+  the same sweep out to two worker processes against a JSONL store.
 * F3 — ablation: cooperative reset footprint vs number of faults.
 * F4 — ``FGA ∘ SDR`` rounds vs n against the ``8n+4`` line.
 * F5 — ablation: daemon sensitivity (synchronous / central / locally
@@ -25,6 +27,26 @@ def test_f1_f2_unison_scaling(benchmark, save_report):
     )
     save_report("F1_F2_unison_scaling", result)
     assert result.ok
+
+
+def test_f1_f2_engine_parallel(benchmark, save_report, tmp_path):
+    """The same F1/F2 sweep fanned out to 2 workers with a persistent store."""
+    from repro.engine import ResultStore
+
+    store = ResultStore(tmp_path / "f1_f2.jsonl")
+    result = run_once(
+        benchmark,
+        experiments.figure_f1_f2,
+        sizes=(8, 12, 16, 24),
+        topology="ring",
+        trials=3,
+        scenario="gradient",
+        workers=2,
+        store=store,
+    )
+    save_report("F1_F2_unison_scaling_engine", result)
+    assert result.ok
+    assert len(store.keys()) == 2 * 4 * 3  # algorithms x sizes x trials
 
 
 def test_f3_reset_footprint(benchmark, save_report):

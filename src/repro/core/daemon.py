@@ -39,6 +39,7 @@ __all__ = [
     "WeaklyFairDaemon",
     "AdversarialDaemon",
     "ScriptedDaemon",
+    "DAEMON_KINDS",
     "make_daemon",
 ]
 
@@ -276,6 +277,10 @@ _FACTORIES = {
     "distributed-random": lambda network: DistributedRandomDaemon(),
     "weakly-fair": lambda network: WeaklyFairDaemon(),
 }
+
+
+#: Daemon names :func:`make_daemon` accepts (for up-front CLI validation).
+DAEMON_KINDS = tuple(sorted(_FACTORIES))
 
 
 def make_daemon(kind: str, network=None) -> Daemon:

@@ -1,0 +1,104 @@
+"""Trial executor: multiprocessing fan-out with an in-process fallback.
+
+``run_specs`` drives a list of :class:`~repro.engine.campaign.TrialSpec`
+descriptors to completion.  With ``workers >= 2`` the trials fan out to a
+``multiprocessing.Pool`` via ``imap_unordered`` (chunked to amortize IPC);
+with ``workers <= 1`` they run in-process, which keeps debugging, coverage,
+and tracing trivial.  Either way results stream back to the parent, which
+is the *only* writer of the result store — workers compute, the parent
+persists, so no file locking is needed.
+
+Because every trial's seed derives from its descriptor (not from execution
+order), both paths produce identical records.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, Iterable, Sequence
+
+from .campaign import TrialSpec
+from .seeds import derive_seed
+from .store import SCHEMA_VERSION, ResultStore, trial_to_dict
+
+__all__ = ["execute_trial", "run_specs", "default_chunksize"]
+
+#: ``progress(done, total, record)`` — invoked in the parent after each
+#: trial lands (and after each skipped/streamed record on resume paths).
+ProgressFn = Callable[[int, int, dict], None]
+
+
+def execute_trial(spec: TrialSpec, campaign_seed: int, campaign: str = "") -> dict:
+    """Run one trial and return its store record.
+
+    Safe to call in any process: the seed comes from the descriptor hash,
+    and the record contains nothing execution-dependent (no timestamps,
+    pids, or hostnames), so parallel and serial runs are byte-identical.
+    """
+    # Imported lazily — the harness experiments import the engine, so a
+    # module-level import here would be circular.
+    from ..harness.runner import run_trial
+
+    seed = derive_seed(campaign_seed, spec.key())
+    trial = run_trial(spec, seed=seed)
+    return {
+        "schema": SCHEMA_VERSION,
+        "campaign": campaign,
+        "campaign_seed": campaign_seed,
+        "key": spec.key(),
+        "seed": seed,
+        "spec": spec.to_dict(),
+        "result": trial_to_dict(trial),
+    }
+
+
+def _worker(args: tuple[TrialSpec, int, str]) -> dict:
+    return execute_trial(*args)
+
+
+def default_chunksize(total: int, workers: int) -> int:
+    """Chunk so each worker sees ~4 batches: big enough to amortize IPC,
+    small enough to keep the tail balanced when trial costs vary."""
+    return max(1, total // (workers * 4) or 1)
+
+
+def run_specs(
+    specs: Sequence[TrialSpec] | Iterable[TrialSpec],
+    campaign_seed: int,
+    *,
+    campaign: str = "",
+    workers: int = 0,
+    chunksize: int | None = None,
+    progress: ProgressFn | None = None,
+    store: ResultStore | None = None,
+) -> list[dict]:
+    """Execute all ``specs``; return their records in spec order.
+
+    ``workers <= 1`` runs serially in-process; ``workers >= 2`` fans out to
+    that many OS processes.  Completed records are appended to ``store``
+    (if given) as they arrive, so an interrupted run keeps everything that
+    finished — :func:`repro.engine.resume.run_campaign` picks up the rest.
+    """
+    specs = list(specs)
+    total = len(specs)
+    records_by_key: dict[str, dict] = {}
+
+    def land(record: dict) -> None:
+        records_by_key[record["key"]] = record
+        if store is not None:
+            store.append(record)
+        if progress is not None:
+            progress(len(records_by_key), total, record)
+
+    if workers <= 1 or total <= 1:
+        for spec in specs:
+            land(execute_trial(spec, campaign_seed, campaign))
+    else:
+        workers = min(workers, total)
+        payload = [(spec, campaign_seed, campaign) for spec in specs]
+        chunk = chunksize if chunksize is not None else default_chunksize(total, workers)
+        with multiprocessing.Pool(workers) as pool:
+            for record in pool.imap_unordered(_worker, payload, chunksize=chunk):
+                land(record)
+
+    return [records_by_key[spec.key()] for spec in specs]

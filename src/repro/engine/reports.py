@@ -1,0 +1,115 @@
+"""Aggregate stored campaign records into the harness Table/Figure machinery.
+
+The store speaks plain dicts; the experiment reports speak
+:class:`~repro.harness.tables.Table` and
+:class:`~repro.harness.figures.Figure`.  This module is the bridge: group
+records by spec fields, reduce a measurement per group, and emit tables,
+scaling figures, or reconstructed :class:`~repro.harness.runner.Trial`
+objects for code that predates the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from ..harness.figures import Figure
+from ..harness.tables import Table
+from .store import trial_from_record
+
+__all__ = [
+    "field_of",
+    "group_records",
+    "aggregate",
+    "summary_table",
+    "scaling_figure",
+    "trials_from_records",
+]
+
+_AGGREGATES: dict[str, Callable[[list[float]], float]] = {
+    "mean": lambda xs: sum(xs) / len(xs),
+    "max": max,
+    "min": min,
+    "sum": sum,
+}
+
+
+def field_of(record: dict, field: str) -> Any:
+    """Look a field up in the record, then its spec, then its result.
+
+    Spec fields win over result fields so grouping by ``n`` uses the
+    nominal grid size, keeping cells aligned even for generators that
+    round ``n`` (e.g. ``grid`` snaps to the nearest square).
+    """
+    for layer in (record, record.get("spec", {}), record.get("result", {})):
+        if field in layer:
+            return layer[field]
+    raise KeyError(f"record has no field {field!r}")
+
+
+def group_records(
+    records: Iterable[dict], group_by: Sequence[str]
+) -> dict[tuple, list[dict]]:
+    """Group records by a tuple of spec/result fields, insertion-ordered."""
+    groups: dict[tuple, list[dict]] = {}
+    for record in records:
+        key = tuple(field_of(record, f) for f in group_by)
+        groups.setdefault(key, []).append(record)
+    return groups
+
+
+def aggregate(
+    records: Iterable[dict],
+    group_by: Sequence[str],
+    value: str,
+    agg: str = "mean",
+) -> dict[tuple, float]:
+    """Reduce one measurement per group (``mean``/``max``/``min``/``sum``)."""
+    try:
+        reducer = _AGGREGATES[agg]
+    except KeyError:
+        raise ValueError(
+            f"unknown aggregate {agg!r}; choose from {sorted(_AGGREGATES)}"
+        ) from None
+    return {
+        key: reducer([field_of(r, value) for r in group])
+        for key, group in group_records(records, group_by).items()
+    }
+
+
+def summary_table(
+    records: Iterable[dict],
+    group_by: Sequence[str] = ("algorithm", "topology", "n", "scenario"),
+    values: Sequence[str] = ("moves", "rounds"),
+    agg: str = "mean",
+    title: str | None = None,
+) -> Table:
+    """One row per group: the group key, trial count, aggregated values."""
+    groups = group_records(records, group_by)
+    columns = [*group_by, "trials", *(f"{v} ({agg})" for v in values)]
+    table = Table(title or f"campaign summary ({agg} per cell)", columns)
+    reducer = _AGGREGATES[agg]
+    for key, group in groups.items():
+        cells = [reducer([field_of(r, v) for r in group]) for v in values]
+        table.add_row(*key, len(group), *cells)
+    return table
+
+
+def scaling_figure(
+    records: Iterable[dict],
+    x: str = "n",
+    y: str = "moves",
+    series: str = "algorithm",
+    agg: str = "mean",
+    title: str | None = None,
+    loglog: bool = False,
+) -> Figure:
+    """A figure of ``y`` vs ``x``, one series per distinct ``series`` value."""
+    fig = Figure(title or f"{y} vs {x}", xlabel=x, ylabel=y, loglog=loglog)
+    for (name, xv), value in aggregate(records, (series, x), y, agg).items():
+        fig.add_point(str(name), xv, value)
+    return fig
+
+
+def trials_from_records(records: Iterable[dict]) -> list:
+    """Rebuild :class:`~repro.harness.runner.Trial` objects from records."""
+    return [trial_from_record(r) for r in records]

@@ -1,0 +1,101 @@
+"""Campaign-level orchestration: diff the grid against the store, run the rest.
+
+``run_campaign`` is the engine's front door.  It expands the campaign
+grid, subtracts the trials whose records are already in the store (matched
+by canonical key *and* campaign seed, so stores can be shared between
+campaigns without cross-talk), executes only what is missing, and returns
+the full grid's records in deterministic grid order.  A campaign killed at
+trial 900/1000 therefore costs 100 trials to finish, not 1000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .campaign import Campaign, TrialSpec
+from .pool import ProgressFn, run_specs
+from .store import ResultStore
+
+__all__ = ["CampaignOutcome", "completed_records", "missing_specs", "run_campaign"]
+
+
+@dataclass
+class CampaignOutcome:
+    """What a (possibly resumed) campaign run produced.
+
+    ``records`` always covers the *whole* grid, in grid order — stored
+    records for skipped trials, fresh records for executed ones.
+    """
+
+    campaign: Campaign
+    records: list[dict] = field(default_factory=list)
+    ran: int = 0
+    skipped: int = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+
+def completed_records(campaign: Campaign, store: ResultStore) -> dict[str, dict]:
+    """Stored records belonging to this campaign, keyed by trial key.
+
+    A record counts only if its ``campaign_seed`` matches: the same grid
+    under a different master seed is a different experiment, and its
+    results must not satisfy this one's resume check.
+    """
+    done: dict[str, dict] = {}
+    if not store.exists():
+        return done
+    wanted = campaign.keys()
+    for record in store.iter_records():
+        key = record.get("key")
+        if key in wanted and record.get("campaign_seed") == campaign.seed:
+            done[key] = record
+    return done
+
+
+def missing_specs(campaign: Campaign, store: ResultStore) -> list[TrialSpec]:
+    """The grid minus what the store already holds (in grid order)."""
+    done = completed_records(campaign, store)
+    return [spec for spec in campaign.iter_specs() if spec.key() not in done]
+
+
+def run_campaign(
+    campaign: Campaign,
+    *,
+    store: ResultStore | None = None,
+    workers: int = 0,
+    resume: bool = False,
+    chunksize: int | None = None,
+    progress: ProgressFn | None = None,
+) -> CampaignOutcome:
+    """Execute a campaign, optionally resuming from a partial store.
+
+    Without ``resume`` every trial runs (and is appended to ``store`` if
+    one is given).  With ``resume`` the store is diffed first and only the
+    missing trials execute; already-stored records are returned as-is.
+    """
+    specs = campaign.specs()
+    existing: dict[str, dict] = {}
+    if resume and store is not None:
+        existing = completed_records(campaign, store)
+
+    todo = [spec for spec in specs if spec.key() not in existing]
+    fresh = run_specs(
+        todo,
+        campaign.seed,
+        campaign=campaign.name,
+        workers=workers,
+        chunksize=chunksize,
+        progress=progress,
+        store=store,
+    )
+    by_key = dict(existing)
+    by_key.update((record["key"], record) for record in fresh)
+    return CampaignOutcome(
+        campaign=campaign,
+        records=[by_key[spec.key()] for spec in specs],
+        ran=len(todo),
+        skipped=len(specs) - len(todo),
+    )

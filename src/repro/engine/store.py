@@ -1,0 +1,272 @@
+"""Append-only JSONL result store keyed by trial descriptor.
+
+One record per line, one line per trial; ``schema`` stamps every record so
+future layouts can migrate old stores instead of guessing.  Appends flush
+and fsync a whole line at a time, so a crash mid-campaign loses at most the
+trailing partial line — which :meth:`ResultStore.load` tolerates and
+:meth:`ResultStore.compact` trims away.  Whole-file rewrites go through a
+temp file + ``os.replace`` so readers never observe a half-written store.
+
+Records are deliberately deterministic: no timestamps, hostnames, or pids.
+The same campaign therefore produces byte-identical stores no matter how
+many workers ran it or how often it was resumed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "StoreError",
+    "ResultStore",
+    "trial_to_dict",
+    "trial_from_record",
+]
+
+#: Bump when the record layout changes; ``load`` refuses newer schemas.
+SCHEMA_VERSION = 1
+
+
+class StoreError(Exception):
+    """Raised for unreadable or incompatible result stores."""
+
+
+def _json_default(value: Any) -> Any:
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, tuple):
+        return list(value)
+    raise TypeError(f"unserializable value of type {type(value).__name__}")
+
+
+def _dump_line(record: Mapping[str, Any]) -> str:
+    return json.dumps(
+        record, sort_keys=True, separators=(",", ":"), default=_json_default
+    ) + "\n"
+
+
+class ResultStore:
+    """Durable trial results at ``path`` (created lazily on first append)."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = pathlib.Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_records())
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Durably append one record (whole line, flushed and fsynced)."""
+        record = dict(record)
+        record.setdefault("schema", SCHEMA_VERSION)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(_dump_line(record))
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def append_many(self, records: Iterable[Mapping[str, Any]]) -> int:
+        """Append several records with a single flush; returns the count."""
+        lines = []
+        for record in records:
+            record = dict(record)
+            record.setdefault("schema", SCHEMA_VERSION)
+            lines.append(_dump_line(record))
+        if not lines:
+            return 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.writelines(lines)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return len(lines)
+
+    def rewrite(self, records: Iterable[Mapping[str, Any]]) -> int:
+        """Atomically replace the whole store (temp file + ``os.replace``)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        count = 0
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                for record in records:
+                    record = dict(record)
+                    record.setdefault("schema", SCHEMA_VERSION)
+                    fh.write(_dump_line(record))
+                    count += 1
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return count
+
+    def compact(self) -> int:
+        """Drop corrupt tail lines and duplicate keys (last write wins)."""
+        by_key: dict[str, dict] = {}
+        extras: list[dict] = []
+        for record in self.iter_records():
+            key = record.get("key")
+            if key is None:
+                extras.append(record)
+            else:
+                by_key[key] = record
+        return self.rewrite(extras + list(by_key.values()))
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def iter_records(self, strict: bool = False) -> Iterator[dict]:
+        """Yield records in file order.
+
+        A line that fails to parse is treated as a crash-truncated tail:
+        iteration stops there (or raises, under ``strict=True``).  A parsed
+        record with a schema newer than this code always raises.
+        """
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    record = json.loads(stripped)
+                except json.JSONDecodeError as exc:
+                    if strict:
+                        raise StoreError(
+                            f"{self.path}:{lineno}: corrupt record: {exc}"
+                        ) from exc
+                    return  # tolerate a truncated tail from a crashed run
+                schema = record.get("schema", 0)
+                if schema > SCHEMA_VERSION:
+                    raise StoreError(
+                        f"{self.path}:{lineno}: record schema {schema} is newer "
+                        f"than supported version {SCHEMA_VERSION}; upgrade repro"
+                    )
+                yield record
+
+    def load(self, strict: bool = False) -> list[dict]:
+        return list(self.iter_records(strict=strict))
+
+    def keys(self) -> set[str]:
+        """All trial keys present in the store."""
+        return {r["key"] for r in self.iter_records() if "key" in r}
+
+    def query(
+        self,
+        predicate: Callable[[dict], bool] | None = None,
+        **equals: Any,
+    ) -> list[dict]:
+        """Records matching ``predicate`` and all ``field=value`` filters.
+
+        Equality filters look a field up in the record itself, then in its
+        ``spec``, then in its ``result`` — so ``query(algorithm="unison",
+        n=8)`` works without spelling out the nesting.
+        """
+
+        def value_of(record: dict, field: str) -> Any:
+            for layer in (record, record.get("spec", {}), record.get("result", {})):
+                if field in layer:
+                    return layer[field]
+            return None
+
+        out = []
+        for record in self.iter_records():
+            if predicate is not None and not predicate(record):
+                continue
+            if all(value_of(record, f) == v for f, v in equals.items()):
+                out.append(record)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Trial (de)serialization
+# ----------------------------------------------------------------------
+def trial_to_dict(trial: Any) -> dict[str, Any]:
+    """Flatten a :class:`repro.harness.runner.Trial` into JSON-safe data.
+
+    Duck-typed (no import of the harness) so the store stays import-cycle
+    free; ``extra`` values that are sets become sorted lists.
+    """
+    metrics = trial.metrics
+    extra = {}
+    for key, value in trial.extra.items():
+        if isinstance(value, (set, frozenset)):
+            value = sorted(value)
+        extra[key] = value
+    return {
+        "algorithm": trial.algorithm,
+        "scenario": trial.scenario,
+        "daemon": trial.daemon,
+        "seed": trial.seed,
+        "n": trial.n,
+        "m": trial.m,
+        "diameter": trial.diameter,
+        "max_degree": trial.max_degree,
+        "rounds": trial.rounds,
+        "moves": trial.moves,
+        "steps": trial.steps,
+        "metrics": {
+            "steps": metrics.steps,
+            "moves": metrics.moves,
+            "rounds": metrics.rounds,
+            "moves_per_process": list(metrics.moves_per_process),
+            "moves_per_rule": dict(metrics.moves_per_rule),
+        },
+        "extra": extra,
+    }
+
+
+def trial_from_record(record: Mapping[str, Any]) -> Any:
+    """Rebuild a :class:`~repro.harness.runner.Trial` from a store record.
+
+    Inverse of :func:`trial_to_dict` up to container types normalized by
+    JSON (the FGA ``alliance`` set comes back as a ``frozenset``).
+    """
+    # Imported lazily: the harness imports the engine at module scope, so a
+    # top-level import here would close an import cycle.
+    from ..analysis.metrics import RunMetrics
+    from ..harness.runner import Trial
+
+    result = record["result"] if "result" in record else record
+    metrics = result["metrics"]
+    extra = dict(result.get("extra", {}))
+    if "alliance" in extra and isinstance(extra["alliance"], list):
+        extra["alliance"] = frozenset(extra["alliance"])
+    return Trial(
+        algorithm=result["algorithm"],
+        scenario=result["scenario"],
+        daemon=result["daemon"],
+        seed=result["seed"],
+        n=result["n"],
+        m=result["m"],
+        diameter=result["diameter"],
+        max_degree=result["max_degree"],
+        rounds=result["rounds"],
+        moves=result["moves"],
+        steps=result["steps"],
+        metrics=RunMetrics(
+            steps=metrics["steps"],
+            moves=metrics["moves"],
+            rounds=metrics["rounds"],
+            moves_per_process=tuple(metrics["moves_per_process"]),
+            moves_per_rule=dict(metrics["moves_per_rule"]),
+        ),
+        extra=extra,
+    )

@@ -1,9 +1,37 @@
-"""Experiment harness: trial runners, per-claim experiments, tables, figures."""
+"""Experiment harness: trial runners, per-claim experiments, tables, figures.
+
+Layered as follows (bottom-up):
+
+* :mod:`~repro.harness.runner` — single-trial runners plus the
+  descriptor-driven :func:`run_trial` entry point that executes one
+  :class:`repro.engine.TrialSpec`;
+* :mod:`repro.engine` — the campaign engine: declarative parameter grids,
+  deterministic per-trial seed derivation, a multiprocessing executor with
+  serial fallback, an append-only JSONL result store, and resume (run only
+  the grid cells missing from the store);
+* :mod:`~repro.harness.experiments` — the per-claim experiment registry;
+  the sweep-shaped ones (T3/T4, T5, F1/F2) route their grids through the
+  engine and accept ``workers``/``store`` arguments;
+* :mod:`~repro.harness.tables` / :mod:`~repro.harness.figures` /
+  :mod:`~repro.harness.io` — dependency-free reporting and persistence.
+
+``python -m repro.harness`` runs experiments by id;
+``python -m repro.harness sweep --grid n=8,16 --workers 4 --out r.jsonl
+--resume`` drives arbitrary campaign grids through the engine from the
+command line.
+"""
 
 from . import experiments
 from .experiments import REGISTRY, ExperimentResult
 from .figures import Figure
-from .runner import Trial, run_boulinier_trial, run_fga_trial, run_unison_trial, sweep
+from .runner import (
+    Trial,
+    run_boulinier_trial,
+    run_fga_trial,
+    run_trial,
+    run_unison_trial,
+    sweep,
+)
 from .tables import Table
 
 __all__ = [
@@ -13,6 +41,7 @@ __all__ = [
     "Figure",
     "Table",
     "Trial",
+    "run_trial",
     "run_unison_trial",
     "run_boulinier_trial",
     "run_fga_trial",

@@ -1,22 +1,221 @@
-"""Command-line entry point: run experiments by id and print their reports.
+"""Command-line entry point: run experiments by id, or sweep a campaign grid.
 
 Usage::
 
     python -m repro.harness            # list experiments
     python -m repro.harness T5 F3      # run selected experiments
     python -m repro.harness all        # run everything (slow)
+
+    # campaign sweeps through the engine (parallel, persistent, resumable):
+    python -m repro.harness sweep \
+        --grid algorithm=unison,boulinier --grid topology=ring,random \
+        --grid n=8,16,32 --grid scenario=gradient \
+        --trials 5 --seed 7 --workers 4 --out results.jsonl --resume
+
+Sweep results are JSONL records keyed by trial descriptor; the same grid
+and seed produce byte-identical stores for any ``--workers`` value, and
+``--resume`` re-runs only trials missing from ``--out``.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from .experiments import REGISTRY
 
+#: --grid axis spellings → Campaign field (singular and plural accepted).
+_GRID_AXES = {
+    "algorithm": "algorithms",
+    "algorithms": "algorithms",
+    "topology": "topologies",
+    "topologies": "topologies",
+    "n": "sizes",
+    "size": "sizes",
+    "sizes": "sizes",
+    "scenario": "scenarios",
+    "scenarios": "scenarios",
+    "daemon": "daemons",
+    "daemons": "daemons",
+}
+
+
+def _parse_scalar(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _build_campaign(args):
+    from ..core.daemon import DAEMON_KINDS
+    from ..engine import Campaign
+    from ..topology import TOPOLOGIES
+
+    axes: dict[str, tuple] = {}
+    for entry in args.grid:
+        name, _, values = entry.partition("=")
+        if not values:
+            raise ValueError(f"--grid expects AXIS=V1[,V2...], got {entry!r}")
+        try:
+            field = _GRID_AXES[name.strip()]
+        except KeyError:
+            raise ValueError(
+                f"unknown grid axis {name!r}; choose from {sorted(set(_GRID_AXES))}"
+            ) from None
+        # Repeated flags for one axis merge (deduplicated, order kept).
+        merged = list(axes.get(field, ()))
+        merged += [v for v in (v.strip() for v in values.split(","))
+                   if v and v not in merged]
+        axes[field] = tuple(merged)
+    if "sizes" in axes:
+        axes["sizes"] = tuple(int(v) for v in axes["sizes"])
+    # Fail on bad axis values before any trial runs, not from a worker.
+    unknown = [t for t in axes.get("topologies", ()) if t not in TOPOLOGIES]
+    if unknown:
+        raise ValueError(
+            f"unknown topology(ies) {unknown}; choose from {sorted(TOPOLOGIES)}"
+        )
+    unknown = [d for d in axes.get("daemons", ()) if d not in DAEMON_KINDS]
+    if unknown:
+        raise ValueError(
+            f"unknown daemon(s) {unknown}; choose from {list(DAEMON_KINDS)}"
+        )
+    params: dict[str, object] = {}
+    for entry in args.param:
+        key, sep, value = entry.partition("=")
+        if not sep or not key.strip():
+            raise ValueError(f"--param expects KEY=VALUE, got {entry!r}")
+        params[key.strip()] = _parse_scalar(value)  # last --param wins
+    return Campaign(
+        name=args.name,
+        seed=args.seed,
+        trials=args.trials,
+        topology_seed=args.topology_seed,
+        params=tuple(params.items()),
+        **axes,
+    )
+
+
+def _safe_to_compact(store) -> bool:
+    """Only rewrite a store whose every line parses.
+
+    Non-strict reads stop at the first bad line (crash-truncation
+    tolerance), so rewriting after a *mid-file* corrupt line would silently
+    drop every valid record behind it — possibly other campaigns' data.
+    This run's records were already appended, so skipping the cosmetic
+    reordering loses nothing.
+    """
+    from ..engine import StoreError
+
+    try:
+        store.load(strict=True)
+        return True
+    except StoreError:
+        pass
+    try:
+        parsed = len(store.load())
+    except StoreError:
+        parsed = -1
+    with store.path.open("r", encoding="utf-8") as fh:
+        lines = sum(1 for line in fh if line.strip())
+    if parsed == lines - 1:
+        return True  # a lone crash-truncated tail line; rewriting drops it
+    # Corruption is not just a trailing partial line: keep the append-only
+    # file untouched rather than guess.
+    print(f"warning: {store.path} has unreadable records; "
+          "skipping grid-order compaction")
+    return False
+
+
+def run_sweep(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness sweep",
+        description="Run a campaign grid through the repro.engine subsystem.",
+    )
+    parser.add_argument(
+        "--grid", action="append", default=[], metavar="AXIS=V1[,V2...]",
+        help="grid axis (repeatable): algorithm, topology, n, scenario, daemon",
+    )
+    parser.add_argument("--trials", type=int, default=1,
+                        help="replicates per grid cell (default 1)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign master seed (default 0)")
+    parser.add_argument("--topology-seed", type=int, default=0,
+                        help="seed for the topology generators (default 0)")
+    parser.add_argument("--name", default="sweep", help="campaign name")
+    parser.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
+                        help="extra trial kwarg, e.g. period=12 or instance=dominating-set")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes; 0 or 1 runs serially in-process")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="JSONL result store to append to")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip trials already present in --out")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-trial progress lines")
+    args = parser.parse_args(argv)
+
+    from ..engine import ResultStore, run_campaign, summary_table
+
+    try:
+        campaign = _build_campaign(args)
+    except (ValueError, TypeError) as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.resume and args.out is None:
+        print("error: --resume needs --out")
+        return 2
+
+    store = ResultStore(args.out) if args.out else None
+
+    def progress(done: int, total: int, record: dict) -> None:
+        if not args.quiet:
+            print(f"[{done}/{total}] {record['key']}")
+
+    from ..core.exceptions import ReproError
+
+    try:
+        outcome = run_campaign(
+            campaign, store=store, workers=args.workers,
+            resume=args.resume, progress=progress,
+        )
+    except (ReproError, ValueError) as exc:
+        # Completed trials are already in --out; rerun with --resume to
+        # finish after fixing the grid.
+        print(f"error: {exc}")
+        return 1
+
+    if store is not None and _safe_to_compact(store):
+        # Compact to deterministic grid order (atomic rewrite): equal grids
+        # yield byte-identical stores for any worker count or resume split.
+        ours = {record["key"] for record in outcome.records}
+        foreign = [
+            record for record in store.iter_records()
+            if not (record.get("key") in ours
+                    and record.get("campaign_seed") == campaign.seed)
+        ]
+        store.rewrite(foreign + outcome.records)
+
+    print()
+    print(summary_table(
+        outcome.records,
+        group_by=("algorithm", "topology", "n", "scenario", "daemon"),
+        title=f"campaign {campaign.name!r} (seed {campaign.seed}, mean per cell)",
+    ).render())
+    ran, skipped = outcome.ran, outcome.skipped
+    where = f" -> {args.out}" if args.out else ""
+    print(f"\n{ran} trial(s) run, {skipped} already stored{where}")
+    return 0
+
 
 def main(argv: list[str]) -> int:
+    if argv and argv[0] == "sweep":
+        return run_sweep(argv[1:])
     if not argv:
-        print("Available experiments (pass ids, or 'all'):")
+        print("Available experiments (pass ids, or 'all'; or use 'sweep'):")
         for key in REGISTRY:
             print(f"  {key}")
         return 0

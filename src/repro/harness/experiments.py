@@ -11,6 +11,10 @@ grids; larger sweeps can be run directly, e.g.::
 
     from repro.harness import experiments
     print(experiments.experiment_t3_t4(sizes=(10, 20, 40), trials=5).table)
+
+The sweep-shaped experiments (T3/T4, T5, F1/F2) route their grids through
+the :mod:`repro.engine` campaign engine and take ``workers=N`` to fan out
+across processes and ``store=ResultStore(path)`` to persist and resume.
 """
 
 from __future__ import annotations
@@ -44,7 +48,7 @@ from ..faults.injector import corrupt_processes
 from ..reset.sdr import SDR, SDR_RULES
 from ..topology import by_name
 from ..unison.unison import Unison
-from .runner import run_boulinier_trial, run_fga_trial, run_unison_trial
+from .runner import run_fga_trial
 from .figures import Figure
 from .tables import Table
 
@@ -189,29 +193,46 @@ def experiment_t3_t4(
     topologies: Sequence[str] = ("ring", "grid", "random"),
     trials: int = 3,
     scenarios: Sequence[str] = ("random", "gradient", "split"),
+    workers: int = 0,
+    store=None,
 ) -> ExperimentResult:
-    """Thm. 6: moves ≤ (3D+3)n²+(3D+1)(n−1)+1; Thm. 7: rounds ≤ 3n."""
+    """Thm. 6: moves ≤ (3D+3)n²+(3D+1)(n−1)+1; Thm. 7: rounds ≤ 3n.
+
+    The (topology × n × scenario × trial) sweep runs through the campaign
+    engine: ``workers`` fans it out across processes, ``store`` (a
+    :class:`repro.engine.ResultStore`) persists and resumes it.
+    """
+    from ..engine import Campaign, run_campaign
+    from ..engine.reports import group_records
+
+    campaign = Campaign(
+        "t3-t4-unison-bounds", seed=0, algorithms=("unison",),
+        topologies=tuple(topologies), sizes=tuple(sizes),
+        scenarios=tuple(scenarios), trials=trials, topology_seed=2,
+    )
+    outcome = run_campaign(
+        campaign, store=store, workers=workers, resume=store is not None
+    )
+    cells = group_records(outcome.records, ("topology", "n", "scenario"))
+
     table = Table(
         "T3/T4 — U ∘ SDR stabilization, worst measurement per cell",
         ["topology", "n", "D", "scenario", "moves", "move bound", "rounds",
          "round bound", "ok"],
     )
     ok = True
-    for topo in topologies:
-        for n in sizes:
-            net = by_name(topo, n, seed=2)
-            for scenario in scenarios:
-                worst_moves = worst_rounds = 0
-                for seed in range(trials):
-                    trial = run_unison_trial(net, seed=seed, scenario=scenario)
-                    worst_moves = max(worst_moves, trial.moves)
-                    worst_rounds = max(worst_rounds, trial.rounds)
-                mb = bounds.unison_move_bound(net.n, net.diameter)
-                rb = bounds.unison_rounds_bound(net.n)
-                cell_ok = worst_moves <= mb and worst_rounds <= rb
-                ok &= cell_ok
-                table.add_row(topo, net.n, net.diameter, scenario, worst_moves,
-                              mb, worst_rounds, rb, cell_ok)
+    for (topo, _, scenario), group in cells.items():
+        # All records in a cell share the network, so n/D come from any one.
+        n = group[0]["result"]["n"]
+        diameter = group[0]["result"]["diameter"]
+        worst_moves = max(r["result"]["moves"] for r in group)
+        worst_rounds = max(r["result"]["rounds"] for r in group)
+        mb = bounds.unison_move_bound(n, diameter)
+        rb = bounds.unison_rounds_bound(n)
+        cell_ok = worst_moves <= mb and worst_rounds <= rb
+        ok &= cell_ok
+        table.add_row(topo, n, diameter, scenario, worst_moves,
+                      mb, worst_rounds, rb, cell_ok)
     return ExperimentResult(
         "T3/T4",
         "U ∘ SDR stabilizes within O(D·n²) moves and 3n rounds",
@@ -228,8 +249,29 @@ def experiment_t5(
     topology: str = "ring",
     trials: int = 3,
     scenario: str = "gradient",
+    workers: int = 0,
+    store=None,
 ) -> ExperimentResult:
-    """§5.3: ours wins in moves (strictly, on average) and matches O(n) rounds."""
+    """§5.3: ours wins in moves (strictly, on average) and matches O(n) rounds.
+
+    Both algorithms share one engine campaign (``workers``/``store`` as in
+    :func:`experiment_t3_t4`), so the head-to-head grid can run in parallel
+    and resume from a partial store.
+    """
+    from ..engine import Campaign, aggregate, run_campaign
+
+    campaign = Campaign(
+        "t5-unison-vs-boulinier", seed=0,
+        algorithms=("unison", "boulinier"), topologies=(topology,),
+        sizes=tuple(sizes), scenarios=(scenario,), trials=trials,
+        topology_seed=3,
+    )
+    outcome = run_campaign(
+        campaign, store=store, workers=workers, resume=store is not None
+    )
+    moves = aggregate(outcome.records, ("algorithm", "n"), "moves", "mean")
+    rounds = aggregate(outcome.records, ("algorithm", "n"), "rounds", "mean")
+
     table = Table(
         "T5 — U ∘ SDR vs Boulinier-style baseline (means over seeds)",
         ["n", "ours moves", "baseline moves", "move ratio", "ours rounds",
@@ -237,25 +279,17 @@ def experiment_t5(
     )
     ok = True
     data: dict[str, list] = {"n": [], "ours_moves": [], "base_moves": []}
-    for n in sizes:
-        net = by_name(topology, n, seed=3)
-        ours_m, base_m, ours_r, base_r = [], [], [], []
-        for seed in range(trials):
-            ours = run_unison_trial(net, seed=seed, scenario=scenario)
-            base = run_boulinier_trial(net, seed=seed, scenario=scenario)
-            ours_m.append(ours.moves)
-            base_m.append(base.moves)
-            ours_r.append(ours.rounds)
-            base_r.append(base.rounds)
-        mean = lambda xs: sum(xs) / len(xs)
-        ratio = mean(base_m) / max(mean(ours_m), 1)
-        row_ok = mean(base_m) >= mean(ours_m)
+    for n in campaign.sizes:
+        ours_m, base_m = moves[("unison", n)], moves[("boulinier", n)]
+        ours_r, base_r = rounds[("unison", n)], rounds[("boulinier", n)]
+        ratio = base_m / max(ours_m, 1)
+        row_ok = base_m >= ours_m
         ok &= row_ok
-        table.add_row(n, f"{mean(ours_m):.0f}", f"{mean(base_m):.0f}",
-                      f"{ratio:.2f}x", f"{mean(ours_r):.1f}", f"{mean(base_r):.1f}", row_ok)
+        table.add_row(n, f"{ours_m:.0f}", f"{base_m:.0f}",
+                      f"{ratio:.2f}x", f"{ours_r:.1f}", f"{base_r:.1f}", row_ok)
         data["n"].append(n)
-        data["ours_moves"].append(mean(ours_m))
-        data["base_moves"].append(mean(base_m))
+        data["ours_moves"].append(ours_m)
+        data["base_moves"].append(base_m)
     return ExperimentResult(
         "T5",
         "U ∘ SDR uses fewer moves than the reset-tail baseline at equal disorder",
@@ -463,29 +497,42 @@ def figure_f1_f2(
     topology: str = "ring",
     trials: int = 3,
     scenario: str = "gradient",
+    workers: int = 0,
+    store=None,
 ) -> ExperimentResult:
-    """F1: rounds vs n; F2: moves vs n (log–log) with fitted exponents."""
+    """F1: rounds vs n; F2: moves vs n (log–log) with fitted exponents.
+
+    The scaling sweep runs through the campaign engine (``workers`` for
+    parallel fan-out, ``store`` for persist/resume) — this is the sweep the
+    figure benchmarks exercise end-to-end.
+    """
+    from ..engine import Campaign, aggregate, run_campaign
+
+    campaign = Campaign(
+        "f1-f2-unison-scaling", seed=0,
+        algorithms=("unison", "boulinier"), topologies=(topology,),
+        sizes=tuple(sizes), scenarios=(scenario,), trials=trials,
+        topology_seed=8,
+    )
+    outcome = run_campaign(
+        campaign, store=store, workers=workers, resume=store is not None
+    )
+    moves = aggregate(outcome.records, ("algorithm", "n"), "moves", "mean")
+    rounds = aggregate(outcome.records, ("algorithm", "n"), "rounds", "mean")
+
     fig = Figure("F2 — stabilization moves vs n", "n", "moves", loglog=True)
     table = Table(
         "F1/F2 — unison scaling (means over seeds)",
         ["n", "ours rounds", "base rounds", "ours moves", "base moves"],
     )
     ours_pts, base_pts = [], []
-    for n in sizes:
-        net = by_name(topology, n, seed=8)
-        ours_m, base_m, ours_r, base_r = [], [], [], []
-        for seed in range(trials):
-            ours = run_unison_trial(net, seed=seed, scenario=scenario)
-            base = run_boulinier_trial(net, seed=seed, scenario=scenario)
-            ours_m.append(ours.moves)
-            base_m.append(base.moves)
-            ours_r.append(ours.rounds)
-            base_r.append(base.rounds)
-        mean = lambda xs: sum(xs) / len(xs)
-        table.add_row(n, f"{mean(ours_r):.1f}", f"{mean(base_r):.1f}",
-                      f"{mean(ours_m):.0f}", f"{mean(base_m):.0f}")
-        ours_pts.append((n, mean(ours_m)))
-        base_pts.append((n, mean(base_m)))
+    for n in campaign.sizes:
+        ours_m, base_m = moves[("unison", n)], moves[("boulinier", n)]
+        ours_r, base_r = rounds[("unison", n)], rounds[("boulinier", n)]
+        table.add_row(n, f"{ours_r:.1f}", f"{base_r:.1f}",
+                      f"{ours_m:.0f}", f"{base_m:.0f}")
+        ours_pts.append((n, ours_m))
+        base_pts.append((n, base_m))
     fig.add("U o SDR", ours_pts)
     fig.add("boulinier", base_pts)
     ours_exp, _ = fit_power_law([p[0] for p in ours_pts], [max(p[1], 1) for p in ours_pts])

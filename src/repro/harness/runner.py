@@ -9,9 +9,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from random import Random
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from ..alliance.fga import FGA
+from ..alliance.functions import instance_by_name
 from ..analysis.metrics import RunMetrics, collect_metrics
 from ..core.daemon import Daemon, make_daemon
 from ..core.detectors import measure_stabilization
@@ -20,10 +21,21 @@ from ..core.simulator import Simulator
 from ..faults.injector import corrupt_processes
 from ..faults.scenarios import clock_gradient, clock_split, fake_reset_wave, hollow_alliance
 from ..reset.sdr import SDR
+from ..topology import by_name
 from ..unison.boulinier import BoulinierUnison
 from ..unison.unison import CLOCK, Unison
 
-__all__ = ["Trial", "run_unison_trial", "run_boulinier_trial", "run_fga_trial", "sweep"]
+if TYPE_CHECKING:  # descriptor type only — the engine imports this module
+    from ..engine.campaign import TrialSpec
+
+__all__ = [
+    "Trial",
+    "run_trial",
+    "run_unison_trial",
+    "run_boulinier_trial",
+    "run_fga_trial",
+    "sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -189,6 +201,40 @@ def run_fga_trial(
         steps=result.steps,
         metrics=collect_metrics(sim),
         extra={"alliance_size": len(alliance), "alliance": frozenset(alliance)},
+    )
+
+
+def run_trial(spec: "TrialSpec", seed: int | None = None) -> Trial:
+    """Descriptor-driven entry point used by :mod:`repro.engine`.
+
+    ``spec`` names the algorithm, topology family (built via
+    :func:`repro.topology.by_name` with ``spec.topology_seed``), scenario,
+    daemon, and any extra keyword params; ``seed`` is the trial's PRNG seed
+    (the engine derives it from the campaign seed and the spec key; when
+    omitted, the replicate index is used so bare specs stay runnable).
+    """
+    params = spec.kwargs() if hasattr(spec, "kwargs") else dict(spec.params)
+    network = by_name(spec.topology, spec.n, seed=spec.topology_seed)
+    if seed is None:
+        seed = spec.trial
+    if spec.algorithm == "unison":
+        return run_unison_trial(
+            network, seed=seed, daemon=spec.daemon, scenario=spec.scenario, **params
+        )
+    if spec.algorithm == "boulinier":
+        return run_boulinier_trial(
+            network, seed=seed, daemon=spec.daemon, scenario=spec.scenario, **params
+        )
+    if spec.algorithm == "fga":
+        instance = params.pop("instance", "dominating-set")
+        f, g = instance_by_name(instance, network)
+        return run_fga_trial(
+            network, f, g, seed=seed, daemon=spec.daemon, scenario=spec.scenario,
+            **params,
+        )
+    raise ValueError(
+        f"unknown trial algorithm {spec.algorithm!r}; "
+        "choose from 'unison', 'boulinier', 'fga'"
     )
 
 

@@ -1,0 +1,134 @@
+"""The ``python -m repro.harness sweep`` subcommand (acceptance criteria)."""
+
+import pytest
+
+from repro.engine import ResultStore
+from repro.harness import __main__ as cli
+
+GRID = ["--grid", "algorithm=unison", "--grid", "topology=ring",
+        "--grid", "n=5,7", "--grid", "scenario=random",
+        "--trials", "2", "--seed", "4", "--quiet"]
+
+
+def sweep(*extra: str) -> int:
+    return cli.main(["sweep", *GRID, *extra])
+
+
+class TestSweepCli:
+    def test_serial_and_parallel_stores_are_byte_identical(self, tmp_path):
+        serial, parallel = tmp_path / "w0.jsonl", tmp_path / "w2.jsonl"
+        assert sweep("--workers", "0", "--out", str(serial)) == 0
+        assert sweep("--workers", "2", "--out", str(parallel)) == 0
+        assert serial.read_bytes() == parallel.read_bytes()
+        assert len(ResultStore(serial).load(strict=True)) == 4
+
+    def test_resume_runs_only_missing_trials(self, tmp_path, capsys):
+        out = tmp_path / "r.jsonl"
+        assert sweep("--workers", "0", "--out", str(out)) == 0
+        full = out.read_bytes()
+
+        # Keep only the first record, as if the sweep was killed early.
+        lines = out.read_text().splitlines(keepends=True)
+        out.write_text(lines[0])
+        capsys.readouterr()
+
+        assert sweep("--workers", "0", "--out", str(out), "--resume") == 0
+        assert "3 trial(s) run, 1 already stored" in capsys.readouterr().out
+        assert out.read_bytes() == full
+
+    def test_summary_table_is_printed(self, capsys):
+        assert sweep("--workers", "0") == 0
+        out = capsys.readouterr().out
+        assert "campaign 'sweep'" in out
+        assert "moves (mean)" in out
+        assert "4 trial(s) run" in out
+
+    def test_unknown_grid_axis_is_an_error(self, capsys):
+        assert cli.main(["sweep", "--grid", "color=red"]) == 2
+        assert "unknown grid axis" in capsys.readouterr().out
+
+    def test_malformed_grid_entry_is_an_error(self, capsys):
+        assert cli.main(["sweep", "--grid", "topology"]) == 2
+        assert "AXIS=V1" in capsys.readouterr().out
+
+    def test_resume_without_out_is_an_error(self, capsys):
+        assert cli.main(["sweep", "--resume"]) == 2
+        assert "--resume needs --out" in capsys.readouterr().out
+
+    def test_unknown_topology_fails_before_running(self, capsys):
+        assert cli.main(["sweep", "--grid", "topology=mobius"]) == 2
+        assert "unknown topology" in capsys.readouterr().out
+
+    def test_mid_run_trial_error_is_reported_cleanly(self, capsys):
+        code = cli.main(["sweep", "--grid", "algorithm=boulinier",
+                         "--grid", "scenario=hollow", "--grid", "n=5", "--quiet"])
+        assert code == 1
+        assert "unknown boulinier scenario" in capsys.readouterr().out
+
+    def test_unknown_daemon_fails_before_running(self, capsys):
+        assert cli.main(["sweep", "--grid", "daemon=centrall"]) == 2
+        assert "unknown daemon" in capsys.readouterr().out
+
+    def test_repeated_grid_flags_for_one_axis_merge(self, capsys):
+        assert cli.main(["sweep", "--grid", "n=5", "--grid", "n=7,5",
+                         "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "2 trial(s) run" in out  # n=5 and n=7, deduplicated
+
+    def test_malformed_param_is_an_error(self, capsys):
+        assert cli.main(["sweep", "--param", "period"]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().out
+
+    def test_duplicate_params_last_wins(self, capsys):
+        assert cli.main(["sweep", "--grid", "n=5", "--param", "period=9",
+                         "--param", "period=40", "--quiet"]) == 0
+
+    def test_mid_file_corruption_skips_compaction_keeps_data(self, tmp_path, capsys):
+        out = tmp_path / "c.jsonl"
+        assert sweep("--workers", "0", "--out", str(out)) == 0
+        lines = out.read_text().splitlines(keepends=True)
+        # Corrupt a *middle* line: later records must survive the next sweep.
+        out.write_text(lines[0] + '{"half\n' + "".join(lines[2:]))
+        capsys.readouterr()
+        assert cli.main(["sweep", "--grid", "algorithm=unison",
+                         "--grid", "n=9", "--seed", "4",
+                         "--out", str(out), "--quiet"]) == 0
+        assert "skipping grid-order compaction" in capsys.readouterr().out
+        text = out.read_text()
+        assert '{"half' in text  # file left append-only, nothing dropped
+        assert "n=9" in text.splitlines()[-1]
+
+    def test_param_values_reach_the_trials(self, tmp_path):
+        out = tmp_path / "p.jsonl"
+        assert cli.main([
+            "sweep", "--grid", "algorithm=unison", "--grid", "n=5",
+            "--param", "period=40", "--out", str(out), "--quiet",
+        ]) == 0
+        record = ResultStore(out).load(strict=True)[0]
+        assert record["spec"]["params"] == {"period": 40}
+
+
+class TestExperimentsThroughEngine:
+    """The refactored experiments accept workers/store and stay correct."""
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_t5_parallel_matches_serial(self, workers, tmp_path):
+        from repro.harness.experiments import experiment_t5
+
+        store = ResultStore(tmp_path / "t5.jsonl")
+        result = experiment_t5(sizes=(6, 8), trials=2, workers=workers, store=store)
+        assert result.ok
+        assert len(store.keys()) == 2 * 2 * 2  # algorithms x sizes x trials
+
+    def test_t3_t4_resumes_from_store(self, tmp_path):
+        from repro.harness.experiments import experiment_t3_t4
+
+        store = ResultStore(tmp_path / "t34.jsonl")
+        kwargs = dict(sizes=(6,), topologies=("ring",),
+                      scenarios=("random",), trials=2, store=store)
+        first = experiment_t3_t4(**kwargs)
+        before = store.keys()
+        second = experiment_t3_t4(**kwargs)  # fully resumed, nothing re-run
+        assert store.keys() == before
+        assert first.table.rows == second.table.rows
+        assert first.ok and second.ok

@@ -1,0 +1,66 @@
+"""Aggregating stored records into tables and figures."""
+
+import pytest
+
+from repro.engine import (
+    Campaign,
+    aggregate,
+    run_campaign,
+    scaling_figure,
+    summary_table,
+    trials_from_records,
+)
+from repro.harness.runner import Trial
+
+
+@pytest.fixture(scope="module")
+def records():
+    campaign = Campaign(
+        "reports-test", seed=1, algorithms=("unison", "boulinier"),
+        topologies=("ring",), sizes=(5, 7), scenarios=("gradient",), trials=2,
+    )
+    return run_campaign(campaign, workers=0).records
+
+
+class TestAggregate:
+    def test_mean_and_max_per_group(self, records):
+        means = aggregate(records, ("algorithm", "n"), "moves", "mean")
+        worst = aggregate(records, ("algorithm", "n"), "moves", "max")
+        assert set(means) == {("unison", 5), ("unison", 7),
+                              ("boulinier", 5), ("boulinier", 7)}
+        assert all(worst[k] >= means[k] for k in means)
+
+    def test_unknown_aggregate_rejected(self, records):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            aggregate(records, ("n",), "moves", "median-ish")
+
+    def test_unknown_field_rejected(self, records):
+        with pytest.raises(KeyError):
+            aggregate(records, ("n",), "no_such_field")
+
+
+class TestSummaryTable:
+    def test_one_row_per_cell_with_trial_counts(self, records):
+        table = summary_table(records, group_by=("algorithm", "n"))
+        assert len(table.rows) == 4
+        rendered = table.render()
+        assert "unison" in rendered and "boulinier" in rendered
+        assert table.columns[2] == "trials"
+        assert all(row[2] == "2" for row in table.rows)
+
+
+class TestScalingFigure:
+    def test_one_series_per_algorithm(self, records):
+        fig = scaling_figure(records, x="n", y="moves", series="algorithm")
+        assert set(fig.series) == {"unison", "boulinier"}
+        assert all(len(pts) == 2 for pts in fig.series.values())
+        assert "moves" in fig.render()
+
+
+class TestTrialReconstruction:
+    def test_records_rebuild_into_trials(self, records):
+        trials = trials_from_records(records)
+        assert len(trials) == len(records)
+        assert all(isinstance(t, Trial) for t in trials)
+        assert trials[0].moves == records[0]["result"]["moves"]
+        assert trials[0].metrics.moves == trials[0].moves

@@ -1,0 +1,55 @@
+"""The descriptor-driven ``run_trial`` entry point."""
+
+import pytest
+
+from repro.engine.campaign import TrialSpec
+from repro.harness.runner import (
+    run_boulinier_trial,
+    run_fga_trial,
+    run_trial,
+    run_unison_trial,
+)
+from repro.topology import by_name
+
+
+class TestRunTrial:
+    def test_unison_matches_direct_runner_call(self):
+        spec = TrialSpec("unison", "ring", 6, "gradient", "distributed-random",
+                         topology_seed=2)
+        direct = run_unison_trial(
+            by_name("ring", 6, seed=2), seed=17, scenario="gradient",
+            daemon="distributed-random",
+        )
+        assert run_trial(spec, seed=17) == direct
+
+    def test_boulinier_dispatch_with_params(self):
+        spec = TrialSpec("boulinier", "ring", 6, "split", params={"period": 40})
+        trial = run_trial(spec, seed=3)
+        assert trial.algorithm == "boulinier"
+        assert trial.extra["period"] == 40
+        direct = run_boulinier_trial(
+            by_name("ring", 6, seed=0), seed=3, scenario="split", period=40,
+            daemon="distributed-random",
+        )
+        assert trial == direct
+
+    def test_fga_dispatch_resolves_named_instance(self):
+        spec = TrialSpec("fga", "random", 8, "random",
+                         params={"instance": "dominating-set"})
+        trial = run_trial(spec, seed=5)
+        assert trial.algorithm == "FGA o SDR"
+        assert trial.extra["alliance_size"] >= 1
+
+        from repro.alliance.functions import dominating_set
+        net = by_name("random", 8, seed=0)
+        f, g = dominating_set(net)
+        assert trial == run_fga_trial(net, f, g, seed=5, scenario="random",
+                                      daemon="distributed-random")
+
+    def test_default_seed_is_the_replicate_index(self):
+        spec = TrialSpec("unison", "ring", 5, trial=9)
+        assert run_trial(spec).seed == 9
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown trial algorithm"):
+            run_trial(TrialSpec("paxos", "ring", 5))
