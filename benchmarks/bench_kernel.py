@@ -1,54 +1,149 @@
-"""Engine micro-benchmarks: raw simulator throughput.
+"""Engine benchmark: dict reference vs array kernel on the F1/F2 sweep.
 
-Not a paper claim — these measure the substrate itself (steps/second of
-the composite-atomicity engine) so regressions in the hot path (guard
-evaluation, incremental enabled-set maintenance) are visible.
+Not a paper claim — this measures the substrate itself.  The F1/F2
+experiments sweep ``U ∘ SDR`` over rings from random initial
+configurations; their wall time is pure simulator throughput, so this
+script times exactly that workload on both execution backends and emits
+``BENCH_core.json`` at the repo root: steps/sec, moves/sec and per-size
+wall time for ``backend="dict"`` vs ``backend="kernel"``, plus the
+speedup per size.  The tracked baseline keeps the perf trajectory
+honest; CI runs a small-size smoke (``--check`` asserts the kernel is
+not slower than the reference).
+
+Usage::
+
+    python benchmarks/bench_kernel.py                      # full sweep
+    python benchmarks/bench_kernel.py --sizes 32,64 --steps 500 --check
+    python benchmarks/bench_kernel.py --out BENCH_core.json
 """
 
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
 from random import Random
 
-from repro.core import DistributedRandomDaemon, Simulator, SynchronousDaemon
-from repro.reset import SDR
-from repro.topology import grid, ring
-from repro.unison import Unison
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import Simulator, make_daemon  # noqa: E402
+from repro.reset import SDR  # noqa: E402
+from repro.topology import ring  # noqa: E402
+from repro.unison import Unison  # noqa: E402
+
+#: The workload: F1/F2's algorithm and topology family.
+DAEMONS = ("distributed-random", "synchronous")
 
 
-def test_synchronous_unison_steady_state(benchmark):
-    """Post-stabilization unison ticking on a 10×10 grid (sync daemon)."""
-    net = grid(10, 10)
-    sdr = SDR(Unison(net))
+def time_run(
+    n: int, backend: str, daemon: str, steps: int, seed: int, repeats: int
+) -> dict:
+    """Best-of-``repeats`` timing of one fixed-step ring unison run."""
+    network = ring(n)
+    sdr = SDR(Unison(network))
+    cfg = sdr.random_configuration(Random(seed))
+    best = None
+    result = None
+    for _ in range(repeats):
+        sim = Simulator(
+            sdr,
+            make_daemon(daemon, network),
+            config=cfg.copy(),
+            seed=seed,
+            backend=backend,
+        )
+        t0 = time.perf_counter()
+        result = sim.run(max_steps=steps)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "n": n,
+        "daemon": daemon,
+        "backend": backend,
+        "steps": result.steps,
+        "moves": result.moves,
+        "rounds": result.rounds,
+        "wall_s": round(best, 6),
+        "steps_per_s": round(result.steps / best, 1),
+        "moves_per_s": round(result.moves / best, 1),
+    }
 
-    def run():
-        sim = Simulator(sdr, SynchronousDaemon(), seed=0)
-        sim.run(max_steps=100)
-        return sim.move_count
 
-    moves = benchmark(run)
-    assert moves == 100 * net.n  # every process ticks every step
+def run_benchmark(sizes: list[int], steps: int, seed: int, repeats: int) -> dict:
+    rows = []
+    speedups = {}
+    for daemon in DAEMONS:
+        for n in sizes:
+            pair = {}
+            for backend in ("dict", "kernel"):
+                row = time_run(n, backend, daemon, steps, seed, repeats)
+                rows.append(row)
+                pair[backend] = row
+                print(
+                    f"  n={n:4d} {daemon:19s} {backend:6s} "
+                    f"{row['steps_per_s']:12,.0f} steps/s "
+                    f"{row['moves_per_s']:14,.0f} moves/s "
+                    f"{row['wall_s'] * 1000:9.1f} ms"
+                )
+            ratio = pair["kernel"]["steps_per_s"] / pair["dict"]["steps_per_s"]
+            speedups[f"{daemon}/n={n}"] = round(ratio, 2)
+            print(f"  n={n:4d} {daemon:19s} speedup {ratio:.2f}x")
+    return {
+        "benchmark": "F1/F2 ring unison sweep (U o SDR, random initial configs)",
+        "tier": "engine-substrate",
+        "workload": {
+            "algorithm": "U o SDR",
+            "topology": "ring",
+            "scenario": "random",
+            "daemons": list(DAEMONS),
+            "steps_per_run": steps,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "results": rows,
+        "speedup_steps_per_s": speedups,
+    }
 
 
-def test_stabilization_from_random_config(benchmark):
-    """Full stabilization of U ∘ SDR on a 64-node ring."""
-    net = ring(64)
-    sdr = SDR(Unison(net))
-    cfg = sdr.random_configuration(Random(5))
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", default="16,64,128,256",
+                        help="comma-separated ring sizes (default 16,64,128,256)")
+    parser.add_argument("--steps", type=int, default=2000,
+                        help="steps per timed run (default 2000)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repetitions per cell, best-of (default 3)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON report here (e.g. BENCH_core.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero unless the kernel is at least as "
+                             "fast as the dict reference at every size")
+    args = parser.parse_args(argv)
 
-    def run():
-        sim = Simulator(sdr, DistributedRandomDaemon(0.5), config=cfg.copy(), seed=5)
-        sim.run(stop_when=lambda s: sdr.is_normal(s.cfg), max_steps=500_000)
-        return sim.step_count
+    sizes = [int(tok) for tok in args.sizes.split(",") if tok.strip()]
+    report = run_benchmark(sizes, args.steps, args.seed, args.repeats)
 
-    steps = benchmark(run)
-    assert steps > 0
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {out}")
+
+    if args.check:
+        slow = {
+            cell: ratio
+            for cell, ratio in report["speedup_steps_per_s"].items()
+            if ratio < 1.0
+        }
+        if slow:
+            print(f"FAIL: kernel slower than dict reference at {slow}")
+            return 1
+        print("OK: kernel >= dict throughput at every size")
+    return 0
 
 
-def test_guard_evaluation_throughput(benchmark):
-    """Enabled-set recomputation over a full 12×12 grid configuration."""
-    net = grid(12, 12)
-    sdr = SDR(Unison(net))
-    cfg = sdr.random_configuration(Random(1))
-
-    def scan():
-        return sum(len(sdr.enabled_rules(cfg, u)) for u in net.processes())
-
-    benchmark(scan)
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -268,6 +268,21 @@ class FGA(InputAlgorithm):
         }
 
     # ------------------------------------------------------------------
+    # Array backend
+    # ------------------------------------------------------------------
+    def kernel_input_program(self):
+        try:
+            from .kernelized import FGAKernelProgram
+
+            return FGAKernelProgram(self)
+        except ModuleNotFoundError as exc:
+            if exc.name and exc.name.split(".")[0] == "numpy":
+                return None  # numpy missing: dict backend only
+            raise
+        except AlgorithmError:  # ids overflow the kernel's pointer keys
+            return None
+
+    # ------------------------------------------------------------------
     # Output
     # ------------------------------------------------------------------
     def alliance(self, cfg: Configuration) -> set[int]:

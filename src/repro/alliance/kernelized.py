@@ -1,0 +1,180 @@
+"""Kernel (struct-of-arrays) port of Algorithm FGA.
+
+Columns: ``col``/``canQ`` as bools, ``scr`` as int64 (−1/0/1), ``ptr`` as
+int64 with ``−1`` encoding ⊥.  The macros of Algorithm 3 vectorize as:
+
+* ``#InAll(u)`` — one segmented count of alliance-member neighbors;
+* ``realScr(u)`` — ``sign(#InAll − threshold)`` with the threshold picked
+  per process from ``f``/``g`` by (possibly overridden) membership;
+* ``bestPtr(u)`` — an argmin-by-identifier over the closed neighborhood,
+  done as a segmented min over the composite key ``id·n + v`` (unique
+  ids ⇒ the min key decodes to the unique argmin process via ``mod n``);
+* the ``∀v ∈ N[u]: ptr_v = u`` test of ``P_toQuit`` — one edge compare
+  against the edge-source vector plus the own-pointer check.
+
+The sequential-macro semantics of the actions (``upd(u)`` seeing values
+``cmpVar(u)`` just computed, ``rule_Clr`` seeing ``col_u`` already
+flipped) are reproduced by evaluating the overridden variants on the
+frozen read columns, exactly like the dict implementation's keyword
+overrides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.exceptions import AlgorithmError
+from ..core.kernel.csr import CSRAdjacency
+from ..core.kernel.programs import InputKernelProgram
+from ..core.kernel.schema import Schema, Var
+from .fga import CANQ, COL, PTR, SCR
+
+__all__ = ["FGAKernelProgram"]
+
+_NO_KEY = np.iinfo(np.int64).max
+
+
+class FGAKernelProgram(InputKernelProgram):
+    """Vectorized guards/actions of the paper's Algorithm FGA."""
+
+    __slots__ = ("csr", "f", "g", "ids", "_own_key", "schema", "rules")
+
+    def __init__(self, algorithm):
+        network = algorithm.network
+        self.csr = CSRAdjacency(network)
+        self.f = np.asarray(algorithm.f, dtype=np.int64)
+        self.g = np.asarray(algorithm.g, dtype=np.int64)
+        self.ids = np.asarray(network.ids, dtype=np.int64)
+        n = network.n
+        if int(self.ids.max()) >= _NO_KEY // (n + 1) or int(self.ids.min()) < 0:
+            # The composite bestPtr key would overflow int64.
+            raise AlgorithmError(
+                "process identifiers too large for the kernel backend"
+            )
+        self._own_key = self.ids * n + np.arange(n, dtype=np.int64)
+        self.schema = Schema(
+            Var.bool(COL), Var.int(SCR), Var.bool(CANQ), Var.opt_index(PTR)
+        )
+        self.rules = algorithm.rule_names()
+
+    # ------------------------------------------------------------------
+    # Macros
+    # ------------------------------------------------------------------
+    def _in_alliance(self, cols) -> np.ndarray:
+        """``#InAll(u)`` for every ``u``."""
+        return self.csr.count_neigh(self.csr.pull(cols[COL]))
+
+    def _real_scr(self, in_all, col_vec) -> np.ndarray:
+        """``realScr(u)`` with membership given by ``col_vec``."""
+        threshold = np.where(col_vec, self.g, self.f)
+        return np.sign(in_all - threshold)
+
+    def _can_quit(self, cols, in_all, col_vec) -> np.ndarray:
+        """``P_canQuit(u)`` with own membership given by ``col_vec``."""
+        neigh_saturated = self.csr.all_neigh(self.csr.pull(cols[SCR]) == 1)
+        return col_vec & (in_all >= self.f) & neigh_saturated
+
+    def _best_ptr(self, cols, scr_vec, canq_own) -> np.ndarray:
+        """``bestPtr(u)`` with own ``scr``/``canQ`` given by the overrides.
+
+        Neighbors always contribute their *stored* ``canQ`` (the overrides
+        are sequential-macro semantics local to ``u``).
+        """
+        csr, n = self.csr, self.csr.n
+        best = csr.min_neigh(csr.pull(self._own_key), csr.pull(cols[CANQ]), _NO_KEY)
+        best = np.minimum(best, np.where(canq_own, self._own_key, _NO_KEY))
+        ptr = np.where(best == _NO_KEY, -1, best % n)
+        return np.where(scr_vec <= 0, -1, ptr)
+
+    def _ptr_unanimous(self, cols) -> np.ndarray:
+        """``∀v ∈ N[u]: ptr_v = u`` (closed neighborhood)."""
+        ptr = cols[PTR]
+        neighbors_point_here = self.csr.all_neigh(
+            self.csr.pull(ptr) == self.csr.edge_src
+        )
+        own_points_here = ptr == np.arange(self.csr.n, dtype=np.int64)
+        return neighbors_point_here & own_points_here
+
+    # ------------------------------------------------------------------
+    # SDR input interface
+    # ------------------------------------------------------------------
+    def _icorrect(self, col, scr, ptr, real) -> np.ndarray:
+        """``P_ICorrect`` from precomputed ``realScr`` (the single source)."""
+        target_col = np.where(ptr >= 0, col[np.maximum(ptr, 0)], False)
+        scr_is_one = scr == 1
+        return (real >= 0) & (
+            (scr_is_one & (real == 1)) | (ptr < 0) | (scr_is_one & ~target_col)
+        )
+
+    def icorrect_mask(self, cols) -> np.ndarray:
+        col, scr, ptr = cols[COL], cols[SCR], cols[PTR]
+        real = self._real_scr(self._in_alliance(cols), col)
+        return self._icorrect(col, scr, ptr, real)
+
+    def reset_mask(self, cols) -> np.ndarray:
+        return cols[COL] & (cols[PTR] < 0) & cols[CANQ] & (cols[SCR] == 1)
+
+    def apply_reset(self, idx, read, write) -> None:
+        write[COL][idx] = True
+        write[PTR][idx] = -1
+        write[CANQ][idx] = True
+        write[SCR][idx] = 1
+
+    # ------------------------------------------------------------------
+    # Guards and actions
+    # ------------------------------------------------------------------
+    def guard_masks(self, cols, clean=None) -> dict[str, np.ndarray]:
+        return self.host_masks(cols, clean)[2]
+
+    def host_masks(self, cols, clean):
+        col, scr, canq, ptr = cols[COL], cols[SCR], cols[CANQ], cols[PTR]
+        in_all = self._in_alliance(cols)
+        real = self._real_scr(in_all, col)
+        icorrect = self._icorrect(col, scr, ptr, real)
+
+        gate = icorrect if clean is None else icorrect & clean
+        can_quit = self._can_quit(cols, in_all, col)
+        to_quit = can_quit & self._ptr_unanimous(cols)
+        upd_ptr = ~to_quit & (ptr != self._best_ptr(cols, scr, canq))
+        stale = (scr != real) | (canq != can_quit)
+        masks = {
+            "rule_Clr": gate & to_quit,
+            "rule_P1": gate & upd_ptr & (ptr >= 0),
+            "rule_P2": gate & upd_ptr & (ptr < 0),
+            "rule_Q": gate & ~to_quit & ~upd_ptr & stale,
+        }
+        return icorrect, self.reset_mask(cols), masks
+
+    def apply(self, rule, idx, read, write) -> None:
+        col = read[COL]
+        in_all = self._in_alliance(read)
+        if rule == "rule_Clr":
+            # col_u := false; upd(u) — upd sees the new membership.
+            false_col = np.zeros(self.csr.n, dtype=np.bool_)
+            scr_new = np.sign(in_all - self.f)  # realScr with col = false
+            ptr_new = self._best_ptr(read, scr_new, false_col)
+            write[COL][idx] = False
+            write[SCR][idx] = scr_new[idx]
+            write[CANQ][idx] = False  # P_canQuit needs col_u
+            write[PTR][idx] = ptr_new[idx]
+        elif rule == "rule_P1":
+            # ptr_u := ⊥; cmpVar(u)
+            write[PTR][idx] = -1
+            write[SCR][idx] = self._real_scr(in_all, col)[idx]
+            write[CANQ][idx] = self._can_quit(read, in_all, col)[idx]
+        elif rule == "rule_P2":
+            # upd(u) = cmpVar(u); ptr := bestPtr(u) on the fresh values.
+            scr_new = self._real_scr(in_all, col)
+            canq_new = self._can_quit(read, in_all, col)
+            write[SCR][idx] = scr_new[idx]
+            write[CANQ][idx] = canq_new[idx]
+            write[PTR][idx] = self._best_ptr(read, scr_new, canq_new)[idx]
+        elif rule == "rule_Q":
+            # cmpVar(u); if realScr(u) ≤ 0 then ptr := ⊥
+            scr_new = self._real_scr(in_all, col)
+            write[SCR][idx] = scr_new[idx]
+            write[CANQ][idx] = self._can_quit(read, in_all, col)[idx]
+            negative = idx[scr_new[idx] <= 0]
+            write[PTR][negative] = -1
+        else:
+            raise AlgorithmError(f"FGA kernel program: unknown rule {rule!r}")

@@ -31,11 +31,12 @@ from .exceptions import (
 )
 from .graph import Network
 from .rounds import RoundCounter
-from .simulator import RunResult, Simulator
+from .simulator import BACKENDS, RunResult, Simulator
 from .trace import StepRecord, Trace
 
 __all__ = [
     "Algorithm",
+    "BACKENDS",
     "Composition",
     "Configuration",
     "Daemon",

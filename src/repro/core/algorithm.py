@@ -99,6 +99,17 @@ class Algorithm(abc.ABC):
     def random_state(self, u: int, rng: Random) -> dict[str, Any]:
         """An arbitrary state of ``u``, uniform-ish over variable domains."""
 
+    def kernel_program(self):
+        """Array-backed execution program for :mod:`repro.core.kernel`.
+
+        Algorithms that declare a typed variable schema return a
+        :class:`~repro.core.kernel.programs.KernelProgram` whose guards and
+        actions operate on flat per-variable columns; the simulator then
+        offers ``backend="kernel"`` (and ``backend="auto"`` prefers it).
+        The default is ``None``: no schema, dict backend only.
+        """
+        return None
+
     def initial_configuration(self) -> Configuration:
         """``γ_init``: every process in its pre-defined initial state."""
         return Configuration.build(self.network.n, self.initial_state)

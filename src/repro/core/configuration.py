@@ -26,8 +26,15 @@ def freeze_state(state: Mapping[str, Any]) -> tuple:
 
 
 def state_equal(a: Mapping[str, Any], b: Mapping[str, Any]) -> bool:
-    """Structural equality of two process states."""
-    return dict(a) == dict(b)
+    """Structural equality of two process states (no intermediate copies)."""
+    if a is b:
+        return True
+    if type(a) is dict and type(b) is dict:
+        return a == b
+    if len(a) != len(b):
+        return False
+    sentinel = object()
+    return all(b.get(k, sentinel) == v for k, v in a.items())
 
 
 class Configuration:

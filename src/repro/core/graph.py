@@ -56,9 +56,11 @@ class Network:
         "_index_of",
         "_adj",
         "_closed_adj",
+        "_adj_sets",
         "_ids",
         "_degrees",
         "_diameter",
+        "_csr",
     )
 
     def __init__(
@@ -94,7 +96,11 @@ class Network:
         self._closed_adj: tuple[tuple[int, ...], ...] = tuple(
             (u, *neigh) for u, neigh in enumerate(self._adj)
         )
+        self._adj_sets: tuple[frozenset[int], ...] = tuple(
+            frozenset(a) for a in self._adj
+        )
         self._degrees: tuple[int, ...] = tuple(len(a) for a in self._adj)
+        self._csr = None
 
         if ids is None:
             self._ids: tuple[int, ...] = tuple(range(len(self._names)))
@@ -165,7 +171,28 @@ class Network:
         return self._degrees
 
     def are_neighbors(self, u: int, v: int) -> bool:
-        return v in self._adj[u]
+        return v in self._adj_sets[u]
+
+    def csr(self) -> tuple:
+        """Adjacency in CSR form: ``(indptr, indices)`` numpy int64 arrays.
+
+        ``indices[indptr[u]:indptr[u+1]]`` are the neighbors of ``u`` in
+        ascending order.  Built once and cached; this is the layout the
+        array-backed execution kernel (:mod:`repro.core.kernel`) drives.
+        Requires numpy.
+        """
+        if self._csr is None:
+            import numpy as np
+
+            indptr = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(self._degrees, out=indptr[1:])
+            indices = np.fromiter(
+                (v for neigh in self._adj for v in neigh),
+                dtype=np.int64,
+                count=2 * self.m,
+            )
+            self._csr = (indptr, indices)
+        return self._csr
 
     @property
     def diameter(self) -> int:

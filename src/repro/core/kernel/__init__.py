@@ -1,0 +1,49 @@
+"""Array-backed fast execution kernel for the step/round hot loop.
+
+The dict backend (:class:`~repro.core.simulator.Simulator`'s reference
+engine) evaluates guards process by process over per-process state dicts.
+This subpackage is the flattened alternative: algorithms declare a typed
+variable :class:`~repro.core.kernel.schema.Schema`, states live in one
+numpy column per variable indexed by process id, adjacency is CSR, and a
+step is a handful of vectorized gathers/segmented reductions plus a
+double-buffer swap.  Model semantics — composite atomicity, enabled-set
+contents and ordering, move/round accounting — are identical by
+construction and machine-checked by the simulator's paranoid lockstep
+mode (see ``Simulator(backend="kernel", paranoid=True)``).
+
+Import of this package requires numpy; callers that must degrade
+gracefully should go through :func:`kernel_available` or the lazily
+imported ``Algorithm.kernel_program`` hooks.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CSRAdjacency",
+    "InputKernelProgram",
+    "KernelProgram",
+    "KernelRuntime",
+    "Schema",
+    "StandaloneInputProgram",
+    "Var",
+    "kernel_available",
+]
+
+
+def kernel_available() -> bool:
+    """Whether the array backend's only external dependency (numpy) exists."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+from .csr import CSRAdjacency  # noqa: E402
+from .engine import KernelRuntime  # noqa: E402
+from .programs import (  # noqa: E402
+    InputKernelProgram,
+    KernelProgram,
+    StandaloneInputProgram,
+)
+from .schema import Schema, Var  # noqa: E402

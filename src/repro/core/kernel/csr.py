@@ -1,0 +1,89 @@
+"""CSR adjacency with vectorized neighborhood reductions.
+
+Guards in the locally shared memory model are neighborhood quantifiers:
+``∀v ∈ N(u)``, ``∃v ∈ N(u)``, ``#{v ∈ N(u) | …}``, ``min …``.  With the
+adjacency flattened to CSR (``indptr``/``indices`` from
+:meth:`repro.core.graph.Network.csr`), each such quantifier over *every*
+process at once becomes one gather over the edge array plus one segmented
+reduction — no python-level loop over processes or neighbors.
+
+The reductions use ``ufunc.reduceat`` over the edge array.  ``reduceat``
+mis-handles empty segments, but a :class:`~repro.core.graph.Network` is
+connected, so for ``n ≥ 2`` every process has degree ≥ 1 and every
+segment is non-empty; the single-process network (no edges at all) is
+special-cased to the vacuous value of each quantifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CSRAdjacency"]
+
+
+class CSRAdjacency:
+    """Flattened neighborhoods of a :class:`~repro.core.graph.Network`.
+
+    Attributes
+    ----------
+    indptr, indices:
+        CSR layout; ``indices[indptr[u]:indptr[u+1]]`` = ``N(u)`` ascending.
+    edge_src:
+        For each edge slot, the process whose neighborhood it belongs to
+        (``indices[i]`` is a neighbor of ``edge_src[i]``).
+    deg:
+        Per-process degree vector.
+    """
+
+    __slots__ = ("n", "indptr", "indices", "edge_src", "deg", "_starts", "_no_edges")
+
+    def __init__(self, network):
+        indptr, indices = network.csr()
+        self.n: int = network.n
+        self.indptr = indptr
+        self.indices = indices
+        self.deg = np.diff(indptr)
+        self.edge_src = np.repeat(np.arange(self.n, dtype=np.int64), self.deg)
+        self._starts = indptr[:-1]
+        self._no_edges = indices.shape[0] == 0  # the single-process network
+
+    # ------------------------------------------------------------------
+    # Gathers
+    # ------------------------------------------------------------------
+    def pull(self, column: np.ndarray) -> np.ndarray:
+        """Per edge slot: the *neighbor's* value of ``column``."""
+        return column[self.indices]
+
+    def own(self, column: np.ndarray) -> np.ndarray:
+        """Per edge slot: the *owner's* value of ``column``."""
+        return column[self.edge_src]
+
+    # ------------------------------------------------------------------
+    # Segmented reductions (edge space → process space)
+    # ------------------------------------------------------------------
+    def count_neigh(self, edge_flags: np.ndarray) -> np.ndarray:
+        """``#{v ∈ N(u) | flag}`` for every ``u`` (int64 vector)."""
+        if self._no_edges:
+            return np.zeros(self.n, dtype=np.int64)
+        return np.add.reduceat(edge_flags.astype(np.int64, copy=False), self._starts)
+
+    def all_neigh(self, edge_flags: np.ndarray) -> np.ndarray:
+        """``∀v ∈ N(u): flag`` (vacuously true for isolated processes)."""
+        if self._no_edges:
+            return np.ones(self.n, dtype=np.bool_)
+        return np.logical_and.reduceat(edge_flags, self._starts)
+
+    def any_neigh(self, edge_flags: np.ndarray) -> np.ndarray:
+        """``∃v ∈ N(u): flag``."""
+        if self._no_edges:
+            return np.zeros(self.n, dtype=np.bool_)
+        return np.logical_or.reduceat(edge_flags, self._starts)
+
+    def min_neigh(
+        self, edge_values: np.ndarray, edge_mask: np.ndarray, default
+    ) -> np.ndarray:
+        """``min{value(v) | v ∈ N(u), mask}`` with ``default`` when empty."""
+        masked = np.where(edge_mask, edge_values, default)
+        out = np.full(self.n, default, dtype=masked.dtype)
+        np.minimum.at(out, self.edge_src, masked)
+        return out

@@ -1,0 +1,159 @@
+"""Struct-of-arrays execution runtime driven by the simulator.
+
+:class:`KernelRuntime` owns the flat per-variable columns of one
+execution and advances them step by step: guard masks are recomputed
+vectorized after every step (full recomputation is cheap in array form —
+no incremental bookkeeping needed), and actions mutate a double buffer
+(write columns rebased from the read columns, then swapped) so every
+activated process reads the same frozen pre-step configuration —
+composite atomicity by construction.
+
+The runtime speaks the simulator's language at the boundary: it produces
+the enabled map as a ``{process: (rules…)}`` dict in ascending process
+order (the order contract daemons observe on both backends) and decodes
+columns back into a :class:`~repro.core.configuration.Configuration` on
+demand (for observers, traces, daemon callbacks, and the paranoid
+lockstep cross-check).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..configuration import Configuration
+from .programs import KernelProgram
+
+__all__ = ["KernelRuntime"]
+
+
+class KernelRuntime:
+    """Columnar state + transition function for one execution."""
+
+    __slots__ = (
+        "program",
+        "rules",
+        "read",
+        "write",
+        "max_enabled_rules",
+        "_masks",
+        "_singles",
+        "_rule_idx",
+        "_rule_idx_prev",
+        "_prev_valid",
+        "_prev_map",
+    )
+
+    def __init__(self, program: KernelProgram, cfg: Configuration):
+        self.program = program
+        self.rules = program.rules
+        self.read: dict[str, np.ndarray] = program.schema.encode(cfg)
+        self.write: dict[str, np.ndarray] = {
+            name: col.copy() for name, col in self.read.items()
+        }
+        n = len(cfg)
+        self._masks: dict[str, np.ndarray] | None = None
+        self._singles = [(rule,) for rule in self.rules]
+        #: Per process: index of its single enabled rule, -1 if disabled
+        #: (-2 marks the multi-rule case, resolved in the slow path).
+        self._rule_idx = np.full(n, -1, dtype=np.int8)
+        self._rule_idx_prev = np.full(n, -1, dtype=np.int8)
+        self._prev_valid = False
+        self._prev_map: dict[int, tuple[str, ...]] = {}
+        #: Max number of simultaneously enabled rules at one process in the
+        #: last computed enabled set (the simulator's exclusion check).
+        self.max_enabled_rules = 0
+
+    # ------------------------------------------------------------------
+    # Enabled set
+    # ------------------------------------------------------------------
+    def guard_masks(self) -> dict[str, np.ndarray]:
+        if self._masks is None:
+            self._masks = self.program.guard_masks(self.read)
+        return self._masks
+
+    def enabled_map(self) -> dict[int, tuple[str, ...]]:
+        """``{u: enabled rules}`` in ascending process order.
+
+        The returned dict is cached and *reused* while the enabled set
+        stays unchanged between steps (steady-state executions), so
+        callers must honor the simulator's do-not-mutate contract.
+        """
+        masks = self.guard_masks()
+        rules = self.rules
+        rule_idx = self._rule_idx
+        if len(rules) == 1:
+            mask = masks[rules[0]]
+            rule_idx.fill(-1)
+            rule_idx[mask] = 0
+            self.max_enabled_rules = 1 if mask.any() else 0
+        else:
+            # Descending write order: the lowest enabled rule index wins a
+            # slot, matching rule declaration order.
+            rule_idx.fill(-1)
+            count = np.zeros(rule_idx.shape[0], dtype=np.int8)
+            for k in range(len(rules) - 1, -1, -1):
+                mask = masks[rules[k]]
+                rule_idx[mask] = k
+                count += mask
+            self.max_enabled_rules = int(count.max()) if count.size else 0
+            if self.max_enabled_rules > 1:
+                rule_idx[count > 1] = -2
+
+        # The -2 sentinel erases *which* rules are enabled, so the
+        # unchanged-state cache is only sound without multi-rule slots.
+        if (
+            self._prev_valid
+            and self.max_enabled_rules <= 1
+            and np.array_equal(rule_idx, self._rule_idx_prev)
+        ):
+            return self._prev_map
+
+        if self.max_enabled_rules > 1:
+            enabled: dict[int, tuple[str, ...]] = {}
+            for u, k in enumerate(rule_idx.tolist()):
+                if k == -1:
+                    continue
+                if k == -2:
+                    enabled[u] = tuple(
+                        rule for rule in rules if masks[rule][u]
+                    )
+                else:
+                    enabled[u] = self._singles[k]
+        else:
+            idx = np.nonzero(rule_idx >= 0)[0]
+            singles = self._singles
+            enabled = {
+                u: singles[k]
+                for u, k in zip(idx.tolist(), rule_idx[idx].tolist())
+            }
+        self._rule_idx, self._rule_idx_prev = self._rule_idx_prev, rule_idx
+        self._prev_valid = True
+        self._prev_map = enabled
+        return enabled
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def apply(self, selection: Mapping[int, str]) -> None:
+        """One atomic step: execute ``selection`` against the read buffer."""
+        by_rule: dict[str, list[int]] = {}
+        for u, rule in selection.items():
+            by_rule.setdefault(rule, []).append(u)
+        read, write = self.read, self.write
+        for name, col in read.items():
+            write[name][:] = col
+        for rule, processes in by_rule.items():
+            processes.sort()
+            idx = np.asarray(processes, dtype=np.int64)
+            self.program.apply(rule, idx, read, write)
+        self.read, self.write = write, read
+        self._masks = None
+
+    # ------------------------------------------------------------------
+    # Boundary conversions
+    # ------------------------------------------------------------------
+    def decode(self) -> Configuration:
+        """Current columns as a plain-value :class:`Configuration`."""
+        return self.program.schema.decode(self.read)

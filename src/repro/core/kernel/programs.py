@@ -1,0 +1,121 @@
+"""Program interfaces of the array-backed execution kernel.
+
+A :class:`KernelProgram` is the flattened counterpart of an
+:class:`~repro.core.algorithm.Algorithm`: instead of per-process
+``guard``/``execute`` calls over state dicts, it evaluates every rule's
+guard as a boolean mask over *all* processes at once and applies a rule's
+action to a whole index vector of selected processes, reading the frozen
+pre-step columns and writing the next-step columns (the engine's double
+buffer realizes composite atomicity).
+
+:class:`InputKernelProgram` extends the contract with the SDR input
+interface (vectorized ``P_ICorrect``/``P_reset`` masks and the ``reset``
+macro) so SDR's kernel program can compose with a ported input algorithm
+exactly like :class:`~repro.reset.sdr.SDR` composes with an
+:class:`~repro.reset.interface.InputAlgorithm`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping
+
+import numpy as np
+
+from .schema import Schema
+
+__all__ = ["KernelProgram", "InputKernelProgram", "StandaloneInputProgram"]
+
+Columns = Mapping[str, np.ndarray]
+
+
+class KernelProgram(abc.ABC):
+    """Vectorized guards and actions over typed columns.
+
+    Attributes
+    ----------
+    schema:
+        The :class:`~repro.core.kernel.schema.Schema` describing the
+        columns this program reads and writes.
+    rules:
+        Rule labels, in the same fixed order as the dict-backend
+        algorithm (`Algorithm.rule_names`) — label-for-label equal, so
+        the two backends are interchangeable in traces and accounting.
+    """
+
+    schema: Schema
+    rules: tuple[str, ...]
+
+    @abc.abstractmethod
+    def guard_masks(self, cols: Columns) -> dict[str, np.ndarray]:
+        """Boolean enabled-mask per rule, evaluated on every process."""
+
+    @abc.abstractmethod
+    def apply(self, rule: str, idx: np.ndarray, read: Columns, write: Columns) -> None:
+        """Execute ``rule`` at the processes in ``idx``.
+
+        Reads come from ``read`` (the frozen pre-step columns), writes go
+        to ``write``; a process's action may only write its own slots.
+        """
+
+
+class InputKernelProgram(KernelProgram):
+    """Kernel port of an SDR input algorithm (the paper's ``I``).
+
+    ``guard_masks`` here takes the host's ``P_Clean`` mask explicitly —
+    standalone execution passes all-true (see
+    :class:`StandaloneInputProgram`), SDR passes its computed mask.
+    """
+
+    @abc.abstractmethod
+    def icorrect_mask(self, cols: Columns) -> np.ndarray:
+        """Vectorized ``P_ICorrect``."""
+
+    @abc.abstractmethod
+    def reset_mask(self, cols: Columns) -> np.ndarray:
+        """Vectorized ``P_reset``."""
+
+    @abc.abstractmethod
+    def guard_masks(  # type: ignore[override]
+        self, cols: Columns, clean: np.ndarray | None = None
+    ) -> dict[str, np.ndarray]:
+        """Rule masks given the host's ``P_Clean`` mask (``None`` = all true)."""
+
+    @abc.abstractmethod
+    def apply_reset(self, idx: np.ndarray, read: Columns, write: Columns) -> None:
+        """The macro ``reset(u)`` on a vector of processes."""
+
+    def host_masks(
+        self, cols: Columns, clean: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, dict[str, np.ndarray]]:
+        """``(P_ICorrect, P_reset, rule masks)`` in one evaluation.
+
+        The host (SDR) needs all three every step; ports override this to
+        share intermediate arrays instead of recomputing them per mask.
+        """
+        return (
+            self.icorrect_mask(cols),
+            self.reset_mask(cols),
+            self.guard_masks(cols, clean),
+        )
+
+    def as_standalone(self) -> "StandaloneInputProgram":
+        """This input program run without SDR (``P_Clean ≡ true``)."""
+        return StandaloneInputProgram(self)
+
+
+class StandaloneInputProgram(KernelProgram):
+    """Adapter: an input program executed under the trivial host."""
+
+    __slots__ = ("inner", "schema", "rules")
+
+    def __init__(self, inner: InputKernelProgram):
+        self.inner = inner
+        self.schema = inner.schema
+        self.rules = inner.rules
+
+    def guard_masks(self, cols: Columns) -> dict[str, np.ndarray]:
+        return self.inner.guard_masks(cols, None)
+
+    def apply(self, rule: str, idx: np.ndarray, read: Columns, write: Columns) -> None:
+        self.inner.apply(rule, idx, read, write)

@@ -63,14 +63,20 @@ class RoundCounter:
             # γ0 was terminal, or counting resumed at a terminal suffix.
             return 0
 
-        activated = set(activated)
-        after = set(enabled_after)
-        before = set(enabled_before)
+        # Reuse caller-provided snapshots: the simulator already holds the
+        # activated selection (a dict) and frozen enabled sets, so only wrap
+        # plain iterables — no throwaway copies on the hot path.
+        if not isinstance(activated, (set, frozenset, dict)):
+            activated = frozenset(activated)
+        if not isinstance(enabled_before, (set, frozenset)):
+            enabled_before = frozenset(enabled_before)
+        if not isinstance(enabled_after, (set, frozenset)):
+            enabled_after = frozenset(enabled_after)
 
         resolved = {
             v
             for v in self._pending
-            if v in activated or (v in before and v not in after)
+            if v in activated or (v in enabled_before and v not in enabled_after)
         }
         self._pending -= resolved
 
@@ -78,5 +84,5 @@ class RoundCounter:
             return 0
         # Round boundary: the suffix starts at the post-step configuration.
         self.completed += 1
-        self._pending = after
+        self._pending = set(enabled_after)
         return 1

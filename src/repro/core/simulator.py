@@ -6,12 +6,35 @@
 activated in a step compute their actions against the same frozen pre-step
 configuration, then all updates are installed at once.
 
-The engine maintains the set of enabled processes *incrementally*: after a
-step in which the set ``S`` moved, only processes within graph distance
-``guard_locality`` of ``S`` can change enabled status (every algorithm in
-the paper reads only its closed neighborhood).  A ``paranoid`` mode
-recomputes the enabled set from scratch each step and cross-checks, which
-the test suite uses to validate the optimization.
+Execution backends
+------------------
+Two interchangeable backends implement the step relation:
+
+* ``"dict"`` — the reference engine.  States are per-process dicts, guards
+  are evaluated process by process through ``Algorithm.guard``, and the
+  enabled set is maintained *incrementally*: after a step in which the set
+  ``S`` moved, only processes within graph distance ``guard_locality`` of
+  ``S`` can change enabled status.
+* ``"kernel"`` — the array engine (:mod:`repro.core.kernel`).  Algorithms
+  that declare a typed variable schema (``Algorithm.kernel_program``)
+  execute on flat numpy columns over CSR adjacency; guards become
+  vectorized masks and actions mutate a double buffer.  Orders of
+  magnitude less interpreter work per step on non-trivial networks.
+
+``backend="auto"`` (the default) picks the kernel whenever the algorithm
+provides a program and numpy is importable, and falls back to the dict
+engine otherwise.  The two backends are observationally identical: both
+present the enabled map to daemons in ascending process order (a contract
+this class guarantees), so with equal seeds they produce step-for-step
+identical traces — equality that the backend-equivalence property tests
+assert and that ``paranoid`` mode machine-checks in-process.
+
+``paranoid`` mode is backend-specific validation: under the dict backend
+it recomputes the enabled set from scratch each step and cross-checks the
+incremental bookkeeping; under the kernel backend it runs the dict
+reference *in lockstep* — every step applies the same selection to both
+engines and compares configurations, enabled sets, and accounting, so
+kernel/reference equivalence is machine-checked, not assumed.
 
 Accounting follows the paper exactly: *moves* are rule executions, *rounds*
 follow the neutralization definition (see :mod:`repro.core.rounds`).
@@ -23,13 +46,16 @@ from random import Random
 from typing import Any, Callable, Iterable, Sequence
 
 from .algorithm import Algorithm
-from .configuration import Configuration
+from .configuration import Configuration, state_equal
 from .daemon import Daemon
-from .exceptions import DaemonError, ModelViolation, NotStabilized
+from .exceptions import AlgorithmError, DaemonError, ModelViolation, NotStabilized
 from .rounds import RoundCounter
 from .trace import StepRecord, Trace
 
-__all__ = ["Simulator", "RunResult"]
+__all__ = ["Simulator", "RunResult", "BACKENDS"]
+
+#: Recognized values of the ``backend`` parameter.
+BACKENDS = ("auto", "dict", "kernel")
 
 
 class RunResult:
@@ -60,6 +86,36 @@ class RunResult:
         )
 
 
+class _LazyConfigView:
+    """Configuration façade handed to daemons under the kernel backend.
+
+    Decoding the columns into dicts costs O(n·|vars|); the built-in
+    daemons never read the configuration, so the proxy defers decoding
+    until an attribute or item is actually touched (priority/strategy
+    callbacks still see full :class:`Configuration` semantics).
+    """
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim: "Simulator"):
+        self._sim = sim
+
+    def _materialize(self) -> Configuration:
+        return self._sim.cfg
+
+    def __getattr__(self, name):
+        return getattr(self._materialize(), name)
+
+    def __getitem__(self, u):
+        return self._materialize()[u]
+
+    def __len__(self):
+        return len(self._materialize())
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+
 class Simulator:
     """Executes one algorithm on one network under one daemon.
 
@@ -80,14 +136,31 @@ class Simulator:
         Assert daemon contract and (when the algorithm declares it) pairwise
         mutual exclusion of rules.
     paranoid:
-        Recompute the enabled set from scratch every step and compare with
-        the incremental bookkeeping (slow; for tests).
+        Backend-specific cross-checking (slow; for tests).  Dict backend:
+        recompute the enabled set from scratch every step and compare with
+        the incremental bookkeeping.  Kernel backend: run the dict
+        reference in lockstep and compare configurations, enabled sets and
+        rule choices after every step.
+    backend:
+        ``"auto"`` (default), ``"dict"`` or ``"kernel"``.  ``"kernel"``
+        requires the algorithm to provide a kernel program (see
+        ``Algorithm.kernel_program``) and numpy to be installed; ``"auto"``
+        silently falls back to ``"dict"`` when either is missing.
     trace:
         Optional :class:`~repro.core.trace.Trace` to record into.
     observers:
         Callables ``observer(simulator, record)`` invoked after every step;
         an optional ``on_start(simulator)`` attribute is invoked before the
         first step.  Stabilization detectors plug in here.
+
+    Notes
+    -----
+    Daemons observe the enabled map in ascending process order on both
+    backends — relying on that order is safe and keeps traces
+    backend-independent.  Under the kernel backend, :attr:`cfg` is a
+    decoded *snapshot* of the columnar state: reading it is always
+    current, but mutating it does not write through to the execution
+    state (mutate initial configurations before construction instead).
     """
 
     def __init__(
@@ -99,6 +172,7 @@ class Simulator:
         rng: Random | None = None,
         strict: bool = True,
         paranoid: bool = False,
+        backend: str = "auto",
         trace: Trace | None = None,
         observers: Sequence[Callable[["Simulator", StepRecord], Any]] = (),
     ):
@@ -113,11 +187,24 @@ class Simulator:
         self.trace = trace
         self.observers = list(observers)
 
-        self.cfg = config.copy() if config is not None else algorithm.initial_configuration()
-        if len(self.cfg) != self.network.n:
+        cfg = config.copy() if config is not None else algorithm.initial_configuration()
+        if len(cfg) != self.network.n:
             raise ValueError(
-                f"configuration has {len(self.cfg)} states for {self.network.n} processes"
+                f"configuration has {len(cfg)} states for {self.network.n} processes"
             )
+
+        self.backend = self._resolve_backend(backend)
+        self._cfg: Configuration | None = cfg
+        self._cfg_dirty = False
+        self._kernel = None
+        self._shadow: Configuration | None = None
+        if self.backend == "kernel":
+            from .kernel.engine import KernelRuntime
+
+            self._kernel = KernelRuntime(self._program, cfg)
+            self._cfg_view = _LazyConfigView(self)
+            if self.paranoid:
+                self._shadow = cfg.copy()
 
         self.step_count = 0
         self.move_count = 0
@@ -127,7 +214,14 @@ class Simulator:
 
         self.daemon.reset()
         self._enabled: dict[int, tuple[str, ...]] = {}
-        self._recompute_all_enabled()
+        if self.backend == "kernel":
+            self._enabled = self._kernel.enabled_map()
+            self._check_exclusion_kernel()
+            if self._shadow is not None:
+                self._compare_shadow_enabled()
+        else:
+            self._recompute_all_enabled()
+        self._enabled_snapshot = tuple(self._enabled)
         self.rounds.start(self._enabled)
 
         if self.trace is not None:
@@ -138,7 +232,38 @@ class Simulator:
                 on_start(self)
 
     # ------------------------------------------------------------------
-    # Enabled-set maintenance
+    # Backend selection
+    # ------------------------------------------------------------------
+    def _resolve_backend(self, requested: str) -> str:
+        if requested not in BACKENDS:
+            raise ValueError(f"unknown backend {requested!r}; choose from {BACKENDS}")
+        if requested == "dict":
+            self._program = None
+            return "dict"
+        self._program = self.algorithm.kernel_program()
+        if self._program is not None:
+            return "kernel"
+        if requested == "kernel":
+            raise AlgorithmError(
+                f"{self.algorithm.name}: backend='kernel' requires the algorithm "
+                "to provide a kernel program (typed variable schema) and numpy "
+                "to be installed; use backend='auto' to fall back gracefully"
+            )
+        return "dict"
+
+    # ------------------------------------------------------------------
+    # Configuration access
+    # ------------------------------------------------------------------
+    @property
+    def cfg(self) -> Configuration:
+        """Current configuration (decoded on demand under the kernel)."""
+        if self._cfg_dirty:
+            self._cfg = self._kernel.decode()
+            self._cfg_dirty = False
+        return self._cfg
+
+    # ------------------------------------------------------------------
+    # Enabled-set maintenance (dict backend)
     # ------------------------------------------------------------------
     def _enabled_rules_checked(self, u: int) -> tuple[str, ...]:
         rules = self.algorithm.enabled_rules(self.cfg, u)
@@ -164,22 +289,30 @@ class Simulator:
         """Processes whose guards may change after ``moved`` updated."""
         frontier = set(moved)
         affected = set(frontier)
+        neighbors = self.network.neighbors
         for _ in range(self.algorithm.guard_locality):
             nxt: set[int] = set()
             for u in frontier:
-                nxt.update(self.network.neighbors(u))
+                nxt.update(neighbors(u))
             nxt -= affected
             affected |= nxt
             frontier = nxt
         return affected
 
     def _update_enabled(self, moved: Iterable[int]) -> None:
+        enabled = self._enabled
+        inserted = False
         for u in self._affected_by(moved):
             rules = self._enabled_rules_checked(u)
             if rules:
-                self._enabled[u] = rules
+                inserted = inserted or u not in enabled
+                enabled[u] = rules
             else:
-                self._enabled.pop(u, None)
+                enabled.pop(u, None)
+        if inserted:
+            # Keep the ascending-order contract daemons observe; updates
+            # in place and removals preserve it, only insertions break it.
+            self._enabled = dict(sorted(enabled.items()))
         if self.paranoid:
             incremental = dict(self._enabled)
             self._recompute_all_enabled()
@@ -188,6 +321,19 @@ class Simulator:
                     "incremental enabled-set bookkeeping diverged from full "
                     f"recomputation: {incremental} != {self._enabled}"
                 )
+            # _recompute_all_enabled iterates processes() → already ascending.
+
+    def _check_exclusion_kernel(self) -> None:
+        if not (self.strict and self.algorithm.mutually_exclusive_rules):
+            return
+        if self._kernel.max_enabled_rules > 1:
+            offender = next(
+                (u, rules) for u, rules in self._enabled.items() if len(rules) > 1
+            )
+            raise ModelViolation(
+                f"{self.algorithm.name}: rules {offender[1]} simultaneously enabled "
+                f"at process {offender[0]}, but the algorithm declares mutual exclusion"
+            )
 
     # ------------------------------------------------------------------
     # Queries
@@ -205,32 +351,10 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> StepRecord | None:
         """Execute one atomic step; returns ``None`` at a terminal config."""
-        if not self._enabled:
+        advanced = self._advance()
+        if advanced is None:
             return None
-
-        enabled_before = tuple(sorted(self._enabled))
-        selection = self.daemon.select(self.cfg, self._enabled, self.rng, self.step_count)
-        if self.strict:
-            self._check_selection(selection)
-
-        # Composite atomicity: compute every action against the frozen
-        # pre-step configuration, then install all updates at once.
-        updates = {
-            u: self.algorithm.execute(rule, self.cfg, u)
-            for u, rule in selection.items()
-        }
-        self.cfg.apply(updates)
-        self._update_enabled(selection)
-
-        enabled_after = tuple(sorted(self._enabled))
-        self.rounds.observe_step(selection, enabled_before, enabled_after)
-
-        self.step_count += 1
-        self.move_count += len(selection)
-        for u, rule in selection.items():
-            self.moves_per_process[u] += 1
-            self.moves_per_rule[rule] = self.moves_per_rule.get(rule, 0) + 1
-
+        selection, enabled_before, enabled_after = advanced
         record = StepRecord(
             index=self.step_count - 1,
             selection=dict(selection),
@@ -243,6 +367,87 @@ class Simulator:
         for obs in self.observers:
             obs(self, record)
         return record
+
+    def _step_fast(self) -> None:
+        """:meth:`step` minus :class:`StepRecord` construction.
+
+        Used by :meth:`run` when no trace and no observers are attached —
+        the per-step record would be built only to be discarded.
+        """
+        self._advance()
+
+    def _advance(self) -> tuple[dict[int, str], tuple[int, ...], tuple[int, ...]] | None:
+        """The step relation: select, apply, account.  ``None`` at terminal."""
+        if not self._enabled:
+            return None
+
+        enabled_before = self._enabled_snapshot
+        daemon_cfg = self._cfg_view if self.backend == "kernel" else self.cfg
+        selection = self.daemon.select(daemon_cfg, self._enabled, self.rng, self.step_count)
+        if self.strict:
+            self._check_selection(selection)
+
+        if self.backend == "kernel":
+            self._kernel.apply(selection)
+            self._cfg_dirty = True
+            self._enabled = self._kernel.enabled_map()
+            self._check_exclusion_kernel()
+            if self._shadow is not None:
+                self._lockstep_check(selection)
+        else:
+            # Composite atomicity: compute every action against the frozen
+            # pre-step configuration, then install all updates at once.
+            updates = {
+                u: self.algorithm.execute(rule, self.cfg, u)
+                for u, rule in selection.items()
+            }
+            self.cfg.apply(updates)
+            self._update_enabled(selection)
+
+        enabled_after = tuple(self._enabled)
+        self._enabled_snapshot = enabled_after
+        self.rounds.observe_step(selection, enabled_before, enabled_after)
+
+        self.step_count += 1
+        self.move_count += len(selection)
+        moves_per_process = self.moves_per_process
+        moves_per_rule = self.moves_per_rule
+        for u, rule in selection.items():
+            moves_per_process[u] += 1
+            moves_per_rule[rule] = moves_per_rule.get(rule, 0) + 1
+        return selection, enabled_before, enabled_after
+
+    def _lockstep_check(self, selection: dict[int, str]) -> None:
+        """Advance the dict reference with the same selection and compare."""
+        shadow = self._shadow
+        updates = {
+            u: self.algorithm.execute(rule, shadow, u)
+            for u, rule in selection.items()
+        }
+        shadow.apply(updates)
+        decoded = self.cfg
+        for u in self.network.processes():
+            if not state_equal(decoded[u], shadow[u]):
+                raise ModelViolation(
+                    f"kernel backend diverged from the dict reference at process "
+                    f"{u} after step {self.step_count}: kernel={decoded[u]} "
+                    f"reference={shadow[u]}"
+                )
+        self._compare_shadow_enabled()
+
+    def _compare_shadow_enabled(self) -> None:
+        shadow = self._shadow
+        reference_enabled = {
+            u: rules
+            for u in self.network.processes()
+            if (rules := self.algorithm.enabled_rules(shadow, u))
+        }
+        if reference_enabled != self._enabled:
+            raise ModelViolation(
+                "kernel enabled set diverged from the dict reference after "
+                f"step {self.step_count}: kernel={self._enabled} "
+                f"reference={reference_enabled}"
+            )
 
     def _check_selection(self, selection: dict[int, str]) -> None:
         if not selection:
@@ -272,8 +477,13 @@ class Simulator:
         elif self.is_terminal():
             stop_reason = "terminal"
         else:
+            stepper = (
+                self._step_fast
+                if self.trace is None and not self.observers
+                else self.step
+            )
             for _ in range(max_steps):
-                self.step()
+                stepper()
                 if stop_when is not None and stop_when(self):
                     stop_reason = "predicate"
                     break

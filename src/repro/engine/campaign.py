@@ -24,6 +24,12 @@ __all__ = ["KNOWN_ALGORITHMS", "TrialSpec", "Campaign"]
 #: (see :func:`repro.harness.runner.run_trial`).
 KNOWN_ALGORITHMS = ("unison", "boulinier", "fga")
 
+#: Params that select *how* a trial executes, not *what* it measures —
+#: excluded from the canonical key (and hence from seed derivation), so
+#: e.g. ``backend=kernel`` and ``backend=dict`` runs of one grid produce
+#: identical records and deduplicate against each other on resume.
+EXECUTION_OPTIONS = frozenset({"backend"})
+
 
 def _freeze_params(params: Mapping[str, Any] | Iterable[tuple[str, Any]] | None) -> tuple[tuple[str, Any], ...]:
     if params is None:
@@ -62,7 +68,11 @@ class TrialSpec:
 
     # ------------------------------------------------------------------
     def key(self) -> str:
-        """Canonical identity string — the store key and seed-hash input."""
+        """Canonical identity string — the store key and seed-hash input.
+
+        Execution options (:data:`EXECUTION_OPTIONS`) are not part of the
+        identity: they change wall time, never the measurement.
+        """
         parts = [
             f"algorithm={self.algorithm}",
             f"topology={self.topology}",
@@ -72,8 +82,9 @@ class TrialSpec:
             f"trial={self.trial}",
             f"topology_seed={self.topology_seed}",
         ]
-        if self.params:
-            rendered = ",".join(f"{k}:{v}" for k, v in self.params)
+        measured = [(k, v) for k, v in self.params if k not in EXECUTION_OPTIONS]
+        if measured:
+            rendered = ",".join(f"{k}:{v}" for k, v in measured)
             parts.append(f"params={rendered}")
         return "|".join(parts)
 

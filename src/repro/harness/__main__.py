@@ -15,6 +15,10 @@ Usage::
 Sweep results are JSONL records keyed by trial descriptor; the same grid
 and seed produce byte-identical stores for any ``--workers`` value, and
 ``--resume`` re-runs only trials missing from ``--out``.
+
+``--backend {auto,dict,kernel}`` selects the simulator execution engine
+for every trial (array kernel vs dict reference); measured moves/rounds/
+steps are backend-independent, only wall time differs.
 """
 
 from __future__ import annotations
@@ -89,6 +93,8 @@ def _build_campaign(args):
         if not sep or not key.strip():
             raise ValueError(f"--param expects KEY=VALUE, got {entry!r}")
         params[key.strip()] = _parse_scalar(value)  # last --param wins
+    if getattr(args, "backend", None):
+        params["backend"] = args.backend
     return Campaign(
         name=args.name,
         seed=args.seed,
@@ -148,6 +154,9 @@ def run_sweep(argv: list[str]) -> int:
     parser.add_argument("--name", default="sweep", help="campaign name")
     parser.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
                         help="extra trial kwarg, e.g. period=12 or instance=dominating-set")
+    parser.add_argument("--backend", default=None, choices=("auto", "dict", "kernel"),
+                        help="simulator execution backend for every trial "
+                             "(default: auto — array kernel when available)")
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes; 0 or 1 runs serially in-process")
     parser.add_argument("--out", default=None, metavar="PATH",

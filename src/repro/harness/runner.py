@@ -87,12 +87,18 @@ def run_unison_trial(
     scenario: str = "random",
     period: int | None = None,
     max_steps: int = 2_000_000,
+    backend: str = "auto",
 ) -> Trial:
-    """Run ``U ∘ SDR`` to its first normal configuration."""
+    """Run ``U ∘ SDR`` to its first normal configuration.
+
+    ``backend`` selects the simulator's execution engine (``"auto"`` runs
+    the array kernel when available); results are backend-independent.
+    """
     rng = Random(seed)
     sdr = SDR(Unison(network, period=period))
     cfg = _unison_start(sdr, scenario, rng)
-    sim = Simulator(sdr, _make_daemon(daemon, network), config=cfg, seed=seed)
+    sim = Simulator(sdr, _make_daemon(daemon, network), config=cfg, seed=seed,
+                    backend=backend)
     detector, _ = measure_stabilization(sim, sdr.is_normal, max_steps=max_steps)
     return Trial(
         algorithm="U o SDR",
@@ -118,6 +124,7 @@ def run_boulinier_trial(
     alpha: int | None = None,
     scenario: str = "random",
     max_steps: int = 5_000_000,
+    backend: str = "auto",
 ) -> Trial:
     """Run the reset-tail baseline to its first legitimate configuration.
 
@@ -140,7 +147,8 @@ def run_boulinier_trial(
             cfg.set(u, "r", 0 if u < network.n // 2 else far)
     else:
         raise ValueError(f"unknown boulinier scenario {scenario!r}")
-    sim = Simulator(algo, _make_daemon(daemon, network), config=cfg, seed=seed)
+    sim = Simulator(algo, _make_daemon(daemon, network), config=cfg, seed=seed,
+                    backend=backend)
     detector, _ = measure_stabilization(sim, algo.is_legitimate, max_steps=max_steps)
     return Trial(
         algorithm="boulinier",
@@ -167,6 +175,7 @@ def run_fga_trial(
     daemon: str | Daemon = "distributed-random",
     scenario: str = "random",
     max_steps: int = 5_000_000,
+    backend: str = "auto",
 ) -> Trial:
     """Run ``FGA ∘ SDR`` to termination (the composition is silent)."""
     rng = Random(seed)
@@ -184,7 +193,8 @@ def run_fga_trial(
         cfg = corrupt_processes(sdr, cfg, victims, rng)
     else:
         raise ValueError(f"unknown FGA scenario {scenario!r}")
-    sim = Simulator(sdr, _make_daemon(daemon, network), config=cfg, seed=seed)
+    sim = Simulator(sdr, _make_daemon(daemon, network), config=cfg, seed=seed,
+                    backend=backend)
     result = sim.run_to_termination(max_steps=max_steps)
     alliance = sdr.input.alliance(sim.cfg)
     return Trial(

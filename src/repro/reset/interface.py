@@ -106,6 +106,31 @@ class InputAlgorithm(Algorithm):
         ``P_reset(u)`` must hold (Requirement 2e)."""
 
     # ------------------------------------------------------------------
+    # Array-backed kernel support
+    # ------------------------------------------------------------------
+    def kernel_input_program(self):
+        """Schema-typed kernel port of this input algorithm, or ``None``.
+
+        Returns a :class:`~repro.core.kernel.programs.InputKernelProgram`
+        exposing vectorized ``P_ICorrect`` / ``P_reset`` masks and
+        ``reset(u)`` column updates, which SDR's own kernel program
+        composes with.  ``None`` means the algorithm has not been ported
+        to schema form (the simulator falls back to the dict backend).
+        """
+        return None
+
+    def kernel_program(self):
+        """Standalone kernel program (host ``P_Clean ≡ true``).
+
+        Only available while detached from SDR: an attached input
+        algorithm is simulated through its host's program instead.
+        """
+        if self._host is not _TRIVIAL_HOST and not isinstance(self._host, TrivialHost):
+            return None
+        prog = self.kernel_input_program()
+        return None if prog is None else prog.as_standalone()
+
+    # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
     def all_icorrect(self, cfg: Configuration) -> bool:

@@ -1,0 +1,135 @@
+"""Kernel (struct-of-arrays) port of Algorithm SDR.
+
+SDR's per-process state flattens to two columns — ``st`` as an int8 enum
+over ``(C, RB, RF)`` and ``d`` as int64 — joined with the columns of the
+ported input algorithm.  Every predicate of Algorithm 1 is a per-edge
+comparison followed by a segmented all/any reduction over CSR, evaluated
+for all processes at once; the input algorithm contributes its own
+vectorized ``P_ICorrect``/``P_reset`` masks and rule guards (gated here
+by SDR's ``P_Clean`` mask, mirroring the host wiring of the dict path).
+
+Composite atomicity: actions read the frozen pre-step columns (``read``)
+and write the double buffer (``write``); ``compute(u)``'s minimum over
+broadcasting neighbors is one masked segmented min.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.kernel.csr import CSRAdjacency
+from ..core.kernel.programs import InputKernelProgram, KernelProgram
+from ..core.kernel.schema import Schema, Var
+from .sdr import DIST, SDR_RULES, ST, STATUSES
+
+__all__ = ["SDRKernelProgram"]
+
+#: Integer codes of the ``st`` enum (indices into STATUSES = (C, RB, RF)).
+_C, _RB, _RF = 0, 1, 2
+
+#: Neutral element for the masked min in ``compute(u)``.
+_NO_DIST = np.iinfo(np.int64).max // 2
+
+
+class SDRKernelProgram(KernelProgram):
+    """Vectorized ``I ∘ SDR`` for a kernel-ported input algorithm ``I``."""
+
+    __slots__ = ("csr", "input", "schema", "rules", "_all_true", "_all_false")
+
+    def __init__(self, sdr, input_program: InputKernelProgram):
+        self.csr = CSRAdjacency(sdr.network)
+        self.input = input_program
+        self.schema = Schema(
+            Var.enum(ST, STATUSES), Var.int(DIST), *input_program.schema.vars
+        )
+        self.rules = sdr.rule_names()
+        n = sdr.network.n
+        # Shared constants for the all-C fast path (read-only by contract).
+        self._all_true = np.ones(n, dtype=np.bool_)
+        self._all_false = np.zeros(n, dtype=np.bool_)
+
+    # ------------------------------------------------------------------
+    def guard_masks(self, cols) -> dict[str, np.ndarray]:
+        csr = self.csr
+        st, dist = cols[ST], cols[DIST]
+        st_is_c = st == _C
+
+        if st_is_c.all():
+            # Normal-configuration fast path (Theorem 1's attractor, where
+            # every stabilized execution lives): with all statuses C,
+            # P_Clean ≡ true, P_RB = P_RF = P_C = P_R1 = P_R2 ≡ false, and
+            # P_Up collapses to ¬P_Correct = ¬P_ICorrect.
+            icorrect, _, input_masks = self.input.host_masks(cols, self._all_true)
+            masks = {
+                "rule_RB": self._all_false,
+                "rule_RF": self._all_false,
+                "rule_C": self._all_false,
+                "rule_R": ~icorrect,
+            }
+            masks.update(input_masks)
+            return masks
+
+        edge_st = csr.pull(st)
+        edge_d = csr.pull(dist)
+        own_d = csr.own(dist)
+        est_c = edge_st == _C
+        est_rb = edge_st == _RB
+        est_rf = edge_st == _RF
+
+        # P_Clean(u): every member of N[u] (u included) has status C.
+        clean = st_is_c & csr.all_neigh(est_c)
+        icorrect, reset, input_masks = self.input.host_masks(cols, clean)
+        edge_reset = csr.pull(reset)
+        # P_Correct(u) ≡ st_u = C ⇒ P_ICorrect(u).
+        correct = ~st_is_c | icorrect
+        p_r1 = st_is_c & ~reset & csr.any_neigh(est_rf)
+        p_rb = st_is_c & csr.any_neigh(est_rb)
+        p_rf = (
+            (st == _RB)
+            & reset
+            & csr.all_neigh((est_rb & (edge_d <= own_d)) | (est_rf & edge_reset))
+        )
+        # P_C quantifies over N[u]; the own-process conjunct reduces to
+        # P_reset(u) once st_u = RF holds (d_u ≥ d_u is vacuous).
+        p_c = (
+            (st == _RF)
+            & reset
+            & csr.all_neigh(edge_reset & ((est_rf & (edge_d >= own_d)) | est_c))
+        )
+        p_r2 = ~st_is_c & ~reset
+        p_up = ~p_rb & (p_r1 | p_r2 | ~correct)
+
+        masks = {
+            "rule_RB": p_rb,
+            "rule_RF": p_rf,
+            "rule_C": p_c,
+            "rule_R": p_up,
+        }
+        masks.update(input_masks)
+        return masks
+
+    # ------------------------------------------------------------------
+    def apply(self, rule, idx, read, write) -> None:
+        if rule == "rule_RB":
+            # compute(u); reset(u): join the broadcast at min distance + 1.
+            csr = self.csr
+            edge_st = csr.pull(read[ST])
+            dmin = csr.min_neigh(csr.pull(read[DIST]), edge_st == _RB, _NO_DIST)
+            write[ST][idx] = _RB
+            write[DIST][idx] = dmin[idx] + 1
+            self.input.apply_reset(idx, read, write)
+        elif rule == "rule_RF":
+            write[ST][idx] = _RF
+        elif rule == "rule_C":
+            write[ST][idx] = _C
+        elif rule == "rule_R":
+            # beRoot(u); reset(u)
+            write[ST][idx] = _RB
+            write[DIST][idx] = 0
+            self.input.apply_reset(idx, read, write)
+        else:
+            self.input.apply(rule, idx, read, write)
+
+
+assert tuple(SDR_RULES) == ("rule_RB", "rule_RF", "rule_C", "rule_R")
+assert STATUSES.index("C") == _C and STATUSES.index("RB") == _RB

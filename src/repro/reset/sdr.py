@@ -285,6 +285,19 @@ class SDR(Algorithm):
         state.update(self.input.random_state(u, rng))
         return state
 
+    def kernel_program(self):
+        """Array-backend program: available when the input algorithm is ported."""
+        try:
+            from .kernelized import SDRKernelProgram
+        except ModuleNotFoundError as exc:
+            if exc.name and exc.name.split(".")[0] == "numpy":
+                return None  # numpy missing: dict backend only
+            raise
+        input_program = self.input.kernel_input_program()
+        if input_program is None:
+            return None
+        return SDRKernelProgram(self, input_program)
+
     def sdr_moves_of(self, moves_per_rule: dict[str, int]) -> int:
         """Total SDR-rule moves in a per-rule move tally."""
         return sum(moves_per_rule.get(rule, 0) for rule in SDR_RULES)

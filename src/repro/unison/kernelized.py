@@ -1,0 +1,77 @@
+"""Kernel (struct-of-arrays) port of Algorithm U.
+
+One int64 column holds every clock; all of Algorithm 2's predicates are
+congruence windows on the per-edge clock difference ``(c_v − c_u) mod K``:
+
+* ``P_Ok``   ⇔ difference ∈ {0, 1, K−1};
+* ``P_Up``   ⇔ difference ∈ {0, 1} for every neighbor;
+* ``P_reset``⇔ ``c_u = 0``.
+
+Equivalence with :class:`~repro.unison.unison.Unison` is cross-checked by
+the simulator's paranoid lockstep mode and the backend-equivalence
+property suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.kernel.csr import CSRAdjacency
+from ..core.kernel.programs import InputKernelProgram
+from ..core.kernel.schema import Schema, Var
+from .unison import CLOCK
+
+__all__ = ["UnisonKernelProgram"]
+
+
+class UnisonKernelProgram(InputKernelProgram):
+    """Vectorized guards/actions of the paper's Algorithm U."""
+
+    __slots__ = ("csr", "period", "schema", "rules")
+
+    def __init__(self, algorithm):
+        self.csr = CSRAdjacency(algorithm.network)
+        self.period = algorithm.period
+        self.schema = Schema(Var.int(CLOCK))
+        self.rules = algorithm.rule_names()
+
+    # ------------------------------------------------------------------
+    def _edge_diffs(self, cols) -> np.ndarray:
+        """``(c_v − c_u) mod K`` per edge slot (owner u, neighbor v)."""
+        clock = cols[CLOCK]
+        return (self.csr.pull(clock) - self.csr.own(clock)) % self.period
+
+    # ------------------------------------------------------------------
+    # SDR input interface
+    # ------------------------------------------------------------------
+    def icorrect_mask(self, cols) -> np.ndarray:
+        diff = self._edge_diffs(cols)
+        ok = (diff == 0) | (diff == 1) | (diff == self.period - 1)
+        return self.csr.all_neigh(ok)
+
+    def reset_mask(self, cols) -> np.ndarray:
+        return cols[CLOCK] == 0
+
+    def apply_reset(self, idx, read, write) -> None:
+        write[CLOCK][idx] = 0
+
+    # ------------------------------------------------------------------
+    # Guards and actions
+    # ------------------------------------------------------------------
+    def guard_masks(self, cols, clean=None) -> dict[str, np.ndarray]:
+        diff = self._edge_diffs(cols)
+        up = self.csr.all_neigh((diff == 0) | (diff == 1))
+        if clean is not None:
+            up &= clean
+        return {self.rules[0]: up}
+
+    def host_masks(self, cols, clean):
+        # One pass over the edge differences serves all three masks.
+        diff = self._edge_diffs(cols)
+        near = (diff == 0) | (diff == 1)
+        icorrect = self.csr.all_neigh(near | (diff == self.period - 1))
+        up = self.csr.all_neigh(near) & clean
+        return icorrect, self.reset_mask(cols), {self.rules[0]: up}
+
+    def apply(self, rule, idx, read, write) -> None:
+        write[CLOCK][idx] = (read[CLOCK][idx] + 1) % self.period

@@ -101,6 +101,15 @@ class Unison(InputAlgorithm):
     def reset_updates(self, cfg: Configuration, u: int) -> dict[str, Any]:
         return {CLOCK: 0}
 
+    def kernel_input_program(self):
+        try:
+            from .kernelized import UnisonKernelProgram
+        except ModuleNotFoundError as exc:
+            if exc.name and exc.name.split(".")[0] == "numpy":
+                return None  # numpy missing: dict backend only
+            raise
+        return UnisonKernelProgram(self)
+
     def initial_state(self, u: int) -> dict[str, Any]:
         return {CLOCK: 0}
 

@@ -1,0 +1,51 @@
+"""Paranoid lockstep for the FGA kernel port (standalone and under SDR)."""
+
+from random import Random
+
+from repro.alliance.fga import FGA
+from repro.core import DistributedRandomDaemon, Simulator
+from repro.topology import grid, ring
+
+
+def test_fga_standalone_kernel_lockstep_terminates():
+    net = grid(3, 3)
+    fga = FGA(net, 1, 1)
+    sim = Simulator(
+        fga, DistributedRandomDaemon(0.5), seed=2, backend="kernel", paranoid=True
+    )
+    result = sim.run_to_termination(max_steps=50_000)
+    assert result.terminal
+    assert fga.alliance(sim.cfg)  # a non-empty 1-minimal alliance came out
+
+
+def test_fga_sdr_kernel_lockstep_from_random_configs():
+    from repro.reset import SDR
+
+    for seed in range(3):
+        net = ring(9)
+        sdr = SDR(FGA(net, 2, 0))
+        cfg = sdr.random_configuration(Random(seed))
+        sim = Simulator(
+            sdr,
+            DistributedRandomDaemon(0.5),
+            config=cfg,
+            seed=seed,
+            backend="kernel",
+            paranoid=True,
+        )
+        result = sim.run_to_termination(max_steps=100_000)
+        assert result.terminal
+
+
+def test_fga_kernel_respects_custom_identifiers():
+    """bestPtr argmin-by-id must follow explicit (non-dense) ids."""
+    net = grid(3, 3).with_ids([90, 10, 80, 30, 70, 50, 60, 40, 20])
+    results = []
+    for backend in ("dict", "kernel"):
+        fga = FGA(net, 1, 1)
+        sim = Simulator(
+            fga, DistributedRandomDaemon(0.5), seed=6, backend=backend
+        )
+        sim.run_to_termination(max_steps=50_000)
+        results.append(sim.cfg.snapshot())
+    assert results[0] == results[1]

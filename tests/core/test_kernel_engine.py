@@ -1,0 +1,215 @@
+"""Unit tests for the array-backed execution kernel (repro.core.kernel)."""
+
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.alliance.fga import FGA
+from repro.core import (
+    BACKENDS,
+    DistributedRandomDaemon,
+    ScriptedDaemon,
+    Simulator,
+    SynchronousDaemon,
+)
+from repro.core.configuration import Configuration
+from repro.core.exceptions import AlgorithmError
+from repro.core.kernel import CSRAdjacency, KernelRuntime, Schema, Var, kernel_available
+from repro.core.graph import Network
+from repro.reset import SDR
+from repro.topology import grid, ring, star
+from repro.unison import Unison
+
+
+class TestCSRAdjacency:
+    def test_layout_matches_network(self):
+        net = grid(3, 4)
+        csr = CSRAdjacency(net)
+        for u in net.processes():
+            lo, hi = csr.indptr[u], csr.indptr[u + 1]
+            assert tuple(csr.indices[lo:hi].tolist()) == net.neighbors(u)
+        assert csr.deg.tolist() == list(net.degrees)
+
+    def test_reductions(self):
+        net = star(5)  # center 0, leaves 1..4
+        csr = CSRAdjacency(net)
+        flag = np.array([False, True, True, False, False])
+        edge_flag = csr.pull(flag)
+        # center sees 2 flagged leaves; each leaf sees the unflagged center
+        assert csr.count_neigh(edge_flag).tolist() == [2, 0, 0, 0, 0]
+        assert csr.any_neigh(edge_flag).tolist() == [True, False, False, False, False]
+        assert csr.all_neigh(edge_flag).tolist() == [False, False, False, False, False]
+        vals = np.array([7, 3, 9, 1, 5])
+        got = csr.min_neigh(csr.pull(vals), csr.pull(flag), 99)
+        assert got[0] == 3  # min over flagged leaves {3, 9}
+        assert got[1] == 99  # center not flagged
+
+    def test_single_process_network(self):
+        csr = CSRAdjacency(Network.single())
+        empty = np.zeros(0, dtype=np.bool_)
+        assert csr.all_neigh(empty).tolist() == [True]
+        assert csr.any_neigh(empty).tolist() == [False]
+        assert csr.count_neigh(empty).tolist() == [0]
+
+
+class TestSchema:
+    def test_round_trip_all_kinds(self):
+        schema = Schema(
+            Var.int("x"),
+            Var.bool("b"),
+            Var.enum("st", ("C", "RB", "RF")),
+            Var.opt_index("ptr"),
+        )
+        states = [
+            {"x": -3, "b": True, "st": "RB", "ptr": None},
+            {"x": 10, "b": False, "st": "C", "ptr": 0},
+            {"x": 0, "b": True, "st": "RF", "ptr": 2},
+        ]
+        cfg = Configuration(states)
+        decoded = schema.decode(schema.encode(cfg))
+        assert decoded == cfg
+        # plain python values come back, not numpy scalars
+        assert type(decoded[0]["x"]) is int
+        assert type(decoded[0]["b"]) is bool
+        assert decoded[0]["ptr"] is None
+
+    def test_enum_rejects_unknown_value(self):
+        schema = Schema(Var.enum("st", ("C",)))
+        with pytest.raises(AlgorithmError):
+            schema.encode(Configuration([{"st": "XX"}]))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(AlgorithmError):
+            Schema(Var.int("x"), Var.bool("x"))
+
+
+class TestKernelRuntime:
+    def test_enabled_map_ascending_and_cached(self):
+        net = ring(8)
+        algo = Unison(net)
+        runtime = KernelRuntime(algo.kernel_program(), algo.initial_configuration())
+        enabled = runtime.enabled_map()
+        assert list(enabled) == sorted(enabled)
+        assert enabled == {u: ("rule_U",) for u in range(8)}
+        # unchanged state -> the same dict object is reused
+        runtime._masks = None
+        assert runtime.enabled_map() is enabled
+
+    def test_apply_is_composite_atomic(self):
+        net = ring(4)
+        algo = Unison(net)
+        runtime = KernelRuntime(algo.kernel_program(), algo.initial_configuration())
+        runtime.apply({u: "rule_U" for u in range(4)})
+        assert runtime.decode().variable("c") == [1, 1, 1, 1]
+
+    def test_multi_rule_enabled_map_is_not_cached_stale(self):
+        """Two multi-rule states with the same *shape* but different rule
+        sets must not hit the unchanged-state cache (regression)."""
+        from repro.core.kernel import KernelProgram
+
+        class ThreeRules(KernelProgram):
+            # A always enabled; B on even x; C on odd x — so x=0 -> {A,B}
+            # and x=1 -> {A,C} produce identical sentinel patterns.
+            schema = Schema(Var.int("x"))
+            rules = ("A", "B", "C")
+
+            def guard_masks(self, cols):
+                x = cols["x"]
+                return {"A": x >= 0, "B": x % 2 == 0, "C": x % 2 == 1}
+
+            def apply(self, rule, idx, read, write):
+                write["x"][idx] = read["x"][idx] + 1
+
+        runtime = KernelRuntime(ThreeRules(), Configuration([{"x": 0}]))
+        assert runtime.enabled_map() == {0: ("A", "B")}
+        runtime.apply({0: "A"})
+        assert runtime.enabled_map() == {0: ("A", "C")}
+
+
+class TestBackendSelection:
+    def test_backends_constant(self):
+        assert BACKENDS == ("auto", "dict", "kernel")
+
+    def test_auto_picks_kernel_for_ported_algorithms(self):
+        net = ring(6)
+        for algo in (Unison(net), SDR(Unison(net)), FGA(net, 1, 1), SDR(FGA(net, 1, 1))):
+            sim = Simulator(algo, SynchronousDaemon(), seed=0)
+            assert sim.backend == ("kernel" if kernel_available() else "dict")
+
+    def test_dict_backend_forced(self):
+        sim = Simulator(Unison(ring(4)), SynchronousDaemon(), seed=0, backend="dict")
+        assert sim.backend == "dict"
+
+    def test_kernel_refused_without_program(self):
+        from repro.unison.boulinier import BoulinierUnison
+
+        algo = BoulinierUnison(ring(4))
+        with pytest.raises(AlgorithmError):
+            Simulator(algo, SynchronousDaemon(), seed=0, backend="kernel")
+        # auto silently falls back
+        sim = Simulator(algo, SynchronousDaemon(), seed=0, backend="auto")
+        assert sim.backend == "dict"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(Unison(ring(4)), SynchronousDaemon(), seed=0, backend="turbo")
+
+    def test_attached_input_algorithm_has_no_standalone_program(self):
+        unison = Unison(ring(4))
+        SDR(unison)  # attaches
+        assert unison.kernel_program() is None
+
+
+class TestKernelExecution:
+    def test_scripted_daemon_exact_replay(self):
+        net = ring(5)
+        script = [{0: "rule_U"}, {1: "rule_U", 4: "rule_U"}]
+        results = []
+        for backend in ("dict", "kernel"):
+            sdr = Unison(net)
+            sim = Simulator(sdr, ScriptedDaemon(script), seed=0, backend=backend)
+            sim.step()
+            sim.step()
+            results.append((sim.cfg.snapshot(), dict(sim.enabled), sim.move_count))
+        assert results[0] == results[1]
+
+    def test_cfg_is_decoded_on_demand(self):
+        net = ring(6)
+        sim = Simulator(Unison(net), SynchronousDaemon(), seed=0, backend="kernel")
+        sim.step()
+        assert sim.cfg.variable("c") == [1] * 6
+        sim.step()
+        assert sim.cfg.variable("c") == [2] * 6
+
+    def test_run_matches_dict_accounting(self):
+        net = grid(3, 3)
+        outcomes = []
+        for backend in ("dict", "kernel"):
+            sdr = SDR(Unison(net))
+            cfg = sdr.random_configuration(Random(11))
+            sim = Simulator(
+                sdr, DistributedRandomDaemon(0.5), config=cfg, seed=11, backend=backend
+            )
+            res = sim.run(max_steps=500)
+            outcomes.append(
+                (
+                    res.steps,
+                    res.moves,
+                    res.rounds,
+                    sim.moves_per_rule,
+                    sim.moves_per_process,
+                    sim.cfg.snapshot(),
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_daemon_cfg_view_supports_reads(self):
+        from repro.core import CentralDaemon
+
+        net = ring(6)
+        # priority callback forces the daemon to actually read the lazy view
+        daemon = CentralDaemon(priority=lambda cfg, u, rules: cfg[u]["c"])
+        sdr = Unison(net)
+        sim = Simulator(sdr, daemon, seed=3, backend="kernel")
+        assert sim.run(max_steps=20).steps == 20
