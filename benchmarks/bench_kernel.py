@@ -1,14 +1,22 @@
-"""Engine benchmark: dict reference vs array kernel on the F1/F2 sweep.
+"""Engine benchmark: dict vs kernel vs fused kernel on the F1/F2 sweep.
 
 Not a paper claim — this measures the substrate itself.  The F1/F2
 experiments sweep ``U ∘ SDR`` over rings from random initial
 configurations; their wall time is pure simulator throughput, so this
-script times exactly that workload on both execution backends and emits
-``BENCH_core.json`` at the repo root: steps/sec, moves/sec and per-size
-wall time for ``backend="dict"`` vs ``backend="kernel"``, plus the
-speedup per size.  The tracked baseline keeps the perf trajectory
-honest; CI runs a small-size smoke (``--check`` asserts the kernel is
-not slower than the reference).
+script times exactly that workload on three execution configurations and
+emits ``BENCH_core.json`` at the repo root:
+
+* ``dict``   — the reference engine;
+* ``kernel`` — the array backend stepping through the simulator's
+  per-step loop (``fuse=False``), i.e. the PR 2 configuration;
+* ``fused``  — the array backend with the fused run loop: vectorized
+  daemons, array-native move/round accounting, no per-step Python
+  boundary crossing.
+
+All three produce identical executions (equal seeds ⇒ equal traces); the
+report records steps/sec, moves/sec, per-size wall time, and the pairwise
+speedups.  The tracked baseline keeps the perf trajectory honest; CI runs
+a small-size smoke (``--check`` asserts fused ≥ kernel ≥ dict).
 
 Usage::
 
@@ -37,9 +45,17 @@ from repro.unison import Unison  # noqa: E402
 #: The workload: F1/F2's algorithm and topology family.
 DAEMONS = ("distributed-random", "synchronous")
 
+#: Timed configurations: ``(label, Simulator kwargs)``.
+CONFIGS = (
+    ("dict", {"backend": "dict"}),
+    ("kernel", {"backend": "kernel", "fuse": False}),
+    ("fused", {"backend": "kernel"}),
+)
+
 
 def time_run(
-    n: int, backend: str, daemon: str, steps: int, seed: int, repeats: int
+    n: int, label: str, sim_kwargs: dict, daemon: str, steps: int,
+    seed: int, repeats: int
 ) -> dict:
     """Best-of-``repeats`` timing of one fixed-step ring unison run."""
     network = ring(n)
@@ -53,7 +69,7 @@ def time_run(
             make_daemon(daemon, network),
             config=cfg.copy(),
             seed=seed,
-            backend=backend,
+            **sim_kwargs,
         )
         t0 = time.perf_counter()
         result = sim.run(max_steps=steps)
@@ -62,7 +78,7 @@ def time_run(
     return {
         "n": n,
         "daemon": daemon,
-        "backend": backend,
+        "backend": label,
         "steps": result.steps,
         "moves": result.moves,
         "rounds": result.rounds,
@@ -77,20 +93,31 @@ def run_benchmark(sizes: list[int], steps: int, seed: int, repeats: int) -> dict
     speedups = {}
     for daemon in DAEMONS:
         for n in sizes:
-            pair = {}
-            for backend in ("dict", "kernel"):
-                row = time_run(n, backend, daemon, steps, seed, repeats)
+            cell = {}
+            for label, sim_kwargs in CONFIGS:
+                row = time_run(n, label, sim_kwargs, daemon, steps, seed, repeats)
                 rows.append(row)
-                pair[backend] = row
+                cell[label] = row
                 print(
-                    f"  n={n:4d} {daemon:19s} {backend:6s} "
+                    f"  n={n:4d} {daemon:19s} {label:6s} "
                     f"{row['steps_per_s']:12,.0f} steps/s "
                     f"{row['moves_per_s']:14,.0f} moves/s "
                     f"{row['wall_s'] * 1000:9.1f} ms"
                 )
-            ratio = pair["kernel"]["steps_per_s"] / pair["dict"]["steps_per_s"]
-            speedups[f"{daemon}/n={n}"] = round(ratio, 2)
-            print(f"  n={n:4d} {daemon:19s} speedup {ratio:.2f}x")
+            ratios = {
+                "kernel_vs_dict": cell["kernel"]["steps_per_s"] / cell["dict"]["steps_per_s"],
+                "fused_vs_kernel": cell["fused"]["steps_per_s"] / cell["kernel"]["steps_per_s"],
+                "fused_vs_dict": cell["fused"]["steps_per_s"] / cell["dict"]["steps_per_s"],
+            }
+            speedups[f"{daemon}/n={n}"] = {
+                key: round(value, 2) for key, value in ratios.items()
+            }
+            print(
+                f"  n={n:4d} {daemon:19s} speedup "
+                f"kernel/dict {ratios['kernel_vs_dict']:.2f}x  "
+                f"fused/kernel {ratios['fused_vs_kernel']:.2f}x  "
+                f"fused/dict {ratios['fused_vs_dict']:.2f}x"
+            )
     return {
         "benchmark": "F1/F2 ring unison sweep (U o SDR, random initial configs)",
         "tier": "engine-substrate",
@@ -99,6 +126,7 @@ def run_benchmark(sizes: list[int], steps: int, seed: int, repeats: int) -> dict
             "topology": "ring",
             "scenario": "random",
             "daemons": list(DAEMONS),
+            "backends": [label for label, _ in CONFIGS],
             "steps_per_run": steps,
             "seed": seed,
             "repeats": repeats,
@@ -120,8 +148,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write the JSON report here (e.g. BENCH_core.json)")
     parser.add_argument("--check", action="store_true",
-                        help="exit nonzero unless the kernel is at least as "
-                             "fast as the dict reference at every size")
+                        help="exit nonzero unless fused >= kernel >= dict "
+                             "throughput at every size")
     args = parser.parse_args(argv)
 
     sizes = [int(tok) for tok in args.sizes.split(",") if tok.strip()]
@@ -134,14 +162,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.check:
         slow = {
-            cell: ratio
-            for cell, ratio in report["speedup_steps_per_s"].items()
-            if ratio < 1.0
+            cell: ratios
+            for cell, ratios in report["speedup_steps_per_s"].items()
+            if ratios["kernel_vs_dict"] < 1.0 or ratios["fused_vs_kernel"] < 1.0
         }
         if slow:
-            print(f"FAIL: kernel slower than dict reference at {slow}")
+            print(f"FAIL: backend ordering fused >= kernel >= dict violated at {slow}")
             return 1
-        print("OK: kernel >= dict throughput at every size")
+        print("OK: fused >= kernel >= dict throughput at every size")
     return 0
 
 

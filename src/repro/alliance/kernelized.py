@@ -1,4 +1,8 @@
-"""Kernel (struct-of-arrays) port of Algorithm FGA.
+"""Kernel (struct-of-arrays) ports of the alliance algorithms.
+
+:class:`FGAKernelProgram` is Algorithm FGA; :class:`TurauKernelProgram`
+is the Turau-style MIS baseline (identifier tie-breaking as per-edge id
+comparisons).  The FGA port:
 
 Columns: ``col``/``canQ`` as bools, ``scr`` as int64 (−1/0/1), ``ptr`` as
 int64 with ``−1`` encoding ⊥.  The macros of Algorithm 3 vectorize as:
@@ -25,11 +29,12 @@ import numpy as np
 
 from ..core.exceptions import AlgorithmError
 from ..core.kernel.csr import CSRAdjacency
-from ..core.kernel.programs import InputKernelProgram
+from ..core.kernel.programs import InputKernelProgram, KernelProgram
 from ..core.kernel.schema import Schema, Var
 from .fga import CANQ, COL, PTR, SCR
+from .turau import IN, MSTATE, OUT, WAIT
 
-__all__ = ["FGAKernelProgram"]
+__all__ = ["FGAKernelProgram", "TurauKernelProgram"]
 
 _NO_KEY = np.iinfo(np.int64).max
 
@@ -56,6 +61,26 @@ class FGAKernelProgram(InputKernelProgram):
             Var.bool(COL), Var.int(SCR), Var.bool(CANQ), Var.opt_index(PTR)
         )
         self.rules = algorithm.rule_names()
+
+    def tiled(self, copies: int) -> "FGAKernelProgram | None":
+        csr = self.csr.tile(copies)
+        total = csr.n
+        ids = np.tile(self.ids, copies)
+        if int(ids.max()) >= _NO_KEY // (total + 1):
+            return None  # composite bestPtr key would overflow int64
+        prog = object.__new__(FGAKernelProgram)
+        prog.csr = csr
+        prog.f = np.tile(self.f, copies)
+        prog.g = np.tile(self.g, copies)
+        prog.ids = ids
+        # Identifiers repeat across blocks, but neighborhoods never cross
+        # a block boundary, so the argmin-by-id key stays unambiguous;
+        # pointers in a batch are *global* process indices (the schema's
+        # opt_index tiling offsets them per trial).
+        prog._own_key = ids * total + np.arange(total, dtype=np.int64)
+        prog.schema = self.schema
+        prog.rules = self.rules
+        return prog
 
     # ------------------------------------------------------------------
     # Macros
@@ -178,3 +203,65 @@ class FGAKernelProgram(InputKernelProgram):
             write[PTR][negative] = -1
         else:
             raise AlgorithmError(f"FGA kernel program: unknown rule {rule!r}")
+
+
+#: Integer codes of the Turau membership enum (indices into (OUT, WAIT, IN)).
+_OUT, _WAIT, _IN = 0, 1, 2
+
+
+class TurauKernelProgram(KernelProgram):
+    """Vectorized guards/actions of the Turau-style MIS baseline.
+
+    One int8 enum column holds the three-valued membership state; the
+    identifier tie-breaks become per-edge comparisons of the neighbor's
+    id against the owner's, reduced with ``any`` over each neighborhood.
+    """
+
+    __slots__ = ("csr", "ids", "schema", "rules")
+
+    def __init__(self, algorithm):
+        network = algorithm.network
+        self.csr = CSRAdjacency(network)
+        self.ids = np.asarray(network.ids, dtype=np.int64)
+        self.schema = Schema(Var.enum(MSTATE, (OUT, WAIT, IN)))
+        self.rules = algorithm.rule_names()
+
+    def tiled(self, copies: int) -> "TurauKernelProgram":
+        prog = object.__new__(TurauKernelProgram)
+        prog.csr = self.csr.tile(copies)
+        prog.ids = np.tile(self.ids, copies)
+        prog.schema = self.schema
+        prog.rules = self.rules
+        return prog
+
+    # ------------------------------------------------------------------
+    def guard_masks(self, cols) -> dict[str, np.ndarray]:
+        csr = self.csr
+        state = cols[MSTATE]
+        edge_state = csr.pull(state)
+        smaller_id = csr.pull(self.ids) < csr.own(self.ids)
+
+        has_in = csr.any_neigh(edge_state == _IN)
+        smaller_wait = csr.any_neigh((edge_state == _WAIT) & smaller_id)
+        smaller_in = csr.any_neigh((edge_state == _IN) & smaller_id)
+
+        is_out = state == _OUT
+        is_wait = state == _WAIT
+        return {
+            "rule_wait": is_out & ~has_in,
+            "rule_retreat": is_wait & has_in,
+            "rule_enter": is_wait & ~has_in & ~smaller_wait,
+            "rule_leave": (state == _IN) & smaller_in,
+        }
+
+    def apply(self, rule, idx, read, write) -> None:
+        if rule == "rule_wait":
+            write[MSTATE][idx] = _WAIT
+        elif rule == "rule_retreat":
+            write[MSTATE][idx] = _OUT
+        elif rule == "rule_enter":
+            write[MSTATE][idx] = _IN
+        elif rule == "rule_leave":
+            write[MSTATE][idx] = _OUT
+        else:
+            raise AlgorithmError(f"Turau kernel program: unknown rule {rule!r}")

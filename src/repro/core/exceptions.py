@@ -56,6 +56,16 @@ class RequirementViolation(ReproError):
     """
 
 
+class UnbatchableError(ReproError, ValueError):
+    """A campaign cell cannot run as one tiled multi-trial batch.
+
+    Raised by the *pre-validation* of batched execution — a program that
+    does not tile, a daemon without a vector twin, unexpected trial
+    params.  The executor catches exactly this type and falls back to
+    serial trials; genuine runtime defects inside a batch propagate.
+    """
+
+
 class NotStabilized(ReproError):
     """An execution exhausted its step budget before reaching its target.
 

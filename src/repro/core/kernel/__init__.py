@@ -19,14 +19,19 @@ imported ``Algorithm.kernel_program`` hooks.
 from __future__ import annotations
 
 __all__ = [
+    "BatchResult",
     "CSRAdjacency",
+    "FusedResult",
     "InputKernelProgram",
     "KernelProgram",
     "KernelRuntime",
     "Schema",
     "StandaloneInputProgram",
+    "TrialOutcome",
     "Var",
     "kernel_available",
+    "run_batch",
+    "vectorize",
 ]
 
 
@@ -39,8 +44,10 @@ def kernel_available() -> bool:
     return True
 
 
+from .batch import BatchResult, TrialOutcome, run_batch  # noqa: E402
 from .csr import CSRAdjacency  # noqa: E402
-from .engine import KernelRuntime  # noqa: E402
+from .daemons import vectorize  # noqa: E402
+from .engine import FusedResult, KernelRuntime  # noqa: E402
 from .programs import (  # noqa: E402
     InputKernelProgram,
     KernelProgram,

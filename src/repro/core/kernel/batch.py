@@ -1,0 +1,282 @@
+"""Batched multi-trial execution: a trial axis on the state columns.
+
+A campaign cell — one ``(algorithm, topology, n, scenario, daemon)``
+combination — differs across its replicate trials only in the seed.  This
+module runs all ``T`` replicates as *one* simulation over tiled columns:
+trial ``t`` owns the process block ``[t·n, (t+1)·n)`` of a block-diagonal
+adjacency (:meth:`~repro.core.kernel.csr.CSRAdjacency.tile`), so one
+guard evaluation, one rule application, and one accounting pass serve
+every trial per step.  Only the daemons stay per-trial: each trial draws
+from its *own* seeded ``Random`` stream in exactly the serial order, so
+every trial's trajectory — selections, moves, rounds, stopping step — is
+identical to its serial run, record for record.
+
+Trials stop independently (convergence mask, terminal block, or budget)
+and freeze: a frozen block receives no further selections, so its columns
+and accounting stay exactly at the stopping configuration while the rest
+of the batch runs on.  Rounds follow the neutralization definition per
+block, mirroring :class:`~repro.core.rounds.ArrayRoundCounter`.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import ModelViolation, UnbatchableError
+from .daemons import open_stream, vectorize
+from .engine import MoveAccumulator, dispatch_rules, exclusion_offender
+from .programs import KernelProgram
+
+__all__ = ["TrialOutcome", "BatchResult", "run_batch"]
+
+Columns = Mapping[str, np.ndarray]
+UntilFn = Callable[[KernelProgram, Columns], np.ndarray]
+
+
+class TrialOutcome:
+    """Accounting of one trial of a batch, frozen at its stopping step."""
+
+    __slots__ = ("steps", "moves", "rounds", "moves_per_process",
+                 "moves_per_rule", "stop_reason", "hit")
+
+    def __init__(self, steps, moves, rounds, moves_per_process,
+                 moves_per_rule, stop_reason, hit):
+        self.steps = steps
+        self.moves = moves
+        self.rounds = rounds
+        self.moves_per_process = moves_per_process
+        self.moves_per_rule = moves_per_rule
+        self.stop_reason = stop_reason
+        self.hit = hit
+
+    def __repr__(self) -> str:
+        return (
+            f"TrialOutcome(steps={self.steps}, moves={self.moves}, "
+            f"rounds={self.rounds}, stop_reason={self.stop_reason!r})"
+        )
+
+
+class BatchResult:
+    """Per-trial outcomes plus access to the final configurations."""
+
+    __slots__ = ("outcomes", "_schema", "_columns", "_n")
+
+    def __init__(self, outcomes, schema, columns, n):
+        self.outcomes: list[TrialOutcome] = outcomes
+        self._schema = schema
+        self._columns = columns
+        self._n = n
+
+    def configuration(self, trial: int):
+        """Trial's final configuration (decoded, trial-local indices)."""
+        return self._schema.decode_block(self._columns, trial, self._n)
+
+
+def run_batch(
+    program: KernelProgram,
+    cfgs: Sequence,
+    daemons: Sequence,
+    rngs: Sequence[Random],
+    network,
+    *,
+    max_steps: int,
+    until: UntilFn | None = None,
+    exclusion_name: str | None = None,
+) -> BatchResult:
+    """Run ``len(cfgs)`` trials of one cell as a single tiled simulation.
+
+    ``cfgs``/``daemons``/``rngs`` are per-trial: the initial
+    configuration, a fresh dict daemon instance (state bridged into its
+    vector twin), and the trial's seeded generator.  ``until`` is an
+    optional per-process convergence mask ``until(tiled_program, cols)``;
+    a trial freezes with ``stop_reason="predicate"`` the first time its
+    block satisfies it everywhere (initial configuration included).
+    Raises :class:`~repro.core.exceptions.UnbatchableError` when the
+    program or a daemon cannot be vectorized — callers catch exactly
+    that and fall back to serial trials.
+    """
+    trials = len(cfgs)
+    n = len(cfgs[0])
+    total = trials * n
+    prog = program.tiled(trials)
+    if prog is None:
+        raise UnbatchableError(
+            "program does not support tiled (batched) execution"
+        )
+    vecs = [vectorize(daemon, network) for daemon in daemons]
+    if any(vec is None for vec in vecs):
+        raise UnbatchableError(
+            "daemon cannot be vectorized for batched execution"
+        )
+    for vec, daemon in zip(vecs, daemons):
+        vec.load_state(daemon)
+    streams = [
+        open_stream(rng, scalar=vec.scalar_stream) if vec.uses_rng else None
+        for vec, rng in zip(vecs, rngs)
+    ]
+
+    schema, rules = program.schema, program.rules
+    nrules = len(rules)
+    read = schema.encode_tiled(cfgs)
+    write = {name: col.copy() for name, col in read.items()}
+    column_pairs = (
+        [(read[name], write[name]) for name in read],
+        [(write[name], read[name]) for name in read],
+    )
+    flip = 0
+
+    block_starts = np.arange(trials, dtype=np.int64) * n
+    block_bounds = np.arange(trials + 1, dtype=np.int64) * n
+
+    rule_idx = np.empty(total, dtype=np.int8)
+    rule_counts = [0] * nrules
+    only_rule = [0 if nrules == 1 else -1]
+
+    def compute_enabled() -> np.ndarray:
+        masks = prog.guard_masks(read)
+        enabled, only, grand = dispatch_rules(masks, rules, rule_idx, rule_counts)
+        only_rule[0] = only
+        if (
+            exclusion_name is not None
+            and only == -2
+            and grand != int(np.count_nonzero(enabled))
+        ):
+            offender, offending = exclusion_offender(masks, rules, total)
+            raise ModelViolation(
+                f"{exclusion_name}: rules {offending} simultaneously enabled "
+                f"at process {offender % n} (trial {offender // n}), but the "
+                "algorithm declares mutual exclusion"
+            )
+        return enabled
+
+    # Per-trial accounting ------------------------------------------------
+    steps = [0] * trials
+    moves = [0] * trials
+    completed = [0] * trials
+    stop_reason = [""] * trials
+    hit = [False] * trials
+    rule_hist = np.zeros((trials, nrules), dtype=np.int64)
+    acc = MoveAccumulator(total)
+    active = list(range(trials))
+
+    pending = np.zeros(total, dtype=np.bool_)
+    scratch = np.empty(total, dtype=np.bool_)
+    round_open = [False] * trials
+
+    def freeze(trial: int, reason: str, converged: bool = False) -> None:
+        stop_reason[trial] = reason
+        hit[trial] = converged
+
+    try:
+        enabled_mask = compute_enabled()
+        pending[:] = enabled_mask
+        pend_any = np.logical_or.reduceat(pending, block_starts)
+        for t in range(trials):
+            round_open[t] = bool(pend_any[t])
+        if until is not None:
+            hit_all = np.logical_and.reduceat(until(prog, read), block_starts)
+            for t in list(active):
+                if hit_all[t]:
+                    freeze(t, "predicate", True)
+                    active.remove(t)
+
+        while active:
+            enabled_any = np.logical_or.reduceat(enabled_mask, block_starts)
+            for t in list(active):
+                if not enabled_any[t]:
+                    freeze(t, "terminal")
+                    active.remove(t)
+                elif steps[t] >= max_steps:
+                    freeze(t, "budget")
+                    active.remove(t)
+            if not active:
+                break
+
+            enabled_idx = enabled_mask.nonzero()[0]
+            bounds = np.searchsorted(enabled_idx, block_bounds)
+            parts = []
+            for t in active:
+                local = enabled_idx[bounds[t] : bounds[t + 1]] - block_starts[t]
+                chosen_local = vecs[t].select(local, streams[t])
+                parts.append(chosen_local + block_starts[t])
+                steps[t] += 1
+                moves[t] += chosen_local.shape[0]
+            chosen = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            acc.add(chosen)
+
+            for src, dst in column_pairs[flip]:
+                dst[:] = src
+            k = only_rule[0]
+            if k >= 0:
+                prog.apply(rules[k], chosen, read, write)
+                rule_hist[:, k] += np.bincount(chosen // n, minlength=trials)
+            else:
+                kinds = rule_idx[chosen]
+                for k in range(nrules):
+                    if rule_counts[k] == 0:
+                        continue
+                    idx = chosen[kinds == k]
+                    if idx.shape[0]:
+                        prog.apply(rules[k], idx, read, write)
+                        rule_hist[:, k] += np.bincount(
+                            idx // n, minlength=trials
+                        )
+            read, write = write, read
+            flip ^= 1
+
+            prev_mask = enabled_mask
+            enabled_mask = compute_enabled()
+
+            # Rounds: one neutralization update per block.  Frozen blocks
+            # are untouched (no selection, enabled set unchanged).
+            pending[chosen] = False
+            np.logical_not(enabled_mask, out=scratch)
+            scratch &= prev_mask
+            np.logical_not(scratch, out=scratch)
+            pending &= scratch
+            pend_any = np.logical_or.reduceat(pending, block_starts)
+            for t in active:
+                if round_open[t] and not pend_any[t]:
+                    completed[t] += 1
+                    lo, hi = block_bounds[t], block_bounds[t + 1]
+                    block = enabled_mask[lo:hi]
+                    pending[lo:hi] = block
+                    round_open[t] = bool(block.any())
+
+            if until is not None:
+                hit_all = np.logical_and.reduceat(
+                    until(prog, read), block_starts
+                )
+                for t in list(active):
+                    if hit_all[t]:
+                        freeze(t, "predicate", True)
+                        active.remove(t)
+    finally:
+        for stream in streams:
+            if stream is not None:
+                stream.close()
+    for vec, daemon in zip(vecs, daemons):
+        vec.store_state(daemon)
+
+    acc.flush()
+    moves_per_process = acc.counts.reshape(trials, n)
+    outcomes = [
+        TrialOutcome(
+            steps=steps[t],
+            moves=moves[t],
+            rounds=completed[t],
+            moves_per_process=tuple(int(c) for c in moves_per_process[t]),
+            moves_per_rule={
+                rules[k]: int(rule_hist[t, k])
+                for k in range(nrules)
+                if rule_hist[t, k]
+            },
+            stop_reason=stop_reason[t],
+            hit=hit[t],
+        )
+        for t in range(trials)
+    ]
+    return BatchResult(outcomes, schema, read, n)

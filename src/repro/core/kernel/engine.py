@@ -18,14 +18,145 @@ lockstep cross-check).
 
 from __future__ import annotations
 
-from typing import Mapping
+from random import Random
+from typing import Callable, Mapping
 
 import numpy as np
 
 from ..configuration import Configuration
+from ..exceptions import ModelViolation
+from .daemons import VectorDaemon, open_stream
 from .programs import KernelProgram
 
-__all__ = ["KernelRuntime"]
+__all__ = ["KernelRuntime", "FusedResult"]
+
+#: Deferred per-process move accounting flushes into a bincount once this
+#: many buffered moves accumulate — keeps fused-loop memory O(n) on
+#: multi-million-step budget runs while amortizing the flush cost away.
+FLUSH_MOVES = 1 << 16
+
+
+class FusedResult:
+    """Accounting delta of one :meth:`KernelRuntime.run` invocation.
+
+    Counters are *deltas* over the fused stretch, not execution totals —
+    the simulator merges them into its own cumulative accounting.
+    """
+
+    __slots__ = ("steps", "moves", "moves_per_process", "moves_per_rule",
+                 "stop_reason", "hit")
+
+    def __init__(self, steps, moves, moves_per_process, moves_per_rule,
+                 stop_reason, hit):
+        self.steps = steps
+        self.moves = moves
+        self.moves_per_process = moves_per_process
+        self.moves_per_rule = moves_per_rule
+        self.stop_reason = stop_reason
+        self.hit = hit
+
+    def __repr__(self) -> str:
+        return (
+            f"FusedResult(steps={self.steps}, moves={self.moves}, "
+            f"stop_reason={self.stop_reason!r}, hit={self.hit})"
+        )
+
+
+class MoveAccumulator:
+    """Deferred per-process move accounting shared by the fused drivers.
+
+    Selection vectors buffer and flush into one ``bincount`` per
+    :data:`FLUSH_MOVES` buffered moves — cheaper than a per-step scatter,
+    O(size) memory on multi-million-step budget runs.  ``counts`` holds
+    the totals after a final :meth:`flush`.
+    """
+
+    __slots__ = ("counts", "_selections", "_buffered")
+
+    def __init__(self, size: int):
+        self.counts = np.zeros(size, dtype=np.int64)
+        self._selections: list[np.ndarray] = []
+        self._buffered = 0
+
+    def add(self, chosen: np.ndarray) -> None:
+        self._selections.append(chosen)
+        self._buffered += chosen.shape[0]
+        if self._buffered >= FLUSH_MOVES:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._selections:
+            self.counts[:] += np.bincount(
+                np.concatenate(self._selections),
+                minlength=self.counts.shape[0],
+            )
+            self._selections.clear()
+            self._buffered = 0
+
+
+def dispatch_rules(masks, rules, rule_idx, rule_counts):
+    """Shared guard-mask → enabled-mask dispatch for the fused drivers.
+
+    Both fused loops (:meth:`KernelRuntime.run` and
+    :func:`repro.core.kernel.batch.run_batch`) turn the guard-mask dict
+    into an enabled mask plus dispatch state through this one routine so
+    the ``rule_choice="first"`` semantics cannot diverge between them.
+
+    Returns ``(enabled_mask, only_rule, total)``: ``only_rule`` is the
+    index of the single rule with enabled processes (its mask *is* the
+    enabled mask — the common case), ``-1`` when nothing is enabled, or
+    ``-2`` when several rules are active and per-process dispatch was
+    written into ``rule_idx`` (descending writes, so the lowest enabled
+    rule index wins a slot).  ``total`` is the summed per-rule guard
+    count (left 0 in the single-rule fast path, where it is unused);
+    ``rule_counts`` is filled in place.  An omitted mask means everywhere
+    false.
+    """
+    size = rule_idx.shape[0]
+    nrules = len(rules)
+    if nrules == 1:
+        mask = masks.get(rules[0])
+        if mask is None:
+            return np.zeros(size, dtype=np.bool_), 0, 0
+        return mask, 0, 0
+    total = 0
+    active = -1
+    for k in range(nrules):
+        mask = masks.get(rules[k])
+        count = 0 if mask is None else int(np.count_nonzero(mask))
+        rule_counts[k] = count
+        if count:
+            active = k if total == 0 else -2
+            total += count
+    if active != -2:
+        if active >= 0:
+            return masks[rules[active]], active, total
+        return np.zeros(size, dtype=np.bool_), -1, total
+    rule_idx.fill(-1)
+    for k in range(nrules - 1, -1, -1):
+        if rule_counts[k]:
+            rule_idx[masks[rules[k]]] = k
+    return rule_idx >= 0, -2, total
+
+
+def exclusion_offender(masks, rules, size):
+    """Locate one process where declared-exclusive rules overlap.
+
+    Mutual exclusion is verified by counting — with pairwise exclusive
+    rules the per-rule guard counts must sum to the enabled-process
+    count; any overlap makes the sum larger — and this reports a concrete
+    offender for the error message.  Returns ``(index, offending_rules)``.
+    """
+    count = np.zeros(size, dtype=np.int64)
+    for rule in rules:
+        mask = masks.get(rule)
+        if mask is not None:
+            count += mask
+    u = int(np.argmax(count))
+    offending = tuple(
+        r for r in rules if (mask := masks.get(r)) is not None and mask[u]
+    )
+    return u, offending
 
 
 class KernelRuntime:
@@ -84,17 +215,22 @@ class KernelRuntime:
         rules = self.rules
         rule_idx = self._rule_idx
         if len(rules) == 1:
-            mask = masks[rules[0]]
+            mask = masks.get(rules[0])
             rule_idx.fill(-1)
-            rule_idx[mask] = 0
-            self.max_enabled_rules = 1 if mask.any() else 0
+            if mask is None:  # omitted = everywhere false
+                self.max_enabled_rules = 0
+            else:
+                rule_idx[mask] = 0
+                self.max_enabled_rules = 1 if mask.any() else 0
         else:
             # Descending write order: the lowest enabled rule index wins a
             # slot, matching rule declaration order.
             rule_idx.fill(-1)
             count = np.zeros(rule_idx.shape[0], dtype=np.int8)
             for k in range(len(rules) - 1, -1, -1):
-                mask = masks[rules[k]]
+                mask = masks.get(rules[k])
+                if mask is None:  # omitted = everywhere false
+                    continue
                 rule_idx[mask] = k
                 count += mask
             self.max_enabled_rules = int(count.max()) if count.size else 0
@@ -117,7 +253,9 @@ class KernelRuntime:
                     continue
                 if k == -2:
                     enabled[u] = tuple(
-                        rule for rule in rules if masks[rule][u]
+                        rule
+                        for rule in rules
+                        if (mask := masks.get(rule)) is not None and mask[u]
                     )
                 else:
                     enabled[u] = self._singles[k]
@@ -150,6 +288,146 @@ class KernelRuntime:
             self.program.apply(rule, idx, read, write)
         self.read, self.write = write, read
         self._masks = None
+
+    # ------------------------------------------------------------------
+    # Fused driving loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        daemon: VectorDaemon,
+        rng: Random,
+        max_steps: int,
+        *,
+        until: Callable[[Mapping[str, np.ndarray]], np.ndarray] | None = None,
+        rounds=None,
+        exclusion_name: str | None = None,
+    ) -> FusedResult:
+        """Drive guard-eval → daemon-mask → apply entirely over columns.
+
+        One iteration never leaves numpy: guards become rule-index
+        vectors, the vectorized ``daemon`` picks the activated index
+        vector (consuming ``rng``'s stream exactly like its dict twin),
+        actions mutate the double buffer, and accounting lands in flat
+        counters.  Stops at a terminal configuration, when the optional
+        ``until`` mask (a per-process predicate over the read columns)
+        holds everywhere — checked on the initial configuration too, like
+        the simulator's ``stop_when`` — or when ``max_steps`` runs out.
+
+        ``rounds`` is an optional
+        :class:`~repro.core.rounds.ArrayRoundCounter`, already started,
+        updated in place.  ``exclusion_name`` enables the per-step
+        mutual-exclusion check (the value names the algorithm in the
+        error).  The caller decodes at the boundary; nothing here builds
+        a dict or a :class:`~repro.core.configuration.Configuration`.
+        """
+        program, rules = self.program, self.rules
+        nrules = len(rules)
+        check_exclusion = exclusion_name is not None and nrules > 1
+        n = self._rule_idx.shape[0]
+        rule_idx = np.empty(n, dtype=np.int8)
+        rule_counts: list[int] = [0] * nrules
+        acc = MoveAccumulator(n)
+        moves_per_rule = [0] * nrules
+        steps = moves = 0
+        stop_reason = "budget"
+        hit = False
+
+        # When every enabled process has the same single rule enabled,
+        # rule dispatch is trivial; ``only_rule[0]`` holds its index then.
+        only_rule = [0 if nrules == 1 else -1]
+
+        def compute_enabled() -> np.ndarray:
+            """Refresh rule dispatch state and return the enabled mask."""
+            masks = self.guard_masks()
+            enabled, only, total = dispatch_rules(
+                masks, rules, rule_idx, rule_counts
+            )
+            only_rule[0] = only
+            if (
+                check_exclusion
+                and only == -2
+                and total != int(np.count_nonzero(enabled))
+            ):
+                u, offending = exclusion_offender(masks, rules, n)
+                raise ModelViolation(
+                    f"{exclusion_name}: rules {offending} simultaneously "
+                    f"enabled at process {u}, but the algorithm declares "
+                    "mutual exclusion"
+                )
+            return enabled
+
+        stream = (
+            open_stream(rng, scalar=daemon.scalar_stream)
+            if daemon.uses_rng
+            else None
+        )
+        # Read→write column copies for both buffer parities, precomputed
+        # so the per-step copy loop touches no dicts.
+        column_pairs = (
+            [(self.read[name], self.write[name]) for name in self.read],
+            [(self.write[name], self.read[name]) for name in self.read],
+        )
+        flip = 0
+        try:
+            enabled_mask = compute_enabled()
+            if until is not None and bool(until(self.read).all()):
+                return FusedResult(0, 0, acc.counts,
+                                   self._rule_totals(moves_per_rule),
+                                   "predicate", True)
+            while True:
+                enabled_idx = enabled_mask.nonzero()[0]
+                if enabled_idx.shape[0] == 0:
+                    stop_reason = "terminal"
+                    break
+                if steps >= max_steps:
+                    stop_reason = "budget"
+                    break
+                chosen = daemon.select(enabled_idx, stream)
+
+                read, write = self.read, self.write
+                for src, dst in column_pairs[flip]:
+                    dst[:] = src
+                k = only_rule[0]
+                if k >= 0:
+                    program.apply(rules[k], chosen, read, write)
+                    moves_per_rule[k] += chosen.shape[0]
+                else:
+                    kinds = rule_idx[chosen]
+                    for k in range(nrules):
+                        if rule_counts[k] == 0:
+                            continue  # no process had this rule enabled
+                        idx = chosen[kinds == k]
+                        if idx.shape[0]:
+                            program.apply(rules[k], idx, read, write)
+                            moves_per_rule[k] += idx.shape[0]
+                self.read, self.write = write, read
+                self._masks = None
+                self._prev_valid = False
+                flip ^= 1
+
+                steps += 1
+                moves += chosen.shape[0]
+                acc.add(chosen)
+                prev_mask = enabled_mask
+                enabled_mask = compute_enabled()
+                if rounds is not None:
+                    rounds.observe_step(chosen, prev_mask, enabled_mask)
+                if until is not None and bool(until(self.read).all()):
+                    stop_reason = "predicate"
+                    hit = True
+                    break
+        finally:
+            if stream is not None:
+                stream.close()
+        acc.flush()
+        return FusedResult(steps, moves, acc.counts,
+                           self._rule_totals(moves_per_rule), stop_reason, hit)
+
+    def _rule_totals(self, counts: list[int]) -> dict[str, int]:
+        """Executed-rule counters as ``{label: count}`` (zeros omitted)."""
+        return {
+            rule: count for rule, count in zip(self.rules, counts) if count
+        }
 
     # ------------------------------------------------------------------
     # Boundary conversions

@@ -48,7 +48,13 @@ class KernelProgram(abc.ABC):
 
     @abc.abstractmethod
     def guard_masks(self, cols: Columns) -> dict[str, np.ndarray]:
-        """Boolean enabled-mask per rule, evaluated on every process."""
+        """Boolean enabled-mask per rule, evaluated on every process.
+
+        A rule whose guard is everywhere false *may* be omitted from the
+        dict — consumers treat a missing key as an all-false mask.  Fast
+        paths use this to skip materializing constant masks (e.g. SDR's
+        four reset rules in a normal configuration).
+        """
 
     @abc.abstractmethod
     def apply(self, rule: str, idx: np.ndarray, read: Columns, write: Columns) -> None:
@@ -57,6 +63,19 @@ class KernelProgram(abc.ABC):
         Reads come from ``read`` (the frozen pre-step columns), writes go
         to ``write``; a process's action may only write its own slots.
         """
+
+    def tiled(self, copies: int) -> "KernelProgram | None":
+        """This program over ``copies`` disjoint copies of its network.
+
+        Batched multi-trial execution runs a whole campaign cell as one
+        simulation: trial ``t`` owns the process block ``[t·n, (t+1)·n)``
+        of a block-diagonal adjacency, so the *same* guard/action code
+        serves every trial in one numpy pass.  Per-process constants
+        (identifiers, thresholds) are tiled; ``schema`` and ``rules`` are
+        shared.  ``None`` (the default) means the program does not
+        support tiling and the cell falls back to serial trials.
+        """
+        return None
 
 
 class InputKernelProgram(KernelProgram):
@@ -119,3 +138,7 @@ class StandaloneInputProgram(KernelProgram):
 
     def apply(self, rule: str, idx: np.ndarray, read: Columns, write: Columns) -> None:
         self.inner.apply(rule, idx, read, write)
+
+    def tiled(self, copies: int) -> "StandaloneInputProgram | None":
+        inner = self.inner.tiled(copies)
+        return None if inner is None else StandaloneInputProgram(inner)

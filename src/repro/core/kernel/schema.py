@@ -133,5 +133,48 @@ class Schema:
             [{name: decoded[name][u] for name in names} for u in range(n)]
         )
 
+    # ------------------------------------------------------------------
+    # Batched (tiled) layouts
+    # ------------------------------------------------------------------
+    def encode_tiled(self, cfgs) -> dict[str, np.ndarray]:
+        """Several same-size configurations → flat trial-major columns.
+
+        Trial ``t`` occupies slots ``[t·n, (t+1)·n)``.  Values of
+        ``opt_index`` variables are *globalized* (trial-local process
+        index ``p`` becomes ``t·n + p``) so programs can keep comparing
+        them against the tiled adjacency; :meth:`decode_block` reverses
+        the offset.
+        """
+        n = len(cfgs[0])
+        state_lists = [cfg.states() for cfg in cfgs]
+        out: dict[str, np.ndarray] = {}
+        for var in self.vars:
+            column = np.concatenate(
+                [var.encode_column(states) for states in state_lists]
+            )
+            if var.kind == "opt_index":
+                offsets = np.repeat(
+                    np.arange(len(cfgs), dtype=np.int64) * n, n
+                )
+                column = np.where(column >= 0, column + offsets, column)
+            out[var.name] = column
+        return out
+
+    def decode_block(
+        self, columns: Mapping[str, np.ndarray], trial: int, n: int
+    ) -> Configuration:
+        """One trial's block of a tiled layout → a trial-local Configuration."""
+        lo, hi = trial * n, (trial + 1) * n
+        decoded = {}
+        for var in self.vars:
+            block = columns[var.name][lo:hi]
+            if var.kind == "opt_index":
+                block = np.where(block >= 0, block - lo, block)
+            decoded[var.name] = var.decode_column(block)
+        names = self.names
+        return Configuration(
+            [{name: decoded[name][u] for name in names} for u in range(n)]
+        )
+
     def __repr__(self) -> str:
         return f"Schema({', '.join(map(repr, self.vars))})"

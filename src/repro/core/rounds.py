@@ -9,13 +9,23 @@ subsequent rounds are defined inductively on the remaining suffix.
 :class:`RoundCounter` implements this definition *exactly*: it tracks the
 set of processes that still owe a move-or-neutralization for the current
 round and closes the round the moment that set empties.
+:class:`ArrayRoundCounter` is its vectorized twin for the fused kernel
+loop: the owing set becomes a per-process boolean column updated with a
+handful of numpy operations per step, and the two interconvert losslessly
+so an execution can move between the step-by-step and fused drivers
+mid-flight without disturbing the count.
 """
 
 from __future__ import annotations
 
 from typing import Iterable
 
-__all__ = ["RoundCounter"]
+try:  # ArrayRoundCounter only; the set-based counter stays numpy-free.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    np = None  # type: ignore[assignment]
+
+__all__ = ["RoundCounter", "ArrayRoundCounter"]
 
 
 class RoundCounter:
@@ -85,4 +95,78 @@ class RoundCounter:
         # Round boundary: the suffix starts at the post-step configuration.
         self.completed += 1
         self._pending = set(enabled_after)
+        return 1
+
+    def resume(self, completed: int, pending: Iterable[int]) -> None:
+        """Restore counter state (used when leaving the fused kernel loop)."""
+        self.completed = completed
+        self._pending = set(pending)
+        self._started = True
+
+
+class ArrayRoundCounter:
+    """:class:`RoundCounter` over per-process boolean columns.
+
+    Semantics are identical — the pending *set* becomes a pending *mask*
+    (the enabled-since-round-start bitmap) and one step's resolution is
+    four boolean array operations instead of a set comprehension.  The
+    fused kernel loop drives this class; conversions to and from
+    :class:`RoundCounter` bridge executions that mix the two drivers.
+    """
+
+    __slots__ = ("completed", "_pending", "_scratch", "_started", "_has_pending")
+
+    def __init__(self, n: int):
+        self.completed = 0
+        self._pending = np.zeros(n, dtype=np.bool_)
+        self._scratch = np.empty(n, dtype=np.bool_)
+        self._started = False
+        self._has_pending = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_counter(cls, counter: RoundCounter, n: int) -> "ArrayRoundCounter":
+        """Seed from a set-based counter (mid-execution states included)."""
+        arc = cls(n)
+        arc.completed = counter.completed
+        pending = list(counter.pending)
+        arc._pending[pending] = True
+        arc._started = counter._started
+        arc._has_pending = bool(pending)
+        return arc
+
+    def into_counter(self, counter: RoundCounter) -> None:
+        """Write this counter's state back into a set-based counter."""
+        counter.resume(self.completed, np.flatnonzero(self._pending).tolist())
+
+    # ------------------------------------------------------------------
+    def start(self, enabled_mask) -> None:
+        self._pending[:] = enabled_mask
+        self._started = True
+        self._has_pending = bool(enabled_mask.any())
+        self.completed = 0
+
+    def observe_step(self, activated_idx, enabled_before, enabled_after) -> int:
+        """Account one step; masks are per-process booleans.
+
+        ``activated_idx`` is the index vector of activated processes;
+        ``enabled_before``/``enabled_after`` the enabled masks around the
+        step.  Mirrors :meth:`RoundCounter.observe_step` exactly.
+        """
+        if not self._started:
+            raise RuntimeError("ArrayRoundCounter.start() was not called")
+        if not self._has_pending:
+            return 0
+        pending, scratch = self._pending, self._scratch
+        # pending &= ~(activated ∪ (enabled_before ∖ enabled_after))
+        pending[activated_idx] = False
+        np.logical_not(enabled_after, out=scratch)
+        scratch &= enabled_before
+        np.logical_not(scratch, out=scratch)
+        pending &= scratch
+        if pending.any():
+            return 0
+        self.completed += 1
+        pending[:] = enabled_after
+        self._has_pending = bool(enabled_after.any())
         return 1

@@ -42,6 +42,7 @@ follow the neutralization definition (see :mod:`repro.core.rounds`).
 
 from __future__ import annotations
 
+import logging
 from random import Random
 from typing import Any, Callable, Iterable, Sequence
 
@@ -56,6 +57,24 @@ __all__ = ["Simulator", "RunResult", "BACKENDS"]
 
 #: Recognized values of the ``backend`` parameter.
 BACKENDS = ("auto", "dict", "kernel")
+
+_logger = logging.getLogger(__name__)
+
+#: Algorithm names already warned about (one warning per algorithm, not
+#: one per simulator — campaigns construct thousands of simulators).
+_FALLBACK_WARNED: set[str] = set()
+
+
+def _warn_auto_fallback(name: str) -> None:
+    if name not in _FALLBACK_WARNED:
+        _FALLBACK_WARNED.add(name)
+        _logger.warning(
+            "algorithm %r provides no kernel program (or numpy is missing); "
+            "backend='auto' is falling back to the dict engine — port it to "
+            "a typed schema (see repro/unison/kernelized.py) to use the "
+            "array kernel",
+            name,
+        )
 
 
 class RunResult:
@@ -116,6 +135,10 @@ class _LazyConfigView:
         return iter(self._materialize())
 
 
+#: Sentinel: the vectorized daemon twin has not been resolved yet.
+_VEC_UNRESOLVED = object()
+
+
 class Simulator:
     """Executes one algorithm on one network under one daemon.
 
@@ -145,7 +168,14 @@ class Simulator:
         ``"auto"`` (default), ``"dict"`` or ``"kernel"``.  ``"kernel"``
         requires the algorithm to provide a kernel program (see
         ``Algorithm.kernel_program``) and numpy to be installed; ``"auto"``
-        silently falls back to ``"dict"`` when either is missing.
+        falls back to ``"dict"`` when either is missing (logging one
+        warning per algorithm so silent slowdowns stay visible).
+    fuse:
+        Allow :meth:`run` to use the fused kernel loop (vectorized
+        daemons + array-native accounting) when nothing observes
+        individual steps.  Results are identical either way; pass
+        ``False`` to force the step-by-step loop (benchmark baselines,
+        debugging).
     trace:
         Optional :class:`~repro.core.trace.Trace` to record into.
     observers:
@@ -173,6 +203,7 @@ class Simulator:
         strict: bool = True,
         paranoid: bool = False,
         backend: str = "auto",
+        fuse: bool = True,
         trace: Trace | None = None,
         observers: Sequence[Callable[["Simulator", StepRecord], Any]] = (),
     ):
@@ -184,8 +215,10 @@ class Simulator:
         self.rng = rng if rng is not None else Random(seed)
         self.strict = strict
         self.paranoid = paranoid
+        self.fuse = fuse
         self.trace = trace
         self.observers = list(observers)
+        self._vec_daemon: Any = _VEC_UNRESOLVED
 
         cfg = config.copy() if config is not None else algorithm.initial_configuration()
         if len(cfg) != self.network.n:
@@ -249,6 +282,9 @@ class Simulator:
                 "to provide a kernel program (typed variable schema) and numpy "
                 "to be installed; use backend='auto' to fall back gracefully"
             )
+        # Loud-but-once: the fallback is silent per run, but the first run
+        # of each unported algorithm names itself in the log.
+        _warn_auto_fallback(self.algorithm.name)
         return "dict"
 
     # ------------------------------------------------------------------
@@ -459,6 +495,97 @@ class Simulator:
                 raise DaemonError(f"daemon picked disabled rule {rule!r} at process {u}")
 
     # ------------------------------------------------------------------
+    # Fused kernel loop
+    # ------------------------------------------------------------------
+    def _vectorized_daemon(self):
+        """The daemon's array twin, or ``None`` (resolved once, cached)."""
+        if self._vec_daemon is _VEC_UNRESOLVED:
+            if self.backend == "kernel":
+                from .kernel.daemons import vectorize
+
+                self._vec_daemon = vectorize(self.daemon, self.network)
+            else:
+                self._vec_daemon = None
+        return self._vec_daemon
+
+    @property
+    def fusion_available(self) -> bool:
+        """Whether :meth:`run` will use the fused kernel loop.
+
+        Requires the kernel backend, a vectorizable daemon, ``fuse`` left
+        on, and no per-step Python boundary crossing: no trace, no
+        observers, no paranoid lockstep.  (A ``stop_when`` predicate also
+        disables fusion — it must observe the simulator between steps.)
+        """
+        return (
+            self.backend == "kernel"
+            and self.fuse
+            and not self.paranoid
+            and self.trace is None
+            and not self.observers
+            and self._vectorized_daemon() is not None
+        )
+
+    def _run_fused(self, max_steps: int, until=None) -> RunResult:
+        """Drive the kernel's fused loop and merge its accounting back."""
+        from .rounds import ArrayRoundCounter
+
+        vec = self._vectorized_daemon()
+        vec.load_state(self.daemon)
+        rounds = ArrayRoundCounter.from_counter(self.rounds, self.network.n)
+        check = self.strict and self.algorithm.mutually_exclusive_rules
+        result = self._kernel.run(
+            vec,
+            self.rng,
+            max_steps,
+            until=until,
+            rounds=rounds,
+            exclusion_name=self.algorithm.name if check else None,
+        )
+        vec.store_state(self.daemon)
+        rounds.into_counter(self.rounds)
+        if result.steps:
+            self.step_count += result.steps
+            self.move_count += result.moves
+            self.moves_per_process = [
+                have + int(delta)
+                for have, delta in zip(
+                    self.moves_per_process, result.moves_per_process.tolist()
+                )
+            ]
+            moves_per_rule = self.moves_per_rule
+            for rule, count in result.moves_per_rule.items():
+                moves_per_rule[rule] = moves_per_rule.get(rule, 0) + count
+            self._cfg_dirty = True
+        self._enabled = self._kernel.enabled_map()
+        self._enabled_snapshot = tuple(self._enabled)
+        return RunResult(
+            steps=self.step_count,
+            moves=self.move_count,
+            rounds=self.rounds.completed,
+            terminal=not self._enabled,
+            stop_reason=result.stop_reason,
+        )
+
+    def run_until_mask(self, mask_fn, max_steps: int = 1_000_000) -> RunResult:
+        """Fused :meth:`run` with a vectorized convergence predicate.
+
+        ``mask_fn(columns) -> bool ndarray`` is the per-process legitimacy
+        mask (e.g. a kernel program's ``normal_mask``); the run stops the
+        first time it holds everywhere — evaluated on the initial
+        configuration too, exactly like ``stop_when`` — with stop reason
+        ``"predicate"``.  Only valid while :attr:`fusion_available`; the
+        experiment runners fall back to an observer-based detector
+        otherwise.
+        """
+        if not self.fusion_available:
+            raise RuntimeError(
+                "run_until_mask requires the fused kernel loop "
+                "(check Simulator.fusion_available first)"
+            )
+        return self._run_fused(max_steps, until=mask_fn)
+
+    # ------------------------------------------------------------------
     # Driving loops
     # ------------------------------------------------------------------
     def run(
@@ -470,7 +597,15 @@ class Simulator:
 
         ``stop_when`` is evaluated on the initial configuration too, so a
         predicate already satisfied stops immediately with zero steps.
+
+        When the kernel backend is active and nothing needs to observe
+        individual steps (no ``stop_when``, trace, observers, or paranoid
+        mode) the loop runs *fused* inside the kernel — see
+        :attr:`fusion_available` — with identical results and rng
+        consumption, decoding to Python only on exit.
         """
+        if stop_when is None and self.fusion_available:
+            return self._run_fused(max_steps)
         stop_reason = "budget"
         if stop_when is not None and stop_when(self):
             stop_reason = "predicate"

@@ -67,26 +67,43 @@ class TrialSpec:
         object.__setattr__(self, "params", _freeze_params(self.params))
 
     # ------------------------------------------------------------------
-    def key(self) -> str:
-        """Canonical identity string — the store key and seed-hash input.
-
-        Execution options (:data:`EXECUTION_OPTIONS`) are not part of the
-        identity: they change wall time, never the measurement.
-        """
+    def _identity(self, include_trial: bool) -> str:
+        """One renderer for both identity strings, so they cannot drift:
+        a field added to the identity joins every key (or deliberately
+        only one, here, in a single visible place)."""
         parts = [
             f"algorithm={self.algorithm}",
             f"topology={self.topology}",
             f"n={self.n}",
             f"scenario={self.scenario}",
             f"daemon={self.daemon}",
-            f"trial={self.trial}",
-            f"topology_seed={self.topology_seed}",
         ]
+        if include_trial:
+            parts.append(f"trial={self.trial}")
+        parts.append(f"topology_seed={self.topology_seed}")
         measured = [(k, v) for k, v in self.params if k not in EXECUTION_OPTIONS]
         if measured:
             rendered = ",".join(f"{k}:{v}" for k, v in measured)
             parts.append(f"params={rendered}")
         return "|".join(parts)
+
+    def key(self) -> str:
+        """Canonical identity string — the store key and seed-hash input.
+
+        Execution options (:data:`EXECUTION_OPTIONS`) are not part of the
+        identity: they change wall time, never the measurement.
+        """
+        return self._identity(include_trial=True)
+
+    def cell_key(self) -> str:
+        """Identity of the grid *cell* — the key minus the replicate index.
+
+        Trials sharing a cell key differ only in their seed, which is what
+        makes them batchable: the executor runs a whole cell as one
+        vectorized multi-trial simulation (see :mod:`repro.engine.pool`)
+        with results record-identical to serial execution.
+        """
+        return self._identity(include_trial=False)
 
     def kwargs(self) -> dict[str, Any]:
         """The extra params as a plain dict (for ``**`` expansion)."""

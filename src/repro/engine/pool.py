@@ -1,15 +1,21 @@
-"""Trial executor: multiprocessing fan-out with an in-process fallback.
+"""Trial executor: batched cells, multiprocessing fan-out, serial fallback.
 
 ``run_specs`` drives a list of :class:`~repro.engine.campaign.TrialSpec`
-descriptors to completion.  With ``workers >= 2`` the trials fan out to a
-``multiprocessing.Pool`` via ``imap_unordered`` (chunked to amortize IPC);
-with ``workers <= 1`` they run in-process, which keeps debugging, coverage,
-and tracing trivial.  Either way results stream back to the parent, which
-is the *only* writer of the result store — workers compute, the parent
-persists, so no file locking is needed.
+descriptors to completion.  Replicate trials that share a grid cell are
+*batched* (``batch="auto"``): the whole cell runs as one tiled
+multi-trial simulation (:func:`repro.harness.runner.run_trial_batch`),
+one guard evaluation serving every replicate per step.  With
+``workers >= 2`` the execution units — batches and leftover single
+trials — fan out to a ``multiprocessing.Pool`` via ``imap_unordered``
+(chunked to amortize IPC); with ``workers <= 1`` they run in-process,
+which keeps debugging, coverage, and tracing trivial.  Either way results
+stream back to the parent, which is the *only* writer of the result
+store — workers compute, the parent persists, so no file locking is
+needed.
 
-Because every trial's seed derives from its descriptor (not from execution
-order), both paths produce identical records.
+Because every trial's seed derives from its descriptor (not from
+execution order, worker count, or batch shape), all paths produce
+byte-identical records.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from .campaign import TrialSpec
 from .seeds import derive_seed
 from .store import SCHEMA_VERSION, ResultStore, trial_to_dict
 
-__all__ = ["execute_trial", "run_specs", "default_chunksize"]
+__all__ = ["execute_trial", "execute_batch", "run_specs", "default_chunksize"]
 
 #: ``progress(done, total, record)`` — invoked in the parent after each
 #: trial lands (and after each skipped/streamed record on resume paths).
@@ -52,8 +58,129 @@ def execute_trial(spec: TrialSpec, campaign_seed: int, campaign: str = "") -> di
     }
 
 
-def _worker(args: tuple[TrialSpec, int, str]) -> dict:
-    return execute_trial(*args)
+def execute_batch(
+    specs: Sequence[TrialSpec], campaign_seed: int, campaign: str = ""
+) -> list[dict]:
+    """Run one grid cell's replicates as a batch; fall back per-trial.
+
+    Record-identical to ``[execute_trial(s, …) for s in specs]`` — the
+    batched runner consumes each trial's derived seed in serial order.
+    If the cell turns out not to be batchable after all
+    (:class:`~repro.core.exceptions.UnbatchableError`: no kernel program
+    for this instance, unexpected params), the replicates run serially
+    instead; any other exception is a genuine defect and propagates.
+    """
+    from ..core.exceptions import UnbatchableError
+
+    try:
+        return _batch_records(specs, campaign_seed, campaign)
+    except UnbatchableError:
+        return [execute_trial(spec, campaign_seed, campaign) for spec in specs]
+
+
+def _batch_records(
+    specs: Sequence[TrialSpec], campaign_seed: int, campaign: str
+) -> list[dict]:
+    """One cell's records via the tiled batch runner; no fallback here."""
+    # Imported lazily — the harness experiments import the engine, so a
+    # module-level import here would be circular.
+    from ..harness.runner import run_trial_batch
+
+    specs = list(specs)
+    seeds = [derive_seed(campaign_seed, spec.key()) for spec in specs]
+    trials = run_trial_batch(specs, seeds)
+    return [
+        {
+            "schema": SCHEMA_VERSION,
+            "campaign": campaign,
+            "campaign_seed": campaign_seed,
+            "key": spec.key(),
+            "seed": seed,
+            "spec": spec.to_dict(),
+            "result": trial_to_dict(trial),
+        }
+        for spec, seed, trial in zip(specs, seeds, trials)
+    ]
+
+
+def _execution_units(
+    specs: Sequence[TrialSpec], batch: bool
+) -> list[tuple[str, Any]]:
+    """Group specs into ``("batch", cell-specs)`` / ``("single", spec)``."""
+    if not batch:
+        return [("single", spec) for spec in specs]
+    from ..harness.runner import can_batch
+
+    cells: dict[str, list[TrialSpec]] = {}
+    order: list[str] = []
+    for spec in specs:
+        key = spec.cell_key()
+        if key not in cells:
+            cells[key] = []
+            order.append(key)
+        cells[key].append(spec)
+    units: list[tuple[str, Any]] = []
+    for key in order:
+        cell = cells[key]
+        # Every replicate must be batchable: execution options such as
+        # backend="dict" are excluded from cell_key(), so one replicate
+        # explicitly requesting the dict engine must not be silently
+        # batched onto the kernel with its siblings.
+        if len(cell) > 1 and all(can_batch(spec) for spec in cell):
+            units.append(("batch", tuple(cell)))
+        else:
+            units.extend(("single", spec) for spec in cell)
+    return units
+
+
+def _serial_records(
+    specs: Sequence[TrialSpec],
+    campaign_seed: int,
+    campaign: str,
+    backstop: Exception | None,
+) -> tuple[list[dict], Exception | None]:
+    """Serial per-trial records, stopping at a ``NotStabilized`` trial.
+
+    ``backstop`` is re-raised by the caller even when every serial trial
+    passes (a batched run failed where serial did not — a divergence that
+    must surface, not vanish).
+    """
+    from ..core.exceptions import NotStabilized
+
+    records: list[dict] = []
+    error = backstop
+    try:
+        for spec in specs:
+            records.append(execute_trial(spec, campaign_seed, campaign))
+    except NotStabilized as serial_exc:
+        error = serial_exc
+    return records, error
+
+
+def _worker(
+    args: tuple[str, Any, int, str]
+) -> tuple[list[dict], Exception | None]:
+    """Run one execution unit; returns ``(records, error)``.
+
+    ``NotStabilized`` is not a defect — one replicate ran out of budget.
+    A batch hitting it reruns its cell serially (at most once: cells that
+    already fell back via ``UnbatchableError`` are not run twice) so the
+    siblings that do stabilize still hand their records to the parent
+    (and the store) before the failure propagates, keeping store
+    durability identical across worker counts and batch shapes.  Genuine
+    defects raise.
+    """
+    from ..core.exceptions import NotStabilized, UnbatchableError
+
+    kind, payload, campaign_seed, campaign = args
+    if kind != "batch":
+        return [execute_trial(payload, campaign_seed, campaign)], None
+    try:
+        return _batch_records(payload, campaign_seed, campaign), None
+    except UnbatchableError:
+        return _serial_records(payload, campaign_seed, campaign, None)
+    except NotStabilized as batch_exc:
+        return _serial_records(payload, campaign_seed, campaign, batch_exc)
 
 
 def default_chunksize(total: int, workers: int) -> int:
@@ -71,13 +198,18 @@ def run_specs(
     chunksize: int | None = None,
     progress: ProgressFn | None = None,
     store: ResultStore | None = None,
+    batch: bool = True,
 ) -> list[dict]:
     """Execute all ``specs``; return their records in spec order.
 
-    ``workers <= 1`` runs serially in-process; ``workers >= 2`` fans out to
-    that many OS processes.  Completed records are appended to ``store``
-    (if given) as they arrive, so an interrupted run keeps everything that
-    finished — :func:`repro.engine.resume.run_campaign` picks up the rest.
+    Replicates sharing a grid cell run as one vectorized batch unless
+    ``batch=False`` (records are identical either way).  ``workers <= 1``
+    runs serially in-process; ``workers >= 2`` fans out to that many OS
+    processes (capped by the number of batches and single trials), one
+    batch or single trial per work item.  Completed
+    records are appended to ``store`` (if given) as they arrive, so an
+    interrupted run keeps everything that finished —
+    :func:`repro.engine.resume.run_campaign` picks up the rest.
     """
     specs = list(specs)
     total = len(specs)
@@ -90,15 +222,28 @@ def run_specs(
         if progress is not None:
             progress(len(records_by_key), total, record)
 
+    units = _execution_units(specs, batch)
+    payload = [(kind, item, campaign_seed, campaign) for kind, item in units]
+
+    def land_unit(result: tuple[list[dict], Exception | None]) -> None:
+        records, error = result
+        for record in records:
+            land(record)
+        if error is not None:
+            raise error
+
     if workers <= 1 or total <= 1:
-        for spec in specs:
-            land(execute_trial(spec, campaign_seed, campaign))
+        for args in payload:
+            land_unit(_worker(args))
     else:
-        workers = min(workers, total)
-        payload = [(spec, campaign_seed, campaign) for spec in specs]
-        chunk = chunksize if chunksize is not None else default_chunksize(total, workers)
+        workers = min(workers, len(units))
+        chunk = (
+            chunksize
+            if chunksize is not None
+            else default_chunksize(len(units), workers)
+        )
         with multiprocessing.Pool(workers) as pool:
-            for record in pool.imap_unordered(_worker, payload, chunksize=chunk):
-                land(record)
+            for result in pool.imap_unordered(_worker, payload, chunksize=chunk):
+                land_unit(result)
 
     return [records_by_key[spec.key()] for spec in specs]

@@ -69,12 +69,15 @@ def run_campaign(
     resume: bool = False,
     chunksize: int | None = None,
     progress: ProgressFn | None = None,
+    batch: bool = True,
 ) -> CampaignOutcome:
     """Execute a campaign, optionally resuming from a partial store.
 
     Without ``resume`` every trial runs (and is appended to ``store`` if
     one is given).  With ``resume`` the store is diffed first and only the
     missing trials execute; already-stored records are returned as-is.
+    ``batch`` lets whole grid cells run as single vectorized multi-trial
+    simulations (default; records are identical either way).
     """
     specs = campaign.specs()
     existing: dict[str, dict] = {}
@@ -90,6 +93,7 @@ def run_campaign(
         chunksize=chunksize,
         progress=progress,
         store=store,
+        batch=batch,
     )
     by_key = dict(existing)
     by_key.update((record["key"], record) for record in fresh)

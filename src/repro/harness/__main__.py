@@ -159,6 +159,10 @@ def run_sweep(argv: list[str]) -> int:
                              "(default: auto — array kernel when available)")
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes; 0 or 1 runs serially in-process")
+    parser.add_argument("--no-batch", action="store_true",
+                        help="run every trial separately instead of batching "
+                             "a cell's replicates into one vectorized run "
+                             "(results are identical either way)")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="JSONL result store to append to")
     parser.add_argument("--resume", action="store_true",
@@ -190,6 +194,7 @@ def run_sweep(argv: list[str]) -> int:
         outcome = run_campaign(
             campaign, store=store, workers=args.workers,
             resume=args.resume, progress=progress,
+            batch=not args.no_batch,
         )
     except (ReproError, ValueError) as exc:
         # Completed trials are already in --out; rerun with --resume to

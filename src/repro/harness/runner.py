@@ -1,21 +1,32 @@
-"""Single-trial runners shared by the experiments and benchmarks.
+"""Single-trial and batched-trial runners for experiments and benchmarks.
 
 A *trial* fixes (topology, algorithm, initial-configuration scenario,
 daemon, seed), runs to stabilization (or termination), and reports a flat
 record of measurements.  Sweeps iterate trials over parameter grids.
+
+Two execution fast paths keep trials off the per-step Python boundary:
+
+* single trials detect stabilization with the *fused* kernel loop when
+  the program provides a vectorized legitimacy mask (identical records,
+  no per-step configuration decode);
+* :func:`run_trial_batch` runs a whole campaign cell's replicates as one
+  tiled multi-trial simulation (:mod:`repro.core.kernel.batch`), with
+  results record-identical to serial runs.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from random import Random
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from ..alliance.fga import FGA
 from ..alliance.functions import instance_by_name
 from ..analysis.metrics import RunMetrics, collect_metrics
-from ..core.daemon import Daemon, make_daemon
+from ..core.daemon import DAEMON_KINDS, Daemon, make_daemon
 from ..core.detectors import measure_stabilization
+from ..core.exceptions import NotStabilized, UnbatchableError
 from ..core.graph import Network
 from ..core.simulator import Simulator
 from ..faults.injector import corrupt_processes
@@ -31,11 +42,21 @@ if TYPE_CHECKING:  # descriptor type only — the engine imports this module
 __all__ = [
     "Trial",
     "run_trial",
+    "run_trial_batch",
+    "can_batch",
     "run_unison_trial",
     "run_boulinier_trial",
     "run_fga_trial",
     "sweep",
 ]
+
+#: Default step budgets, shared between the serial runners' signatures
+#: and the batched runner's param handling — one source of truth, so a
+#: batched and a serial execution of the same spec always stop at the
+#: same budget (the stores' byte-identity depends on it).
+UNISON_MAX_STEPS = 2_000_000
+BOULINIER_MAX_STEPS = 5_000_000
+FGA_MAX_STEPS = 5_000_000
 
 
 @dataclass(frozen=True)
@@ -63,6 +84,51 @@ def _make_daemon(spec: str | Daemon, network: Network) -> Daemon:
     return make_daemon(spec, network)
 
 
+#: ``program.mask_attr`` combinations already warned about — one warning
+#: per combination, like the simulator's backend="auto" fallback warning.
+_MASK_FALLBACK_WARNED: set[str] = set()
+
+
+def _stabilization(
+    sim: Simulator, predicate, mask_attr: str, max_steps: int
+) -> tuple[int, int, int]:
+    """``(steps, rounds, moves)`` at the first legitimate configuration.
+
+    Prefers the fused kernel loop with the program's vectorized
+    legitimacy mask (``mask_attr``) — same stopping step and accounting
+    as the observer-based detector, but no per-step decode.  Falls back
+    to :func:`~repro.core.detectors.measure_stabilization` whenever
+    fusion is off (dict backend, tracing, non-vector daemon, …) — or,
+    loudly, when the kernel program lacks the expected mask (a rename or
+    an unported mask would otherwise silently cost the fast path).
+    """
+    mask_fn = (
+        getattr(sim._program, mask_attr, None)
+        if sim._program is not None
+        else None
+    )
+    if sim._program is not None and mask_fn is None:
+        key = f"{type(sim._program).__name__}.{mask_attr}"
+        if key not in _MASK_FALLBACK_WARNED:
+            _MASK_FALLBACK_WARNED.add(key)
+            logging.getLogger(__name__).warning(
+                "kernel program %s provides no %s; stabilization detection "
+                "falls back to per-step decoding (slower, same results)",
+                type(sim._program).__name__,
+                mask_attr,
+            )
+    if mask_fn is not None and sim.fusion_available:
+        result = sim.run_until_mask(mask_fn, max_steps)
+        if result.stop_reason != "predicate":
+            raise NotStabilized(
+                f"predicate 'legitimate' not reached within {max_steps} steps",
+                steps=result.steps,
+            )
+        return result.steps, result.rounds, result.moves
+    detector, _ = measure_stabilization(sim, predicate, max_steps=max_steps)
+    return detector.step or 0, detector.rounds or 0, detector.moves or 0
+
+
 def _unison_start(sdr: SDR, scenario: str, rng: Random):
     if scenario == "random":
         return sdr.random_configuration(rng)
@@ -80,13 +146,47 @@ def _unison_start(sdr: SDR, scenario: str, rng: Random):
     raise ValueError(f"unknown unison scenario {scenario!r}")
 
 
+def _boulinier_start(algo: BoulinierUnison, scenario: str, rng: Random):
+    network = algo.network
+    if scenario == "random":
+        return algo.random_configuration(rng)
+    if scenario == "gradient":
+        cfg = algo.initial_configuration()
+        for u in network.processes():
+            cfg.set(u, "r", (3 * u) % algo.period)
+        return cfg
+    if scenario == "split":
+        cfg = algo.initial_configuration()
+        far = algo.period // 2
+        for u in network.processes():
+            cfg.set(u, "r", 0 if u < network.n // 2 else far)
+        return cfg
+    raise ValueError(f"unknown boulinier scenario {scenario!r}")
+
+
+def _fga_start(sdr: SDR, scenario: str, rng: Random):
+    network = sdr.network
+    if scenario == "random":
+        return sdr.random_configuration(rng)
+    if scenario == "init":
+        return sdr.initial_configuration()
+    if scenario == "hollow":
+        return hollow_alliance(sdr)
+    if scenario.startswith("faults:"):
+        k = int(scenario.split(":", 1)[1])
+        cfg = sdr.initial_configuration()
+        victims = rng.sample(range(network.n), min(k, network.n))
+        return corrupt_processes(sdr, cfg, victims, rng)
+    raise ValueError(f"unknown FGA scenario {scenario!r}")
+
+
 def run_unison_trial(
     network: Network,
     seed: int = 0,
     daemon: str | Daemon = "distributed-random",
     scenario: str = "random",
     period: int | None = None,
-    max_steps: int = 2_000_000,
+    max_steps: int = UNISON_MAX_STEPS,
     backend: str = "auto",
 ) -> Trial:
     """Run ``U ∘ SDR`` to its first normal configuration.
@@ -99,7 +199,8 @@ def run_unison_trial(
     cfg = _unison_start(sdr, scenario, rng)
     sim = Simulator(sdr, _make_daemon(daemon, network), config=cfg, seed=seed,
                     backend=backend)
-    detector, _ = measure_stabilization(sim, sdr.is_normal, max_steps=max_steps)
+    steps, rounds, moves = _stabilization(sim, sdr.is_normal, "normal_mask",
+                                          max_steps)
     return Trial(
         algorithm="U o SDR",
         scenario=scenario,
@@ -109,9 +210,9 @@ def run_unison_trial(
         m=network.m,
         diameter=network.diameter,
         max_degree=network.max_degree,
-        rounds=detector.rounds or 0,
-        moves=detector.moves or 0,
-        steps=detector.step or 0,
+        rounds=rounds,
+        moves=moves,
+        steps=steps,
         metrics=collect_metrics(sim),
     )
 
@@ -123,7 +224,7 @@ def run_boulinier_trial(
     period: int | None = None,
     alpha: int | None = None,
     scenario: str = "random",
-    max_steps: int = 5_000_000,
+    max_steps: int = BOULINIER_MAX_STEPS,
     backend: str = "auto",
 ) -> Trial:
     """Run the reset-tail baseline to its first legitimate configuration.
@@ -134,22 +235,11 @@ def run_boulinier_trial(
     """
     rng = Random(seed)
     algo = BoulinierUnison(network, period=period, alpha=alpha)
-    if scenario == "random":
-        cfg = algo.random_configuration(rng)
-    elif scenario == "gradient":
-        cfg = algo.initial_configuration()
-        for u in network.processes():
-            cfg.set(u, "r", (3 * u) % algo.period)
-    elif scenario == "split":
-        cfg = algo.initial_configuration()
-        far = algo.period // 2
-        for u in network.processes():
-            cfg.set(u, "r", 0 if u < network.n // 2 else far)
-    else:
-        raise ValueError(f"unknown boulinier scenario {scenario!r}")
+    cfg = _boulinier_start(algo, scenario, rng)
     sim = Simulator(algo, _make_daemon(daemon, network), config=cfg, seed=seed,
                     backend=backend)
-    detector, _ = measure_stabilization(sim, algo.is_legitimate, max_steps=max_steps)
+    steps, rounds, moves = _stabilization(sim, algo.is_legitimate,
+                                          "legitimate_mask", max_steps)
     return Trial(
         algorithm="boulinier",
         scenario=scenario,
@@ -159,9 +249,9 @@ def run_boulinier_trial(
         m=network.m,
         diameter=network.diameter,
         max_degree=network.max_degree,
-        rounds=detector.rounds or 0,
-        moves=detector.moves or 0,
-        steps=detector.step or 0,
+        rounds=rounds,
+        moves=moves,
+        steps=steps,
         metrics=collect_metrics(sim),
         extra={"period": algo.period, "alpha": algo.alpha},
     )
@@ -174,25 +264,13 @@ def run_fga_trial(
     seed: int = 0,
     daemon: str | Daemon = "distributed-random",
     scenario: str = "random",
-    max_steps: int = 5_000_000,
+    max_steps: int = FGA_MAX_STEPS,
     backend: str = "auto",
 ) -> Trial:
     """Run ``FGA ∘ SDR`` to termination (the composition is silent)."""
     rng = Random(seed)
     sdr = SDR(FGA(network, f, g))
-    if scenario == "random":
-        cfg = sdr.random_configuration(rng)
-    elif scenario == "init":
-        cfg = sdr.initial_configuration()
-    elif scenario == "hollow":
-        cfg = hollow_alliance(sdr)
-    elif scenario.startswith("faults:"):
-        k = int(scenario.split(":", 1)[1])
-        cfg = sdr.initial_configuration()
-        victims = rng.sample(range(network.n), min(k, network.n))
-        cfg = corrupt_processes(sdr, cfg, victims, rng)
-    else:
-        raise ValueError(f"unknown FGA scenario {scenario!r}")
+    cfg = _fga_start(sdr, scenario, rng)
     sim = Simulator(sdr, _make_daemon(daemon, network), config=cfg, seed=seed,
                     backend=backend)
     result = sim.run_to_termination(max_steps=max_steps)
@@ -245,6 +323,197 @@ def run_trial(spec: "TrialSpec", seed: int | None = None) -> Trial:
     raise ValueError(
         f"unknown trial algorithm {spec.algorithm!r}; "
         "choose from 'unison', 'boulinier', 'fga'"
+    )
+
+
+# ----------------------------------------------------------------------
+# Batched cells
+# ----------------------------------------------------------------------
+#: Algorithms the batched runner can tile.
+_BATCH_ALGORITHMS = frozenset({"unison", "boulinier", "fga"})
+
+
+def can_batch(spec: "TrialSpec") -> bool:
+    """Whether a cell of replicates of ``spec`` can run as one batch.
+
+    Requires a tileable kernel program for the algorithm, a daemon with
+    an exact vector twin (every standard kind qualifies), and numpy —
+    and no explicit ``backend=dict`` request: batching never changes
+    results, but it *does* run on the array kernel, and a user who asked
+    for the dict engine (timing it, debugging it) must get it.
+    """
+    if spec.algorithm not in _BATCH_ALGORITHMS:
+        return False
+    if spec.daemon not in DAEMON_KINDS:
+        return False
+    if dict(spec.params).get("backend") == "dict":
+        return False
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def run_trial_batch(specs: Sequence["TrialSpec"], seeds: Sequence[int]) -> list[Trial]:
+    """Run one campaign cell's replicate trials as a single tiled batch.
+
+    ``specs`` must share everything but the replicate index (one cell);
+    ``seeds`` are the per-trial PRNG seeds in the same order.  Results
+    are record-identical to ``[run_trial(spec, seed) for …]`` — each
+    trial's daemon consumes its own seeded stream in serial order, and
+    per-trial accounting freezes at the trial's own stopping step.
+    Raises :class:`~repro.core.exceptions.UnbatchableError` when the
+    cell cannot be batched (callers fall back to serial trials).
+    """
+    spec = specs[0]
+    if any(s.cell_key() != spec.cell_key() for s in specs[1:]):
+        raise ValueError("run_trial_batch requires specs from one grid cell")
+    from ..core.kernel.batch import run_batch
+
+    network = by_name(spec.topology, spec.n, seed=spec.topology_seed)
+    params = spec.kwargs()
+    params.pop("backend", None)  # execution option; batching implies kernel
+    daemons = [make_daemon(spec.daemon, network) for _ in specs]
+
+    if spec.algorithm == "unison":
+        sdr = SDR(Unison(network, period=params.pop("period", None)))
+        max_steps = params.pop("max_steps", UNISON_MAX_STEPS)
+        _reject_params(spec, params)
+        cfgs = [_unison_start(sdr, spec.scenario, Random(seed)) for seed in seeds]
+        program = _require_program(sdr)
+        result = run_batch(
+            program, cfgs, daemons, [Random(seed) for seed in seeds], network,
+            max_steps=max_steps,
+            until=lambda prog, cols: prog.normal_mask(cols),
+            exclusion_name=sdr.name if sdr.mutually_exclusive_rules else None,
+        )
+        _require_hits(result.outcomes, max_steps)
+        return [
+            _batch_trial("U o SDR", spec, seed, network, daemon, outcome)
+            for seed, daemon, outcome in zip(seeds, daemons, result.outcomes)
+        ]
+
+    if spec.algorithm == "boulinier":
+        algo = BoulinierUnison(
+            network,
+            period=params.pop("period", None),
+            alpha=params.pop("alpha", None),
+        )
+        max_steps = params.pop("max_steps", BOULINIER_MAX_STEPS)
+        _reject_params(spec, params)
+        cfgs = [
+            _boulinier_start(algo, spec.scenario, Random(seed)) for seed in seeds
+        ]
+        program = _require_program(algo)
+        result = run_batch(
+            program, cfgs, daemons, [Random(seed) for seed in seeds], network,
+            max_steps=max_steps,
+            until=lambda prog, cols: prog.legitimate_mask(cols),
+            exclusion_name=algo.name if algo.mutually_exclusive_rules else None,
+        )
+        _require_hits(result.outcomes, max_steps)
+        extra = {"period": algo.period, "alpha": algo.alpha}
+        return [
+            _batch_trial("boulinier", spec, seed, network, daemon, outcome,
+                         extra=dict(extra))
+            for seed, daemon, outcome in zip(seeds, daemons, result.outcomes)
+        ]
+
+    if spec.algorithm == "fga":
+        instance = params.pop("instance", "dominating-set")
+        max_steps = params.pop("max_steps", FGA_MAX_STEPS)
+        _reject_params(spec, params)
+        f, g = instance_by_name(instance, network)
+        sdr = SDR(FGA(network, f, g))
+        cfgs = [_fga_start(sdr, spec.scenario, Random(seed)) for seed in seeds]
+        program = _require_program(sdr)
+        result = run_batch(
+            program, cfgs, daemons, [Random(seed) for seed in seeds], network,
+            max_steps=max_steps,
+            exclusion_name=sdr.name if sdr.mutually_exclusive_rules else None,
+        )
+        trials = []
+        for t, (seed, daemon, outcome) in enumerate(
+            zip(seeds, daemons, result.outcomes)
+        ):
+            if outcome.stop_reason != "terminal":
+                raise NotStabilized(
+                    f"no terminal configuration within {max_steps} steps",
+                    steps=outcome.steps,
+                )
+            alliance = sdr.input.alliance(result.configuration(t))
+            trials.append(
+                _batch_trial(
+                    "FGA o SDR", spec, seed, network, daemon, outcome,
+                    extra={
+                        "alliance_size": len(alliance),
+                        "alliance": frozenset(alliance),
+                    },
+                )
+            )
+        return trials
+
+    raise ValueError(f"algorithm {spec.algorithm!r} cannot run batched")
+
+
+def _require_program(algorithm):
+    program = algorithm.kernel_program()
+    if program is None:
+        raise UnbatchableError(
+            f"{algorithm.name}: no kernel program — cell cannot be batched"
+        )
+    return program
+
+
+def _reject_params(spec: "TrialSpec", params: dict) -> None:
+    if params:
+        # Unknown params fall back to serial execution, where they raise
+        # the genuine TypeError (or get handled by a future runner).
+        raise UnbatchableError(
+            f"unexpected params {sorted(params)} for batched "
+            f"{spec.algorithm!r} trials"
+        )
+
+
+def _require_hits(outcomes, max_steps: int) -> None:
+    for outcome in outcomes:
+        if not outcome.hit:
+            raise NotStabilized(
+                f"predicate 'legitimate' not reached within {max_steps} steps",
+                steps=outcome.steps,
+            )
+
+
+def _batch_trial(
+    algorithm: str,
+    spec: "TrialSpec",
+    seed: int,
+    network: Network,
+    daemon: Daemon,
+    outcome,
+    extra: dict | None = None,
+) -> Trial:
+    return Trial(
+        algorithm=algorithm,
+        scenario=spec.scenario,
+        daemon=daemon.name,
+        seed=seed,
+        n=network.n,
+        m=network.m,
+        diameter=network.diameter,
+        max_degree=network.max_degree,
+        rounds=outcome.rounds,
+        moves=outcome.moves,
+        steps=outcome.steps,
+        metrics=RunMetrics(
+            steps=outcome.steps,
+            moves=outcome.moves,
+            rounds=outcome.rounds,
+            moves_per_process=outcome.moves_per_process,
+            moves_per_rule=outcome.moves_per_rule,
+        ),
+        extra=extra if extra is not None else {},
     )
 
 

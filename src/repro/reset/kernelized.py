@@ -34,7 +34,7 @@ _NO_DIST = np.iinfo(np.int64).max // 2
 class SDRKernelProgram(KernelProgram):
     """Vectorized ``I ∘ SDR`` for a kernel-ported input algorithm ``I``."""
 
-    __slots__ = ("csr", "input", "schema", "rules", "_all_true", "_all_false")
+    __slots__ = ("csr", "input", "schema", "rules", "_all_true")
 
     def __init__(self, sdr, input_program: InputKernelProgram):
         self.csr = CSRAdjacency(sdr.network)
@@ -44,31 +44,39 @@ class SDRKernelProgram(KernelProgram):
         )
         self.rules = sdr.rule_names()
         n = sdr.network.n
-        # Shared constants for the all-C fast path (read-only by contract).
+        # Shared constant for the all-C fast path (read-only by contract).
         self._all_true = np.ones(n, dtype=np.bool_)
-        self._all_false = np.zeros(n, dtype=np.bool_)
+
+    def tiled(self, copies: int) -> "SDRKernelProgram | None":
+        input_tiled = self.input.tiled(copies)
+        if input_tiled is None:
+            return None
+        prog = object.__new__(SDRKernelProgram)
+        prog.csr = self.csr.tile(copies)
+        prog.input = input_tiled
+        prog.schema = self.schema
+        prog.rules = self.rules
+        prog._all_true = np.ones(prog.csr.n, dtype=np.bool_)
+        return prog
 
     # ------------------------------------------------------------------
     def guard_masks(self, cols) -> dict[str, np.ndarray]:
         csr = self.csr
         st, dist = cols[ST], cols[DIST]
-        st_is_c = st == _C
 
-        if st_is_c.all():
+        if not st.any():  # every status is C (code 0)
             # Normal-configuration fast path (Theorem 1's attractor, where
             # every stabilized execution lives): with all statuses C,
             # P_Clean ≡ true, P_RB = P_RF = P_C = P_R1 = P_R2 ≡ false, and
-            # P_Up collapses to ¬P_Correct = ¬P_ICorrect.
+            # P_Up collapses to ¬P_Correct = ¬P_ICorrect.  The three
+            # everywhere-false reset rules are omitted (the guard-mask
+            # contract lets consumers treat missing keys as all-false).
             icorrect, _, input_masks = self.input.host_masks(cols, self._all_true)
-            masks = {
-                "rule_RB": self._all_false,
-                "rule_RF": self._all_false,
-                "rule_C": self._all_false,
-                "rule_R": ~icorrect,
-            }
+            masks = {"rule_R": ~icorrect}
             masks.update(input_masks)
             return masks
 
+        st_is_c = st == _C
         edge_st = csr.pull(st)
         edge_d = csr.pull(dist)
         own_d = csr.own(dist)
@@ -107,6 +115,16 @@ class SDRKernelProgram(KernelProgram):
         }
         masks.update(input_masks)
         return masks
+
+    # ------------------------------------------------------------------
+    def normal_mask(self, cols) -> np.ndarray:
+        """Per-process conjunct of ``SDR.is_normal``: ``st = C ∧ P_ICorrect``.
+
+        The all-processes conjunction of this mask is exactly the normal
+        configuration predicate (Theorem 1's attractor), so the fused run
+        loop can detect stabilization without decoding.
+        """
+        return (cols[ST] == _C) & self.input.icorrect_mask(cols)
 
     # ------------------------------------------------------------------
     def apply(self, rule, idx, read, write) -> None:

@@ -177,6 +177,16 @@ class BoulinierUnison(Algorithm):
     def random_state(self, u: int, rng: Random) -> dict[str, Any]:
         return {RCLOCK: rng.randrange(-self.alpha, self.period)}
 
+    def kernel_program(self):
+        """Array-backend program (see :mod:`repro.unison.kernelized`)."""
+        try:
+            from .kernelized import BoulinierKernelProgram
+        except ModuleNotFoundError as exc:
+            if exc.name and exc.name.split(".")[0] == "numpy":
+                return None  # numpy missing: dict backend only
+            raise
+        return BoulinierKernelProgram(self)
+
     # ------------------------------------------------------------------
     # Legitimacy
     # ------------------------------------------------------------------

@@ -37,6 +37,43 @@ def test_fga_sdr_kernel_lockstep_from_random_configs():
         assert result.terminal
 
 
+def test_turau_kernel_lockstep_terminates():
+    from repro.alliance.turau import TurauMIS
+
+    for seed in range(3):
+        net = grid(3, 4)
+        algo = TurauMIS(net)
+        cfg = algo.random_configuration(Random(seed))
+        sim = Simulator(
+            algo,
+            DistributedRandomDaemon(0.5),
+            config=cfg,
+            seed=seed,
+            backend="kernel",
+            paranoid=True,
+        )
+        result = sim.run_to_termination(max_steps=50_000)
+        assert result.terminal
+        members = algo.members(sim.cfg)
+        for u in members:  # terminal states are independent sets
+            assert not members & set(net.neighbors(u))
+
+
+def test_turau_kernel_respects_custom_identifiers():
+    from repro.alliance.turau import TurauMIS
+
+    net = grid(3, 3).with_ids([90, 10, 80, 30, 70, 50, 60, 40, 20])
+    results = []
+    for backend in ("dict", "kernel"):
+        algo = TurauMIS(net)
+        sim = Simulator(
+            algo, DistributedRandomDaemon(0.5), seed=6, backend=backend
+        )
+        sim.run_to_termination(max_steps=50_000)
+        results.append(sim.cfg.snapshot())
+    assert results[0] == results[1]
+
+
 def test_fga_kernel_respects_custom_identifiers():
     """bestPtr argmin-by-id must follow explicit (non-dense) ids."""
     net = grid(3, 3).with_ids([90, 10, 80, 30, 70, 50, 60, 40, 20])

@@ -1,0 +1,197 @@
+"""Unit tests for the tiled batch substrate (repro.core.kernel.batch).
+
+The property suite proves end-to-end record identity; these tests pin
+the building blocks — block-diagonal CSR tiling, schema tiling with
+``opt_index`` globalization, program tiling, and per-trial freezing.
+"""
+
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.alliance.fga import FGA
+from repro.core.configuration import Configuration
+from repro.core.daemon import make_daemon
+from repro.core.exceptions import ModelViolation
+from repro.core.kernel import CSRAdjacency, Schema, Var, run_batch
+from repro.reset import SDR
+from repro.topology import grid, ring
+from repro.unison import Unison
+
+
+class TestCSRTile:
+    def test_tile_is_block_diagonal(self):
+        net = grid(2, 3)
+        base = CSRAdjacency(net)
+        tiled = base.tile(3)
+        assert tiled.n == 3 * net.n
+        for trial in range(3):
+            for u in range(net.n):
+                g = trial * net.n + u
+                neigh = tiled.indices[tiled.indptr[g]:tiled.indptr[g + 1]]
+                expected = [trial * net.n + v for v in net.neighbors(u)]
+                assert neigh.tolist() == expected
+
+    def test_tile_one_is_identity(self):
+        base = CSRAdjacency(ring(5))
+        assert base.tile(1) is base
+
+    def test_tiled_reductions_stay_per_block(self):
+        net = ring(4)
+        tiled = CSRAdjacency(net).tile(2)
+        flags = np.zeros(tiled.indices.shape[0], dtype=np.bool_)
+        # Satisfy every edge of block 0 only.
+        flags[: net.m * 2] = True
+        allv = tiled.all_neigh(flags)
+        assert allv[: net.n].all() and not allv[net.n :].any()
+
+    def test_regular_stride_path_matches_reduceat(self):
+        net = ring(7)  # 2-regular: strided fast path
+        csr = CSRAdjacency(net)
+        assert csr._stride == 2
+        rng = np.random.default_rng(0)
+        flags = rng.random(csr.indices.shape[0]) < 0.5
+        values = rng.integers(0, 50, csr.indices.shape[0])
+        starts = csr._starts
+        assert np.array_equal(
+            csr.all_neigh(flags), np.logical_and.reduceat(flags, starts)
+        )
+        assert np.array_equal(
+            csr.any_neigh(flags), np.logical_or.reduceat(flags, starts)
+        )
+        assert np.array_equal(
+            csr.count_neigh(flags),
+            np.add.reduceat(flags.astype(np.int64), starts),
+        )
+        masked = np.where(flags, values, 999)
+        assert np.array_equal(
+            csr.min_neigh(values, flags, 999),
+            np.minimum.reduceat(masked, starts),
+        )
+
+
+class TestSchemaTiling:
+    def test_encode_tiled_offsets_opt_index(self):
+        schema = Schema(Var.int("x"), Var.opt_index("p"))
+        cfgs = [
+            Configuration([{"x": 1, "p": None}, {"x": 2, "p": 0}]),
+            Configuration([{"x": 3, "p": 1}, {"x": 4, "p": None}]),
+        ]
+        cols = schema.encode_tiled(cfgs)
+        assert cols["x"].tolist() == [1, 2, 3, 4]
+        assert cols["p"].tolist() == [-1, 0, 3, -1]  # block 1 offset by 2
+
+    def test_decode_block_round_trips(self):
+        schema = Schema(Var.int("x"), Var.opt_index("p"), Var.bool("b"))
+        cfgs = [
+            Configuration([{"x": 9, "p": 1, "b": True},
+                           {"x": -2, "p": None, "b": False}]),
+            Configuration([{"x": 0, "p": 0, "b": False},
+                           {"x": 5, "p": 1, "b": True}]),
+        ]
+        cols = schema.encode_tiled(cfgs)
+        for t, cfg in enumerate(cfgs):
+            assert schema.decode_block(cols, t, 2).snapshot() == cfg.snapshot()
+
+
+class TestProgramTiling:
+    def test_tiled_programs_share_schema_and_rules(self):
+        net = ring(6)
+        for algo in (SDR(Unison(net)), SDR(FGA(net, 1, 1))):
+            program = algo.kernel_program()
+            tiled = program.tiled(4)
+            assert tiled.schema is program.schema
+            assert tiled.rules == program.rules
+            assert tiled.csr.n == 4 * net.n
+
+    def test_untileable_program_returns_none(self):
+        from repro.core.kernel.programs import KernelProgram
+
+        class Bare(KernelProgram):
+            def guard_masks(self, cols):  # pragma: no cover
+                return {}
+
+            def apply(self, rule, idx, read, write):  # pragma: no cover
+                pass
+
+        assert Bare().tiled(2) is None
+
+
+class TestRunBatch:
+    def _unison_batch(self, seeds, max_steps=400, until=True):
+        net = ring(8)
+        sdr = SDR(Unison(net))
+        program = sdr.kernel_program()
+        cfgs = [sdr.random_configuration(Random(seed)) for seed in seeds]
+        daemons = [make_daemon("distributed-random", net) for _ in seeds]
+        rngs = [Random(seed) for seed in seeds]
+        mask = (lambda prog, cols: prog.normal_mask(cols)) if until else None
+        return run_batch(
+            program, cfgs, daemons, rngs, net,
+            max_steps=max_steps, until=mask, exclusion_name=sdr.name,
+        )
+
+    def test_trials_freeze_independently(self):
+        result = self._unison_batch(seeds=[0, 1, 2, 3], max_steps=50_000)
+        steps = [outcome.steps for outcome in result.outcomes]
+        assert all(outcome.hit for outcome in result.outcomes)
+        assert len(set(steps)) > 1  # different seeds stop at different steps
+
+    def test_frozen_trials_keep_their_configuration(self):
+        """A frozen block's decoded configuration satisfies the predicate
+        even though other trials kept running after it froze."""
+        result = self._unison_batch(seeds=[0, 1, 2], max_steps=50_000)
+        net = ring(8)
+        sdr = SDR(Unison(net))
+        for t, outcome in enumerate(result.outcomes):
+            assert outcome.hit
+            assert sdr.is_normal(result.configuration(t))
+
+    def test_budget_trials_report_budget(self):
+        result = self._unison_batch(seeds=[0, 1], max_steps=1)
+        assert all(o.stop_reason in ("budget", "predicate")
+                   for o in result.outcomes)
+
+    def test_rejects_unvectorizable_daemon(self):
+        net = ring(8)
+        sdr = SDR(Unison(net))
+        program = sdr.kernel_program()
+        cfgs = [sdr.random_configuration(Random(0))]
+        from repro.core.daemon import ScriptedDaemon
+
+        with pytest.raises(ValueError):
+            run_batch(
+                program, cfgs, [ScriptedDaemon([])], [Random(0)], net,
+                max_steps=10,
+            )
+
+    def test_exclusion_check_names_trial(self):
+        from repro.core.kernel.programs import KernelProgram
+
+        class Broken(KernelProgram):
+            """Two rules enabled at once at every process."""
+
+            def __init__(self, net):
+                self.schema = Schema(Var.int("x"))
+                self.rules = ("a", "b")
+                self._n = net.n
+
+            def guard_masks(self, cols):
+                on = np.ones(cols["x"].shape[0], dtype=np.bool_)
+                return {"a": on.copy(), "b": on.copy()}
+
+            def apply(self, rule, idx, read, write):  # pragma: no cover
+                pass
+
+            def tiled(self, copies):
+                return self
+
+        net = ring(4)
+        cfgs = [Configuration([{"x": 0}] * net.n) for _ in range(2)]
+        daemons = [make_daemon("synchronous", net) for _ in range(2)]
+        with pytest.raises(ModelViolation, match="trial"):
+            run_batch(
+                Broken(net), cfgs, daemons, [Random(0), Random(1)], net,
+                max_steps=5, exclusion_name="broken",
+            )

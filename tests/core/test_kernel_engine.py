@@ -142,18 +142,40 @@ class TestBackendSelection:
         assert sim.backend == "dict"
 
     def test_kernel_refused_without_program(self):
-        from repro.unison.boulinier import BoulinierUnison
+        from repro.baselines.bfs_tree import BfsTree
 
-        algo = BoulinierUnison(ring(4))
+        algo = BfsTree(ring(4))
         with pytest.raises(AlgorithmError):
             Simulator(algo, SynchronousDaemon(), seed=0, backend="kernel")
-        # auto silently falls back
+        # auto falls back (with a one-time logged warning)
         sim = Simulator(algo, SynchronousDaemon(), seed=0, backend="auto")
         assert sim.backend == "dict"
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError):
             Simulator(Unison(ring(4)), SynchronousDaemon(), seed=0, backend="turbo")
+
+    def test_auto_fallback_warns_once_per_algorithm(self, caplog):
+        import logging
+
+        from repro.baselines.bfs_tree import BfsTree
+        from repro.core import simulator as sim_module
+
+        algo = BfsTree(ring(4))
+        sim_module._FALLBACK_WARNED.discard(algo.name)
+        with caplog.at_level(logging.WARNING, logger="repro.core.simulator"):
+            Simulator(algo, SynchronousDaemon(), seed=0, backend="auto")
+            Simulator(algo, SynchronousDaemon(), seed=0, backend="auto")
+        fallback_warnings = [
+            record for record in caplog.records
+            if algo.name in record.getMessage()
+        ]
+        assert len(fallback_warnings) == 1  # loud once, silent after
+
+        caplog.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.core.simulator"):
+            Simulator(algo, SynchronousDaemon(), seed=0, backend="dict")
+        assert not caplog.records  # explicit dict request is not a fallback
 
     def test_attached_input_algorithm_has_no_standalone_program(self):
         unison = Unison(ring(4))

@@ -15,10 +15,12 @@ from random import Random
 import pytest
 
 from repro.alliance.fga import FGA
+from repro.alliance.turau import TurauMIS
 from repro.core import Simulator, Trace, make_daemon
 from repro.reset import SDR
 from repro.topology import grid, random_connected, random_tree, ring
 from repro.unison import Unison
+from repro.unison.boulinier import BoulinierUnison
 
 DAEMONS = (
     "synchronous",
@@ -40,6 +42,8 @@ ALGORITHMS = {
     "unison-sdr": lambda net: SDR(Unison(net)),
     "fga": lambda net: FGA(net, 1, 1),
     "fga-sdr": lambda net: SDR(FGA(net, 1, 1)),
+    "boulinier": lambda net: BoulinierUnison(net),
+    "turau": lambda net: TurauMIS(net),
 }
 
 

@@ -1,0 +1,233 @@
+"""Property regression: batched ``(T, n)`` cells equal T serial trials.
+
+``run_trial_batch`` runs a whole campaign cell as one tiled simulation;
+the engine batches cells by default.  Nothing downstream may notice:
+every trial record — accounting, metrics, extras, derived seed — must be
+*identical* to the serial ``run_trial`` record, and the persisted stores
+must be byte-identical across serial, parallel, batched, and unbatched
+execution.
+"""
+
+import json
+
+import pytest
+
+from repro.engine.campaign import Campaign
+from repro.engine.pool import execute_batch, execute_trial, run_specs
+from repro.engine.store import ResultStore
+from repro.harness.runner import can_batch, run_trial_batch
+
+
+def record_bytes(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, default=str)
+
+
+def assert_cells_identical(campaign: Campaign) -> int:
+    cells: dict[str, list] = {}
+    for spec in campaign.specs():
+        cells.setdefault(spec.cell_key(), []).append(spec)
+    checked = 0
+    for cell in cells.values():
+        assert can_batch(cell[0])
+        serial = [execute_trial(s, campaign.seed, campaign.name) for s in cell]
+        batched = execute_batch(cell, campaign.seed, campaign.name)
+        for expected, got in zip(serial, batched):
+            assert record_bytes(expected) == record_bytes(got), expected["key"]
+            checked += 1
+    return checked
+
+
+@pytest.mark.parametrize("daemon", [
+    "synchronous", "central", "locally-central",
+    "distributed-random", "weakly-fair",
+])
+def test_unison_cells_record_identical(daemon):
+    campaign = Campaign(
+        name="batch-u", seed=17, algorithms=("unison",),
+        topologies=("ring", "grid"), sizes=(8,),
+        scenarios=("random", "gradient"), daemons=(daemon,), trials=3,
+    )
+    assert assert_cells_identical(campaign) == campaign.size
+
+
+def test_boulinier_cells_record_identical():
+    campaign = Campaign(
+        name="batch-b", seed=23, algorithms=("boulinier",),
+        topologies=("ring",), sizes=(9,), scenarios=("random", "split"),
+        daemons=("distributed-random", "synchronous"), trials=3,
+    )
+    assert assert_cells_identical(campaign) == campaign.size
+
+
+def test_fga_cells_record_identical():
+    campaign = Campaign(
+        name="batch-f", seed=29, algorithms=("fga",),
+        topologies=("ring", "tree"), sizes=(9,),
+        scenarios=("random", "hollow", "faults:3"),
+        daemons=("distributed-random", "weakly-fair"), trials=3,
+    )
+    assert assert_cells_identical(campaign) == campaign.size
+
+
+def test_partial_cells_batch_identically():
+    """Resume leftovers (a strict subset of a cell) batch correctly."""
+    campaign = Campaign(
+        name="batch-part", seed=31, algorithms=("unison",),
+        topologies=("ring",), sizes=(8,), daemons=("distributed-random",),
+        trials=5,
+    )
+    from repro.engine.store import trial_to_dict
+
+    specs = campaign.specs()
+    subset = [specs[1], specs[3], specs[4]]  # as if trials 0 and 2 stored
+    seeds = [campaign.seed_for(s) for s in subset]
+    batched = run_trial_batch(subset, seeds)
+    for spec, got in zip(subset, batched):
+        expected = execute_trial(spec, campaign.seed, campaign.name)
+        assert record_bytes(expected["result"]) == record_bytes(
+            trial_to_dict(got)
+        )
+
+
+def test_stores_byte_identical_across_execution_modes(tmp_path):
+    campaign = Campaign(
+        name="batch-modes", seed=41, algorithms=("unison",),
+        topologies=("ring",), sizes=(8, 10), daemons=("distributed-random",),
+        trials=3,
+    )
+    stores = {}
+    for mode, kwargs in {
+        "serial-batched": dict(workers=0),
+        "serial-unbatched": dict(workers=0, batch=False),
+        "parallel-batched": dict(workers=2),
+    }.items():
+        store = ResultStore(tmp_path / f"{mode}.jsonl")
+        run_specs(
+            campaign.specs(), campaign.seed, campaign=campaign.name,
+            store=store, **kwargs,
+        )
+        stores[mode] = sorted(store.path.read_text().splitlines())
+    assert stores["serial-batched"] == stores["serial-unbatched"]
+    assert stores["serial-batched"] == stores["parallel-batched"]
+
+
+def test_run_specs_returns_grid_order_when_batched():
+    campaign = Campaign(
+        name="batch-order", seed=43, algorithms=("unison",),
+        topologies=("ring",), sizes=(8,), daemons=("distributed-random",),
+        trials=4,
+    )
+    records = run_specs(campaign.specs(), campaign.seed, campaign=campaign.name)
+    assert [r["key"] for r in records] == [s.key() for s in campaign.specs()]
+
+
+def test_unbatchable_cells_fall_back(monkeypatch):
+    """A cell that fails to batch at runtime still produces records."""
+    import repro.engine.pool as pool
+    from repro.core.exceptions import UnbatchableError
+
+    campaign = Campaign(
+        name="batch-fb", seed=47, algorithms=("unison",), topologies=("ring",),
+        sizes=(8,), daemons=("distributed-random",), trials=3,
+    )
+    specs = campaign.specs()
+
+    def broken_batch(specs, seeds):
+        raise UnbatchableError("cannot tile")
+
+    monkeypatch.setattr("repro.harness.runner.run_trial_batch", broken_batch)
+    fallback = pool.execute_batch(specs, campaign.seed, campaign.name)
+    direct = [pool.execute_trial(s, campaign.seed, campaign.name) for s in specs]
+    assert [record_bytes(r) for r in fallback] == [record_bytes(r) for r in direct]
+
+    def buggy_batch(specs, seeds):
+        raise ValueError("genuine defect inside the batch kernel")
+
+    # Only UnbatchableError falls back — other errors are real defects
+    # and must surface rather than silently disable batching.
+    monkeypatch.setattr("repro.harness.runner.run_trial_batch", buggy_batch)
+    with pytest.raises(ValueError, match="genuine defect"):
+        pool.execute_batch(specs, campaign.seed, campaign.name)
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+def test_not_stabilized_batch_persists_stabilizing_siblings(
+    monkeypatch, tmp_path, workers
+):
+    """A budget-exhausted batch reruns serially so siblings still land.
+
+    When one replicate of a batched cell exceeds its step budget, the
+    serial path would have persisted every stabilizing sibling's record
+    before raising; the batched path must leave the store in the same
+    state rather than discarding the whole cell — at any worker count.
+    """
+    from repro.core.exceptions import NotStabilized
+
+    campaign = Campaign(
+        name="batch-ns", seed=53, algorithms=("unison",), topologies=("ring",),
+        sizes=(8, 10), daemons=("distributed-random",), trials=3,
+    )
+    specs = campaign.specs()
+    serial = [execute_trial(s, campaign.seed, campaign.name) for s in specs]
+
+    def exhausted_batch(specs, seeds):
+        raise NotStabilized("budget exhausted in one replicate", steps=10)
+
+    # The patch reaches forked pool workers too (Linux fork start method
+    # copies the patched module); on spawn platforms only workers=0 bites.
+    monkeypatch.setattr("repro.harness.runner.run_trial_batch", exhausted_batch)
+    store = ResultStore(tmp_path / "ns.jsonl")
+    # Serially every trial stabilizes here, so after landing the cell's
+    # records the divergence backstop re-raises the original exception.
+    with pytest.raises(NotStabilized):
+        run_specs(
+            specs, campaign.seed, campaign=campaign.name, store=store,
+            workers=workers,
+        )
+    from repro.engine.store import _dump_line
+
+    stored = set(store.path.read_text().splitlines())
+    expected = {_dump_line(r).rstrip("\n") for r in serial}
+    # The first failing cell aborts the run, so the store holds at least
+    # that cell's stabilizing records and nothing outside the grid.
+    assert stored and stored <= expected
+    cells = {json.loads(line)["spec"]["n"] for line in stored}
+    assert any(
+        {l for l in expected if json.loads(l)["spec"]["n"] == n} <= stored
+        for n in cells
+    )
+
+
+def test_mixed_backend_cell_is_not_batched():
+    """backend="dict" is excluded from cell_key, but a replicate that
+    explicitly asks for the dict engine must still get it — a cell with
+    any unbatchable replicate runs as single trials."""
+    from repro.engine.campaign import TrialSpec
+    from repro.engine.pool import _execution_units
+
+    specs = [
+        TrialSpec(algorithm="unison", topology="ring", n=8, trial=0),
+        TrialSpec(
+            algorithm="unison", topology="ring", n=8, trial=1,
+            params=(("backend", "dict"),),
+        ),
+    ]
+    assert specs[0].cell_key() == specs[1].cell_key()
+    assert [kind for kind, _ in _execution_units(specs, batch=True)] == [
+        "single", "single",
+    ]
+
+
+def test_cell_key_groups_replicates_only():
+    campaign = Campaign(
+        name="ck", seed=1, algorithms=("unison",), topologies=("ring",),
+        sizes=(8, 10), daemons=("distributed-random", "synchronous"), trials=2,
+    )
+    specs = campaign.specs()
+    cells = {}
+    for spec in specs:
+        cells.setdefault(spec.cell_key(), []).append(spec)
+    assert len(cells) == 4  # 2 sizes × 2 daemons
+    for cell in cells.values():
+        assert sorted(s.trial for s in cell) == [0, 1]
+        assert len({s.key() for s in cell}) == len(cell)

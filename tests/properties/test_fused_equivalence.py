@@ -1,0 +1,213 @@
+"""Property regression: the fused kernel loop equals step-by-step execution.
+
+``Simulator.run`` on the kernel backend drives the whole
+guard→daemon→apply cycle inside :meth:`KernelRuntime.run` (vectorized
+daemons, array round counter, deferred accounting).  Nothing about the
+execution may change: for every topology × daemon × seed × algorithm the
+fused run must reproduce the step-by-step run *exactly* — same step and
+move counts, same per-process/per-rule accounting, same round counter
+state, same final configuration, and the same post-run ``Random`` state
+(the vector daemons consume the rng stream in the dict daemons' order).
+"""
+
+from random import Random
+
+import pytest
+
+from repro.alliance.fga import FGA
+from repro.alliance.turau import TurauMIS
+from repro.core import Simulator, make_daemon
+from repro.core.detectors import measure_stabilization
+from repro.reset import SDR
+from repro.topology import grid, random_connected, random_tree, ring
+from repro.unison import Unison
+from repro.unison.boulinier import BoulinierUnison
+
+DAEMONS = (
+    "synchronous",
+    "central",
+    "locally-central",
+    "distributed-random",
+    "weakly-fair",
+)
+
+TOPOLOGIES = {
+    "ring": lambda: ring(11),
+    "grid": lambda: grid(3, 4),
+    "random-tree": lambda: random_tree(13, seed=5),
+    "random-connected": lambda: random_connected(12, p=0.35, seed=9),
+}
+
+ALGORITHMS = {
+    "unison-sdr": lambda net: SDR(Unison(net)),
+    "fga-sdr": lambda net: SDR(FGA(net, 1, 1)),
+    "boulinier": lambda net: BoulinierUnison(net),
+    "turau": lambda net: TurauMIS(net),
+}
+
+
+def execute(factory, net, daemon_kind, seed, fuse, max_steps=250):
+    algo = factory(net)
+    sim = Simulator(
+        algo,
+        make_daemon(daemon_kind, net),
+        config=algo.random_configuration(Random(seed)),
+        seed=seed,
+        backend="kernel",
+        fuse=fuse,
+    )
+    result = sim.run(max_steps=max_steps)
+    return {
+        "steps": result.steps,
+        "moves": result.moves,
+        "rounds": result.rounds,
+        "terminal": result.terminal,
+        "stop_reason": result.stop_reason,
+        "moves_per_rule": dict(sim.moves_per_rule),
+        "moves_per_process": tuple(sim.moves_per_process),
+        "enabled": dict(sim.enabled),
+        "round_pending": sim.rounds.pending,
+        "final": sim.cfg.snapshot(),
+        "rng_state": sim.rng.getstate(),
+    }
+
+
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("daemon", DAEMONS)
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_fused_equals_stepwise(topology, daemon, algorithm):
+    net = TOPOLOGIES[topology]()
+    factory = ALGORITHMS[algorithm]
+    for seed in (0, 1):
+        stepwise = execute(factory, net, daemon, seed, fuse=False)
+        fused = execute(factory, net, daemon, seed, fuse=True)
+        assert fused == stepwise, (
+            f"fused divergence: {algorithm} on {topology} under {daemon}, "
+            f"seed {seed}"
+        )
+
+
+def test_fusion_engages_for_vector_daemons():
+    net = ring(8)
+    sim = Simulator(
+        SDR(Unison(net)), make_daemon("distributed-random", net), seed=0,
+        backend="kernel",
+    )
+    assert sim.fusion_available
+
+
+def test_fusion_disabled_by_knobs():
+    net = ring(8)
+    sdr = SDR(Unison(net))
+    base = dict(seed=0, backend="kernel")
+    assert not Simulator(
+        sdr, make_daemon("distributed-random", net), fuse=False, **base
+    ).fusion_available
+    assert not Simulator(
+        sdr, make_daemon("distributed-random", net), paranoid=True, **base
+    ).fusion_available
+    observed = Simulator(
+        sdr, make_daemon("distributed-random", net),
+        observers=[lambda sim, rec: None], **base
+    )
+    assert not observed.fusion_available
+
+
+def test_step_then_fused_run_continues_seamlessly():
+    """A fused run can pick up mid-execution after manual step() calls."""
+    net = grid(3, 4)
+    results = []
+    for fuse in (False, True):
+        sdr = SDR(Unison(net))
+        cfg = sdr.random_configuration(Random(3))
+        sim = Simulator(
+            sdr, make_daemon("weakly-fair", net), config=cfg, seed=3,
+            backend="kernel", fuse=fuse,
+        )
+        for _ in range(17):  # prefix runs step-by-step in both cases
+            sim.step()
+        result = sim.run(max_steps=100)
+        results.append((
+            result.steps, result.moves, result.rounds,
+            dict(sim.moves_per_rule), sim.cfg.snapshot(),
+            sim.rng.getstate(), sim.rounds.pending,
+        ))
+    assert results[0] == results[1]
+
+
+def test_fused_then_step_continues_seamlessly():
+    """Manual step() after a fused run sees synced enabled/rounds/rng."""
+    net = grid(3, 4)
+    results = []
+    for fuse in (False, True):
+        sdr = SDR(Unison(net))
+        cfg = sdr.random_configuration(Random(5))
+        sim = Simulator(
+            sdr, make_daemon("distributed-random", net), config=cfg, seed=5,
+            backend="kernel", fuse=fuse,
+        )
+        sim.run(max_steps=40)
+        for _ in range(10):
+            sim.step()
+        results.append((
+            sim.step_count, sim.move_count, sim.rounds.completed,
+            sim.cfg.snapshot(), sim.rng.getstate(),
+        ))
+    assert results[0] == results[1]
+
+
+@pytest.mark.parametrize("daemon", DAEMONS)
+def test_run_until_mask_equals_detector(daemon):
+    """The vectorized convergence predicate stops at the detector's step."""
+    net = ring(10)
+    for seed in (0, 1, 2):
+        sdr = SDR(Unison(net))
+        cfg = sdr.random_configuration(Random(seed))
+        reference = Simulator(
+            sdr, make_daemon(daemon, net), config=cfg.copy(), seed=seed,
+            backend="kernel", fuse=False,
+        )
+        detector, _ = measure_stabilization(
+            reference, sdr.is_normal, max_steps=50_000
+        )
+
+        fused = Simulator(
+            sdr, make_daemon(daemon, net), config=cfg.copy(), seed=seed,
+            backend="kernel",
+        )
+        result = fused.run_until_mask(
+            fused._program.normal_mask, max_steps=50_000
+        )
+        assert result.stop_reason == "predicate"
+        assert (result.steps, result.rounds, result.moves) == (
+            detector.step, detector.rounds, detector.moves
+        )
+        assert fused.cfg.snapshot() == reference.cfg.snapshot()
+
+
+def test_run_until_mask_initial_hit():
+    net = ring(6)
+    sdr = SDR(Unison(net))
+    sim = Simulator(
+        sdr, make_daemon("synchronous", net),
+        config=sdr.initial_configuration(), seed=0, backend="kernel",
+    )
+    result = sim.run_until_mask(sim._program.normal_mask, max_steps=100)
+    assert (result.steps, result.stop_reason) == (0, "predicate")
+
+
+def test_fused_budget_and_terminal_stop_reasons():
+    net = grid(3, 3)
+    sdr = SDR(FGA(net, 1, 1))
+    cfg = sdr.random_configuration(Random(2))
+    budget = Simulator(
+        sdr, make_daemon("distributed-random", net), config=cfg.copy(),
+        seed=2, backend="kernel",
+    )
+    assert budget.run(max_steps=1).stop_reason == "budget"
+    terminal = Simulator(
+        sdr, make_daemon("distributed-random", net), config=cfg.copy(),
+        seed=2, backend="kernel",
+    )
+    result = terminal.run_to_termination(max_steps=100_000)
+    assert result.terminal

@@ -17,6 +17,25 @@ def test_unison_standalone_kernel_lockstep():
     assert result.steps == 120  # synchronous ticking never terminates
 
 
+def test_boulinier_kernel_lockstep_from_random_configs():
+    from repro.unison.boulinier import BoulinierUnison
+
+    for seed in range(3):
+        net = grid(3, 4)
+        algo = BoulinierUnison(net)
+        cfg = algo.random_configuration(Random(seed))
+        sim = Simulator(
+            algo,
+            DistributedRandomDaemon(0.5),
+            config=cfg,
+            seed=seed,
+            backend="kernel",
+            paranoid=True,
+        )
+        result = sim.run(max_steps=600)
+        assert result.steps > 0
+
+
 def test_unison_sdr_kernel_lockstep_from_random_configs():
     for seed in range(3):
         net = grid(3, 4)
