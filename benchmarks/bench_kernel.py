@@ -11,12 +11,19 @@ emits ``BENCH_core.json`` at the repo root:
   per-step loop (``fuse=False``), i.e. the PR 2 configuration;
 * ``fused``  — the array backend with the fused run loop: vectorized
   daemons, array-native move/round accounting, no per-step Python
-  boundary crossing.
+  boundary crossing;
+* ``fused+probe`` — the fused loop with a vectorized
+  :class:`repro.probes.StabilizationProbe` attached (the F1/F2
+  measurement configuration): the probe evaluates the program's
+  ``normal_mask`` every step *inside* the loop, and the run asserts the
+  fused path stayed engaged — measurement must not kick execution off
+  the fast path.
 
-All three produce identical executions (equal seeds ⇒ equal traces); the
+All four produce identical executions (equal seeds ⇒ equal traces); the
 report records steps/sec, moves/sec, per-size wall time, and the pairwise
 speedups.  The tracked baseline keeps the perf trajectory honest; CI runs
-a small-size smoke (``--check`` asserts fused ≥ kernel ≥ dict).
+a small-size smoke (``--check`` asserts fused ≥ fused+probe ≥ kernel ≥
+dict, with measurement overhead bounded).
 
 Usage::
 
@@ -38,6 +45,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core import Simulator, make_daemon  # noqa: E402
+from repro.probes import StabilizationProbe  # noqa: E402
 from repro.reset import SDR  # noqa: E402
 from repro.topology import ring  # noqa: E402
 from repro.unison import Unison  # noqa: E402
@@ -45,17 +53,18 @@ from repro.unison import Unison  # noqa: E402
 #: The workload: F1/F2's algorithm and topology family.
 DAEMONS = ("distributed-random", "synchronous")
 
-#: Timed configurations: ``(label, Simulator kwargs)``.
+#: Timed configurations: ``(label, Simulator kwargs, attach probe)``.
 CONFIGS = (
-    ("dict", {"backend": "dict"}),
-    ("kernel", {"backend": "kernel", "fuse": False}),
-    ("fused", {"backend": "kernel"}),
+    ("dict", {"backend": "dict"}, False),
+    ("kernel", {"backend": "kernel", "fuse": False}, False),
+    ("fused", {"backend": "kernel"}, False),
+    ("fused+probe", {"backend": "kernel"}, True),
 )
 
 
 def time_run(
-    n: int, label: str, sim_kwargs: dict, daemon: str, steps: int,
-    seed: int, repeats: int
+    n: int, label: str, sim_kwargs: dict, probe: bool, daemon: str,
+    steps: int, seed: int, repeats: int
 ) -> dict:
     """Best-of-``repeats`` timing of one fixed-step ring unison run."""
     network = ring(n)
@@ -71,6 +80,18 @@ def time_run(
             seed=seed,
             **sim_kwargs,
         )
+        if probe:
+            # The F1/F2 measurement configuration: a vectorized
+            # stabilization probe riding the run (stop=False so the
+            # timed step count stays fixed across configurations).
+            sim.add_probe(StabilizationProbe(
+                sdr.is_normal, mask="normal_mask", stop=False,
+            ))
+            if not sim.fusion_available:
+                raise SystemExit(
+                    "FAIL: attaching a vectorized StabilizationProbe "
+                    "disabled the fused loop"
+                )
         t0 = time.perf_counter()
         result = sim.run(max_steps=steps)
         elapsed = time.perf_counter() - t0
@@ -94,12 +115,13 @@ def run_benchmark(sizes: list[int], steps: int, seed: int, repeats: int) -> dict
     for daemon in DAEMONS:
         for n in sizes:
             cell = {}
-            for label, sim_kwargs in CONFIGS:
-                row = time_run(n, label, sim_kwargs, daemon, steps, seed, repeats)
+            for label, sim_kwargs, probe in CONFIGS:
+                row = time_run(n, label, sim_kwargs, probe, daemon, steps,
+                               seed, repeats)
                 rows.append(row)
                 cell[label] = row
                 print(
-                    f"  n={n:4d} {daemon:19s} {label:6s} "
+                    f"  n={n:4d} {daemon:19s} {label:12s} "
                     f"{row['steps_per_s']:12,.0f} steps/s "
                     f"{row['moves_per_s']:14,.0f} moves/s "
                     f"{row['wall_s'] * 1000:9.1f} ms"
@@ -108,6 +130,12 @@ def run_benchmark(sizes: list[int], steps: int, seed: int, repeats: int) -> dict
                 "kernel_vs_dict": cell["kernel"]["steps_per_s"] / cell["dict"]["steps_per_s"],
                 "fused_vs_kernel": cell["fused"]["steps_per_s"] / cell["kernel"]["steps_per_s"],
                 "fused_vs_dict": cell["fused"]["steps_per_s"] / cell["dict"]["steps_per_s"],
+                "fused_probe_vs_kernel": (
+                    cell["fused+probe"]["steps_per_s"] / cell["kernel"]["steps_per_s"]
+                ),
+                "probe_overhead": (
+                    cell["fused"]["steps_per_s"] / cell["fused+probe"]["steps_per_s"]
+                ),
             }
             speedups[f"{daemon}/n={n}"] = {
                 key: round(value, 2) for key, value in ratios.items()
@@ -116,7 +144,8 @@ def run_benchmark(sizes: list[int], steps: int, seed: int, repeats: int) -> dict
                 f"  n={n:4d} {daemon:19s} speedup "
                 f"kernel/dict {ratios['kernel_vs_dict']:.2f}x  "
                 f"fused/kernel {ratios['fused_vs_kernel']:.2f}x  "
-                f"fused/dict {ratios['fused_vs_dict']:.2f}x"
+                f"fused/dict {ratios['fused_vs_dict']:.2f}x  "
+                f"fused+probe/kernel {ratios['fused_probe_vs_kernel']:.2f}x"
             )
     return {
         "benchmark": "F1/F2 ring unison sweep (U o SDR, random initial configs)",
@@ -126,7 +155,7 @@ def run_benchmark(sizes: list[int], steps: int, seed: int, repeats: int) -> dict
             "topology": "ring",
             "scenario": "random",
             "daemons": list(DAEMONS),
-            "backends": [label for label, _ in CONFIGS],
+            "backends": [label for label, _, _ in CONFIGS],
             "steps_per_run": steps,
             "seed": seed,
             "repeats": repeats,
@@ -148,8 +177,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write the JSON report here (e.g. BENCH_core.json)")
     parser.add_argument("--check", action="store_true",
-                        help="exit nonzero unless fused >= kernel >= dict "
-                             "throughput at every size")
+                        help="exit nonzero unless fused >= fused+probe >= "
+                             "kernel >= dict throughput at every size")
     args = parser.parse_args(argv)
 
     sizes = [int(tok) for tok in args.sizes.split(",") if tok.strip()]
@@ -161,15 +190,23 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\nwrote {out}")
 
     if args.check:
+        # probe_overhead (fused / fused+probe) gets a small noise
+        # allowance: the two configurations differ only by the mask
+        # evaluation, and short smoke runs jitter a few percent.
         slow = {
             cell: ratios
             for cell, ratios in report["speedup_steps_per_s"].items()
-            if ratios["kernel_vs_dict"] < 1.0 or ratios["fused_vs_kernel"] < 1.0
+            if ratios["kernel_vs_dict"] < 1.0
+            or ratios["fused_vs_kernel"] < 1.0
+            or ratios["fused_probe_vs_kernel"] < 1.0
+            or ratios["probe_overhead"] < 0.95
         }
         if slow:
-            print(f"FAIL: backend ordering fused >= kernel >= dict violated at {slow}")
+            print("FAIL: backend ordering fused >= fused+probe >= kernel "
+                  f">= dict violated at {slow}")
             return 1
-        print("OK: fused >= kernel >= dict throughput at every size")
+        print("OK: fused >= fused+probe >= kernel >= dict throughput at "
+              "every size (stabilization measurement stays on the fused loop)")
     return 0
 
 

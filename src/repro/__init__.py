@@ -17,11 +17,12 @@ The package implements, from scratch:
   Turau-style MIS baseline;
 * substrates: topology generators (:mod:`repro.topology`), fault injection
   (:mod:`repro.faults`), bound formulas and statistics
-  (:mod:`repro.analysis`), and the experiment harness
+  (:mod:`repro.analysis`), capability-tiered measurement probes
+  (:mod:`repro.probes`), and the experiment harness
   (:mod:`repro.harness`).
 """
 
-from . import alliance, analysis, faults, topology, unison
+from . import alliance, analysis, faults, probes, topology, unison
 from .alliance import FGA, TurauMIS
 from .core import (
     AdversarialDaemon,
@@ -44,6 +45,13 @@ from .core import (
     WeaklyFairDaemon,
     make_daemon,
     measure_stabilization,
+)
+from .probes import (
+    AccountingProbe,
+    Probe,
+    StabilizationProbe,
+    StopProbe,
+    TraceProbe,
 )
 from .reset import SDR, InputAlgorithm, RequirementObserver, check_requirements
 from .unison import BoulinierUnison, Unison
@@ -71,6 +79,11 @@ __all__ = [
     "make_daemon",
     "StabilizationDetector",
     "measure_stabilization",
+    "Probe",
+    "StabilizationProbe",
+    "StopProbe",
+    "AccountingProbe",
+    "TraceProbe",
     "ReproError",
     "NotStabilized",
     # the paper's algorithms
@@ -88,4 +101,5 @@ __all__ = [
     "alliance",
     "faults",
     "analysis",
+    "probes",
 ]

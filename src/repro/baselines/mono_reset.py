@@ -181,3 +181,17 @@ class MonoReset(Algorithm):
             cfg[u][MODE] == IDLE and self.input.p_icorrect(cfg, u)
             for u in self.network.processes()
         )
+
+    # ------------------------------------------------------------------
+    def kernel_program(self):
+        """Array-backend program: available when the input algorithm is ported."""
+        try:
+            from .kernelized import MonoResetKernelProgram
+        except ModuleNotFoundError as exc:
+            if exc.name and exc.name.split(".")[0] == "numpy":
+                return None  # numpy missing: dict backend only
+            raise
+        input_program = self.input.kernel_input_program()
+        if input_program is None:
+            return None
+        return MonoResetKernelProgram(self, input_program)

@@ -1,33 +1,49 @@
-"""Stabilization detectors: observers that watch for legitimate configurations.
+"""Stabilization detectors: the legacy observer-shaped measurement API.
 
 The *stabilization time* of a self-stabilizing algorithm is the maximum
 time, over every execution, to reach a legitimate configuration (paper,
-Section 2.4).  :class:`StabilizationDetector` plugs into the simulator's
-observer hook and records the step, round, and move counts at the first
-configuration satisfying a caller-supplied legitimacy predicate.
+Section 2.4).  Measurement now lives in :mod:`repro.probes` — a
+capability-tiered protocol whose vectorized tier rides the fused kernel
+loop.  This module keeps the original API working on top of it:
 
-For *closed* predicates (attractors — the case for every legitimacy notion
-in the paper) the first hit is the stabilization point.  The detector still
-keeps counting violations after the hit so tests can assert closure
-empirically for predicates claimed closed.
+* :class:`StabilizationDetector` is a decode-tier
+  :class:`~repro.probes.stabilization.StabilizationProbe` with the
+  legacy constructor and observer-callable behavior (it never requests
+  a stop itself — callers drive the run, as they always did);
+* :func:`measure_stabilization` runs a simulator to the first hit of a
+  plain configuration predicate, exactly as before.
+
+Both force per-step decoding (a bare predicate cannot be vectorized);
+pass a :class:`~repro.probes.stabilization.StabilizationProbe` with a
+``mask`` to :meth:`Simulator.add_probe` to measure on the fused path::
+
+    probe = StabilizationProbe(sdr.is_normal, mask="normal_mask")
+    sim.add_probe(probe)
+    sim.run(max_steps=...)        # fused end-to-end
+    probe.require_hit()
+
+For *closed* predicates (attractors — the case for every legitimacy
+notion in the paper) the first hit is the stabilization point.  The
+detector still keeps counting violations after the hit so tests can
+assert closure empirically for predicates claimed closed.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+from ..probes.stabilization import StabilizationProbe
 from .configuration import Configuration
 from .exceptions import NotStabilized
 from .simulator import RunResult, Simulator
-from .trace import StepRecord
 
 __all__ = ["StabilizationDetector", "measure_stabilization"]
 
 Predicate = Callable[[Configuration], bool]
 
 
-class StabilizationDetector:
-    """Observer recording when a configuration predicate first holds.
+class StabilizationDetector(StabilizationProbe):
+    """Decode-tier probe recording when a configuration predicate first holds.
 
     Attributes (``None`` until the predicate first holds):
 
@@ -37,44 +53,13 @@ class StabilizationDetector:
     * ``moves`` — total moves executed at the first hit;
     * ``violations_after_hit`` — number of later configurations violating
       the predicate (must stay 0 for closed predicates).
+
+    Never requests a stop itself (legacy contract: callers drive the
+    run via ``stop_when`` or extra :meth:`Simulator.run` calls).
     """
 
     def __init__(self, predicate: Predicate, name: str = "legitimate"):
-        self.predicate = predicate
-        self.name = name
-        self.step: int | None = None
-        self.rounds: int | None = None
-        self.moves: int | None = None
-        self.violations_after_hit = 0
-
-    @property
-    def hit(self) -> bool:
-        return self.step is not None
-
-    def on_start(self, sim: Simulator) -> None:
-        if self.predicate(sim.cfg):
-            self.step, self.rounds, self.moves = 0, 0, 0
-
-    def __call__(self, sim: Simulator, record: StepRecord) -> None:
-        holds = self.predicate(sim.cfg)
-        if self.hit:
-            if not holds:
-                self.violations_after_hit += 1
-            return
-        if holds:
-            self.step = sim.step_count
-            self.rounds = sim.rounds.completed
-            self.moves = sim.move_count
-
-    def require_hit(self) -> None:
-        if not self.hit:
-            raise NotStabilized(f"predicate {self.name!r} never held")
-
-    def __repr__(self) -> str:
-        return (
-            f"StabilizationDetector({self.name!r}, step={self.step}, "
-            f"rounds={self.rounds}, moves={self.moves})"
-        )
+        super().__init__(predicate, name=name, stop=False)
 
 
 def measure_stabilization(
@@ -92,8 +77,7 @@ def measure_stabilization(
     budget is exhausted first.
     """
     detector = StabilizationDetector(predicate, name=name)
-    detector.on_start(simulator)
-    simulator.observers.append(detector)
+    simulator.add_probe(detector)
     result = simulator.run(max_steps=max_steps, stop_when=lambda sim: detector.hit)
     if not detector.hit:
         raise NotStabilized(

@@ -69,9 +69,16 @@ class UnbatchableError(ReproError, ValueError):
 class NotStabilized(ReproError):
     """An execution exhausted its step budget before reaching its target.
 
-    Carries the number of executed steps for diagnosis.
+    Carries the number of executed steps for diagnosis.  When a *batched*
+    multi-trial execution fails, ``partial`` carries the sibling trials
+    that did stabilize as ``(index, result)`` pairs — the executor lands
+    those records before propagating the failure, instead of re-running
+    the whole cell.
     """
 
-    def __init__(self, message: str, steps: int | None = None):
+    def __init__(
+        self, message: str, steps: int | None = None, partial=(),
+    ):
         super().__init__(message)
         self.steps = steps
+        self.partial = tuple(partial)

@@ -85,6 +85,7 @@ def run_batch(
     max_steps: int,
     until: UntilFn | None = None,
     exclusion_name: str | None = None,
+    probes: Sequence[Sequence] | None = None,
 ) -> BatchResult:
     """Run ``len(cfgs)`` trials of one cell as a single tiled simulation.
 
@@ -94,9 +95,23 @@ def run_batch(
     optional per-process convergence mask ``until(tiled_program, cols)``;
     a trial freezes with ``stop_reason="predicate"`` the first time its
     block satisfies it everywhere (initial configuration included).
+    ``probes`` (optional) carries one sequence of vector-tier
+    :class:`repro.probes.Probe` instances *per trial*; each trial's
+    probes see its block of the tiled buffers as a
+    :class:`repro.probes.ColumnView` (base program + block-sliced
+    columns, so per-trial semantics match a single run) once at the
+    start and after every step the trial executes, and a probe's
+    ``done()`` freezes its trial with ``stop_reason="probe"``.
     Raises :class:`~repro.core.exceptions.UnbatchableError` when the
     program or a daemon cannot be vectorized — callers catch exactly
     that and fall back to serial trials.
+
+    Heavy-tailed cells are *compacted*: once the trailing trials of the
+    batch have all frozen, their blocks are dropped from the working
+    buffers (the tiled program is re-tiled to the surviving prefix), so
+    guard evaluation stops paying for finished trials.  Frozen blocks
+    keep their stopping configuration — compaction is invisible in the
+    results.
     """
     trials = len(cfgs)
     n = len(cfgs[0])
@@ -120,14 +135,21 @@ def run_batch(
 
     schema, rules = program.schema, program.rules
     nrules = len(rules)
-    read = schema.encode_tiled(cfgs)
-    write = {name: col.copy() for name, col in read.items()}
+    # ``full_read``/``full_write`` are the complete tiled buffers (what
+    # BatchResult decodes from); ``read``/``write`` are the *working*
+    # buffers — the same dicts until compaction, prefix views afterwards.
+    # The pairs swap in tandem every step so they always correspond.
+    full_read = schema.encode_tiled(cfgs)
+    full_write = {name: col.copy() for name, col in full_read.items()}
+    read, write = full_read, full_write
     column_pairs = (
         [(read[name], write[name]) for name in read],
         [(write[name], read[name]) for name in read],
     )
     flip = 0
 
+    #: Leading blocks still in the working buffers (compaction shrinks it).
+    blocks = trials
     block_starts = np.arange(trials, dtype=np.int64) * n
     block_bounds = np.arange(trials + 1, dtype=np.int64) * n
 
@@ -144,7 +166,9 @@ def run_batch(
             and only == -2
             and grand != int(np.count_nonzero(enabled))
         ):
-            offender, offending = exclusion_offender(masks, rules, total)
+            offender, offending = exclusion_offender(
+                masks, rules, rule_idx.shape[0]
+            )
             raise ModelViolation(
                 f"{exclusion_name}: rules {offending} simultaneously enabled "
                 f"at process {offender % n} (trial {offender // n}), but the "
@@ -170,12 +194,53 @@ def run_batch(
         stop_reason[trial] = reason
         hit[trial] = converged
 
+    # Per-trial probe views (base program + block-sliced columns, so a
+    # probe observes its trial exactly as it would a single run).
+    views = None
+    if probes is not None:
+        if len(probes) != trials:
+            raise ValueError(
+                f"probes must align with cfgs: {len(probes)} != {trials}"
+            )
+        if any(probes):
+            from ...probes.view import ColumnView
+
+            views = [
+                ColumnView(program, trial=t) if probes[t] else None
+                for t in range(trials)
+            ]
+
+    def observe(t: int, phase: str, chosen_local) -> bool:
+        """Show trial ``t``'s block to its probes; ``True`` = freeze it."""
+        view = views[t]
+        if view is None:
+            return False
+        lo = t * n
+        hi = lo + n
+        view.phase = phase
+        view.cols = {name: col[lo:hi] for name, col in read.items()}
+        view.chosen = chosen_local
+        view.enabled_mask = enabled_mask[lo:hi]
+        view.steps = steps[t]
+        view.moves = moves[t]
+        view.rounds = completed[t]
+        stop = False
+        for probe in probes[t]:
+            probe.on_columns(view)
+            stop = probe.done() or stop
+        return stop
+
     try:
         enabled_mask = compute_enabled()
         pending[:] = enabled_mask
         pend_any = np.logical_or.reduceat(pending, block_starts)
         for t in range(trials):
             round_open[t] = bool(pend_any[t])
+        if views is not None:
+            for t in list(active):
+                if observe(t, "start", None):
+                    freeze(t, "probe")
+                    active.remove(t)
         if until is not None:
             hit_all = np.logical_and.reduceat(until(prog, read), block_starts)
             for t in list(active):
@@ -195,13 +260,48 @@ def run_batch(
             if not active:
                 break
 
+            # Compaction: once the trailing quarter (at least) of the
+            # working blocks is frozen, drop those blocks — guard masks,
+            # selections, and round bookkeeping then stop paying for
+            # finished trials.  ``active`` is kept in ascending order, so
+            # its last element bounds the surviving prefix.
+            lim = active[-1] + 1
+            if lim <= blocks - max(1, blocks >> 2):
+                cut = lim * n
+                # Land the dropped blocks' frozen state in *both* buffer
+                # parities: neither is ever written beyond ``cut`` again,
+                # so the final decode is parity-independent.
+                for name in full_read:
+                    full_write[name][cut:] = full_read[name][cut:]
+                read = {name: col[:cut] for name, col in full_read.items()}
+                write = {name: col[:cut] for name, col in full_write.items()}
+                column_pairs = (
+                    [(read[name], write[name]) for name in read],
+                    [(write[name], read[name]) for name in read],
+                )
+                flip = 0
+                blocks = lim
+                block_starts = np.arange(blocks, dtype=np.int64) * n
+                block_bounds = np.arange(blocks + 1, dtype=np.int64) * n
+                retiled = program.tiled(blocks)
+                if retiled is not None:  # tiled(trials) succeeded above
+                    prog = retiled
+                rule_idx = rule_idx[:cut]
+                pending = pending[:cut]
+                scratch = scratch[:cut]
+                enabled_mask = enabled_mask[:cut]
+
             enabled_idx = enabled_mask.nonzero()[0]
             bounds = np.searchsorted(enabled_idx, block_bounds)
             parts = []
+            stepped = list(active) if views is not None else None
+            local_parts = [] if views is not None else None
             for t in active:
                 local = enabled_idx[bounds[t] : bounds[t + 1]] - block_starts[t]
                 chosen_local = vecs[t].select(local, streams[t])
                 parts.append(chosen_local + block_starts[t])
+                if local_parts is not None:
+                    local_parts.append(chosen_local)
                 steps[t] += 1
                 moves[t] += chosen_local.shape[0]
             chosen = parts[0] if len(parts) == 1 else np.concatenate(parts)
@@ -225,6 +325,7 @@ def run_batch(
                             idx // n, minlength=trials
                         )
             read, write = write, read
+            full_read, full_write = full_write, full_read
             flip ^= 1
 
             prev_mask = enabled_mask
@@ -245,6 +346,12 @@ def run_batch(
                     block = enabled_mask[lo:hi]
                     pending[lo:hi] = block
                     round_open[t] = bool(block.any())
+
+            if views is not None:
+                for t, chosen_local in zip(stepped, local_parts):
+                    if observe(t, "step", chosen_local):
+                        freeze(t, "probe")
+                        active.remove(t)
 
             if until is not None:
                 hit_all = np.logical_and.reduceat(
@@ -279,4 +386,4 @@ def run_batch(
         )
         for t in range(trials)
     ]
-    return BatchResult(outcomes, schema, read, n)
+    return BatchResult(outcomes, schema, full_read, n)

@@ -301,6 +301,8 @@ class KernelRuntime:
         until: Callable[[Mapping[str, np.ndarray]], np.ndarray] | None = None,
         rounds=None,
         exclusion_name: str | None = None,
+        probes=(),
+        view=None,
     ) -> FusedResult:
         """Drive guard-eval → daemon-mask → apply entirely over columns.
 
@@ -311,14 +313,23 @@ class KernelRuntime:
         counters.  Stops at a terminal configuration, when the optional
         ``until`` mask (a per-process predicate over the read columns)
         holds everywhere — checked on the initial configuration too, like
-        the simulator's ``stop_when`` — or when ``max_steps`` runs out.
+        the simulator's ``stop_when`` — when an attached probe requests
+        it, or when ``max_steps`` runs out.
 
         ``rounds`` is an optional
         :class:`~repro.core.rounds.ArrayRoundCounter`, already started,
         updated in place.  ``exclusion_name`` enables the per-step
         mutual-exclusion check (the value names the algorithm in the
-        error).  The caller decodes at the boundary; nothing here builds
-        a dict or a :class:`~repro.core.configuration.Configuration`.
+        error).  ``probes`` are vector-tier
+        :class:`repro.probes.Probe` instances served inline: their
+        ``on_columns`` hook sees ``view`` (a
+        :class:`repro.probes.ColumnView` prepared by the caller, with
+        ``steps``/``moves`` preset to the execution's running totals)
+        once on the initial configuration and once per step, and any
+        probe whose ``done()`` turns true stops the run with
+        ``stop_reason="probe"``.  The caller decodes at the boundary;
+        nothing here builds a dict or a
+        :class:`~repro.core.configuration.Configuration`.
         """
         program, rules = self.program, self.rules
         nrules = len(rules)
@@ -356,6 +367,24 @@ class KernelRuntime:
                 )
             return enabled
 
+        steps0 = view.steps if view is not None else 0
+        moves0 = view.moves if view is not None else 0
+
+        def observe(phase: str, chosen, mask) -> bool:
+            """Show the current configuration to every probe; True = stop."""
+            view.phase = phase
+            view.cols = self.read
+            view.chosen = chosen
+            view.enabled_mask = mask
+            view.steps = steps0 + steps
+            view.moves = moves0 + moves
+            view.rounds = rounds.completed if rounds is not None else 0
+            stop = False
+            for probe in probes:
+                probe.on_columns(view)
+                stop = probe.done() or stop
+            return stop
+
         stream = (
             open_stream(rng, scalar=daemon.scalar_stream)
             if daemon.uses_rng
@@ -370,6 +399,10 @@ class KernelRuntime:
         flip = 0
         try:
             enabled_mask = compute_enabled()
+            if probes and observe("start", None, enabled_mask):
+                return FusedResult(0, 0, acc.counts,
+                                   self._rule_totals(moves_per_rule),
+                                   "probe", False)
             if until is not None and bool(until(self.read).all()):
                 return FusedResult(0, 0, acc.counts,
                                    self._rule_totals(moves_per_rule),
@@ -412,6 +445,9 @@ class KernelRuntime:
                 enabled_mask = compute_enabled()
                 if rounds is not None:
                     rounds.observe_step(chosen, prev_mask, enabled_mask)
+                if probes and observe("step", chosen, enabled_mask):
+                    stop_reason = "probe"
+                    break
                 if until is not None and bool(until(self.read).all()):
                     stop_reason = "predicate"
                     hit = True

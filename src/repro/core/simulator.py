@@ -86,7 +86,8 @@ class RunResult:
     moves: total number of moves (rule executions).
     rounds: number of complete rounds elapsed.
     terminal: whether the final configuration is terminal.
-    stop_reason: ``"terminal"``, ``"predicate"`` or ``"budget"``.
+    stop_reason: ``"terminal"``, ``"predicate"``, ``"probe"`` or
+        ``"budget"`` (``"probe"`` = an attached probe requested the stop).
     """
 
     __slots__ = ("steps", "moves", "rounds", "terminal", "stop_reason")
@@ -179,9 +180,19 @@ class Simulator:
     trace:
         Optional :class:`~repro.core.trace.Trace` to record into.
     observers:
-        Callables ``observer(simulator, record)`` invoked after every step;
-        an optional ``on_start(simulator)`` attribute is invoked before the
-        first step.  Stabilization detectors plug in here.
+        Deprecated (use ``probes``).  Callables ``observer(simulator,
+        record)`` invoked after every step; an optional
+        ``on_start(simulator)`` attribute is invoked before the first
+        step.  Any attached observer forces the step-by-step loop; wrap
+        one in :class:`repro.probes.LegacyObserverProbe` (or port it to
+        a :class:`repro.probes.Probe`) to migrate.
+    probes:
+        :class:`repro.probes.Probe` instances observing the execution.
+        Probes whose ``wants_decode()`` is false are served *inside*
+        the fused kernel loop (their ``on_columns`` hook), so
+        measurement does not cost the fast path; any probe wanting
+        decoded records keeps the step-by-step loop (its ``on_step``
+        hook — today's observer contract).
 
     Notes
     -----
@@ -206,6 +217,7 @@ class Simulator:
         fuse: bool = True,
         trace: Trace | None = None,
         observers: Sequence[Callable[["Simulator", StepRecord], Any]] = (),
+        probes: Sequence[Any] = (),
     ):
         if seed is not None and rng is not None:
             raise ValueError("provide either seed or rng, not both")
@@ -218,6 +230,7 @@ class Simulator:
         self.fuse = fuse
         self.trace = trace
         self.observers = list(observers)
+        self.probes = list(probes)
         self._vec_daemon: Any = _VEC_UNRESOLVED
 
         cfg = config.copy() if config is not None else algorithm.initial_configuration()
@@ -263,6 +276,18 @@ class Simulator:
             on_start = getattr(obs, "on_start", None)
             if on_start is not None:
                 on_start(self)
+        for probe in self.probes:
+            probe.on_start(self)
+
+    def add_probe(self, probe) -> None:
+        """Attach a :class:`repro.probes.Probe` to a live simulator.
+
+        The probe observes the current configuration (``on_start``)
+        immediately, then every subsequent step on whichever tier the
+        execution runs.
+        """
+        probe.on_start(self)
+        self.probes.append(probe)
 
     # ------------------------------------------------------------------
     # Backend selection
@@ -402,6 +427,8 @@ class Simulator:
             self.trace.append(record, self.cfg)
         for obs in self.observers:
             obs(self, record)
+        for probe in self.probes:
+            probe.on_step(self, record)
         return record
 
     def _step_fast(self) -> None:
@@ -514,8 +541,12 @@ class Simulator:
 
         Requires the kernel backend, a vectorizable daemon, ``fuse`` left
         on, and no per-step Python boundary crossing: no trace, no
-        observers, no paranoid lockstep.  (A ``stop_when`` predicate also
-        disables fusion — it must observe the simulator between steps.)
+        legacy observers, no paranoid lockstep, and every attached probe
+        advertising the array-native tier (``wants_decode()`` false —
+        such probes are served *inside* the fused loop).  (A
+        ``stop_when`` predicate also disables fusion — it must observe
+        the simulator between steps; express it as a
+        :class:`repro.probes.StopProbe` mask to keep the fast path.)
         """
         return (
             self.backend == "kernel"
@@ -523,6 +554,7 @@ class Simulator:
             and not self.paranoid
             and self.trace is None
             and not self.observers
+            and all(not probe.wants_decode() for probe in self.probes)
             and self._vectorized_daemon() is not None
         )
 
@@ -534,6 +566,13 @@ class Simulator:
         vec.load_state(self.daemon)
         rounds = ArrayRoundCounter.from_counter(self.rounds, self.network.n)
         check = self.strict and self.algorithm.mutually_exclusive_rules
+        view = None
+        if self.probes:
+            from ..probes.view import ColumnView
+
+            view = ColumnView(self._program)
+            view.steps = self.step_count
+            view.moves = self.move_count
         result = self._kernel.run(
             vec,
             self.rng,
@@ -541,6 +580,8 @@ class Simulator:
             until=until,
             rounds=rounds,
             exclusion_name=self.algorithm.name if check else None,
+            probes=self.probes,
+            view=view,
         )
         vec.store_state(self.daemon)
         rounds.into_counter(self.rounds)
@@ -574,9 +615,10 @@ class Simulator:
         mask (e.g. a kernel program's ``normal_mask``); the run stops the
         first time it holds everywhere — evaluated on the initial
         configuration too, exactly like ``stop_when`` — with stop reason
-        ``"predicate"``.  Only valid while :attr:`fusion_available`; the
-        experiment runners fall back to an observer-based detector
-        otherwise.
+        ``"predicate"``.  Only valid while :attr:`fusion_available`.
+        (The experiment runners measure through
+        :class:`repro.probes.StabilizationProbe` instead, which also
+        records the hit accounting and closure violations.)
         """
         if not self.fusion_available:
             raise RuntimeError(
@@ -593,34 +635,43 @@ class Simulator:
         max_steps: int = 1_000_000,
         stop_when: Callable[["Simulator"], bool] | None = None,
     ) -> RunResult:
-        """Run until terminal, until ``stop_when(self)`` holds, or budget.
+        """Run until terminal, ``stop_when(self)``, a probe stop, or budget.
 
-        ``stop_when`` is evaluated on the initial configuration too, so a
-        predicate already satisfied stops immediately with zero steps.
+        ``stop_when`` (and every attached probe's ``done()``) is
+        evaluated on the initial configuration too, so a condition
+        already satisfied stops immediately with zero steps; a
+        probe-requested stop reports ``stop_reason="probe"``.
 
         When the kernel backend is active and nothing needs to observe
-        individual steps (no ``stop_when``, trace, observers, or paranoid
-        mode) the loop runs *fused* inside the kernel — see
-        :attr:`fusion_available` — with identical results and rng
-        consumption, decoding to Python only on exit.
+        individual *decoded* steps (no ``stop_when``, trace, legacy
+        observers, decode-tier probes, or paranoid mode) the loop runs
+        *fused* inside the kernel — see :attr:`fusion_available` — with
+        identical results and rng consumption, decoding to Python only
+        on exit.  Vector-tier probes are served inside that loop.
         """
         if stop_when is None and self.fusion_available:
             return self._run_fused(max_steps)
+        probes = self.probes
         stop_reason = "budget"
         if stop_when is not None and stop_when(self):
             stop_reason = "predicate"
+        elif probes and any(probe.done() for probe in probes):
+            stop_reason = "probe"
         elif self.is_terminal():
             stop_reason = "terminal"
         else:
             stepper = (
                 self._step_fast
-                if self.trace is None and not self.observers
+                if self.trace is None and not self.observers and not probes
                 else self.step
             )
             for _ in range(max_steps):
                 stepper()
                 if stop_when is not None and stop_when(self):
                     stop_reason = "predicate"
+                    break
+                if probes and any(probe.done() for probe in probes):
+                    stop_reason = "probe"
                     break
                 if self.is_terminal():
                     stop_reason = "terminal"

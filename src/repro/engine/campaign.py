@@ -26,9 +26,10 @@ KNOWN_ALGORITHMS = ("unison", "boulinier", "fga")
 
 #: Params that select *how* a trial executes, not *what* it measures —
 #: excluded from the canonical key (and hence from seed derivation), so
-#: e.g. ``backend=kernel`` and ``backend=dict`` runs of one grid produce
+#: e.g. ``backend=kernel`` and ``backend=dict`` runs of one grid (or
+#: ``probe=auto`` and ``probe=decode`` measurement tiers) produce
 #: identical records and deduplicate against each other on resume.
-EXECUTION_OPTIONS = frozenset({"backend"})
+EXECUTION_OPTIONS = frozenset({"backend", "probe"})
 
 
 def _freeze_params(params: Mapping[str, Any] | Iterable[tuple[str, Any]] | None) -> tuple[tuple[str, Any], ...]:

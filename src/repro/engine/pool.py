@@ -46,16 +46,9 @@ def execute_trial(spec: TrialSpec, campaign_seed: int, campaign: str = "") -> di
     from ..harness.runner import run_trial
 
     seed = derive_seed(campaign_seed, spec.key())
-    trial = run_trial(spec, seed=seed)
-    return {
-        "schema": SCHEMA_VERSION,
-        "campaign": campaign,
-        "campaign_seed": campaign_seed,
-        "key": spec.key(),
-        "seed": seed,
-        "spec": spec.to_dict(),
-        "result": trial_to_dict(trial),
-    }
+    return _make_record(
+        spec, seed, run_trial(spec, seed=seed), campaign_seed, campaign
+    )
 
 
 def execute_batch(
@@ -69,38 +62,67 @@ def execute_batch(
     (:class:`~repro.core.exceptions.UnbatchableError`: no kernel program
     for this instance, unexpected params), the replicates run serially
     instead; any other exception is a genuine defect and propagates.
+    A budget-exhausted replicate re-raises its ``NotStabilized`` with
+    the stabilizing siblings' finished store records attached as
+    ``partial_records`` (its ``partial`` holds the raw ``(index,
+    Trial)`` pairs), so callers can persist them without re-running.
     """
     from ..core.exceptions import UnbatchableError
 
     try:
-        return _batch_records(specs, campaign_seed, campaign)
+        records, error = _batch_records(specs, campaign_seed, campaign)
     except UnbatchableError:
         return [execute_trial(spec, campaign_seed, campaign) for spec in specs]
+    if error is not None:
+        error.partial_records = records
+        raise error
+    return records
+
+
+def _make_record(
+    spec: TrialSpec, seed: int, trial, campaign_seed: int, campaign: str
+) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "campaign": campaign,
+        "campaign_seed": campaign_seed,
+        "key": spec.key(),
+        "seed": seed,
+        "spec": spec.to_dict(),
+        "result": trial_to_dict(trial),
+    }
 
 
 def _batch_records(
     specs: Sequence[TrialSpec], campaign_seed: int, campaign: str
-) -> list[dict]:
-    """One cell's records via the tiled batch runner; no fallback here."""
+) -> tuple[list[dict], Exception | None]:
+    """One cell's ``(records, error)`` via the tiled batch runner.
+
+    A ``NotStabilized`` replicate does not discard the cell: the batch's
+    own per-trial outcomes already hold the stabilizing siblings'
+    results (carried in the exception's ``partial`` attribute), so those
+    records are returned alongside the failure — no serial re-run.
+    ``UnbatchableError`` propagates (the caller falls back to serial
+    trials); any other exception is a genuine defect and propagates too.
+    """
     # Imported lazily — the harness experiments import the engine, so a
     # module-level import here would be circular.
+    from ..core.exceptions import NotStabilized
     from ..harness.runner import run_trial_batch
 
     specs = list(specs)
     seeds = [derive_seed(campaign_seed, spec.key()) for spec in specs]
-    trials = run_trial_batch(specs, seeds)
-    return [
-        {
-            "schema": SCHEMA_VERSION,
-            "campaign": campaign,
-            "campaign_seed": campaign_seed,
-            "key": spec.key(),
-            "seed": seed,
-            "spec": spec.to_dict(),
-            "result": trial_to_dict(trial),
-        }
-        for spec, seed, trial in zip(specs, seeds, trials)
+    try:
+        indexed = list(enumerate(run_trial_batch(specs, seeds)))
+        error: Exception | None = None
+    except NotStabilized as exc:
+        indexed = list(exc.partial)
+        error = exc
+    records = [
+        _make_record(specs[i], seeds[i], trial, campaign_seed, campaign)
+        for i, trial in indexed
     ]
+    return records, error
 
 
 def _execution_units(
@@ -137,18 +159,12 @@ def _serial_records(
     specs: Sequence[TrialSpec],
     campaign_seed: int,
     campaign: str,
-    backstop: Exception | None,
 ) -> tuple[list[dict], Exception | None]:
-    """Serial per-trial records, stopping at a ``NotStabilized`` trial.
-
-    ``backstop`` is re-raised by the caller even when every serial trial
-    passes (a batched run failed where serial did not — a divergence that
-    must surface, not vanish).
-    """
+    """Serial per-trial records, stopping at a ``NotStabilized`` trial."""
     from ..core.exceptions import NotStabilized
 
     records: list[dict] = []
-    error = backstop
+    error: Exception | None = None
     try:
         for spec in specs:
             records.append(execute_trial(spec, campaign_seed, campaign))
@@ -163,24 +179,21 @@ def _worker(
     """Run one execution unit; returns ``(records, error)``.
 
     ``NotStabilized`` is not a defect — one replicate ran out of budget.
-    A batch hitting it reruns its cell serially (at most once: cells that
-    already fell back via ``UnbatchableError`` are not run twice) so the
-    siblings that do stabilize still hand their records to the parent
-    (and the store) before the failure propagates, keeping store
-    durability identical across worker counts and batch shapes.  Genuine
-    defects raise.
+    A batch hitting it hands the stabilizing siblings' records to the
+    parent (and the store) *alongside* the failure — the batch's own
+    per-trial outcomes already hold them, so nothing is re-run — and
+    the parent re-raises after landing them.  Cells that cannot batch
+    (``UnbatchableError``) run serially instead.  Genuine defects raise.
     """
-    from ..core.exceptions import NotStabilized, UnbatchableError
+    from ..core.exceptions import UnbatchableError
 
     kind, payload, campaign_seed, campaign = args
     if kind != "batch":
         return [execute_trial(payload, campaign_seed, campaign)], None
     try:
-        return _batch_records(payload, campaign_seed, campaign), None
+        return _batch_records(payload, campaign_seed, campaign)
     except UnbatchableError:
-        return _serial_records(payload, campaign_seed, campaign, None)
-    except NotStabilized as batch_exc:
-        return _serial_records(payload, campaign_seed, campaign, batch_exc)
+        return _serial_records(payload, campaign_seed, campaign)
 
 
 def default_chunksize(total: int, workers: int) -> int:

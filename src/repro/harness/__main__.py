@@ -17,8 +17,10 @@ and seed produce byte-identical stores for any ``--workers`` value, and
 ``--resume`` re-runs only trials missing from ``--out``.
 
 ``--backend {auto,dict,kernel}`` selects the simulator execution engine
-for every trial (array kernel vs dict reference); measured moves/rounds/
-steps are backend-independent, only wall time differs.
+for every trial (array kernel vs dict reference); ``--probe
+{auto,decode}`` selects the measurement tier (fused vectorized probes vs
+the per-step decoded observer path).  Measured moves/rounds/steps are
+independent of both; only wall time differs.
 """
 
 from __future__ import annotations
@@ -95,6 +97,8 @@ def _build_campaign(args):
         params[key.strip()] = _parse_scalar(value)  # last --param wins
     if getattr(args, "backend", None):
         params["backend"] = args.backend
+    if getattr(args, "probe", None):
+        params["probe"] = args.probe
     return Campaign(
         name=args.name,
         seed=args.seed,
@@ -157,6 +161,11 @@ def run_sweep(argv: list[str]) -> int:
     parser.add_argument("--backend", default=None, choices=("auto", "dict", "kernel"),
                         help="simulator execution backend for every trial "
                              "(default: auto — array kernel when available)")
+    parser.add_argument("--probe", default=None, choices=("auto", "decode"),
+                        help="stabilization measurement tier: auto rides the "
+                             "fused kernel loop on a vectorized legitimacy "
+                             "mask; decode forces the per-step decoded "
+                             "observer path (results are identical)")
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes; 0 or 1 runs serially in-process")
     parser.add_argument("--no-batch", action="store_true",

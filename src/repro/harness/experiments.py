@@ -45,6 +45,7 @@ from ..core.daemon import (
 from ..core.detectors import measure_stabilization
 from ..core.simulator import Simulator
 from ..faults.injector import corrupt_processes
+from ..probes import Probe, StabilizationProbe
 from ..reset.sdr import SDR, SDR_RULES
 from ..topology import by_name
 from ..unison.unison import Unison
@@ -92,14 +93,21 @@ class ExperimentResult:
         return "\n\n".join(parts)
 
 
-class SdrMoveCounter:
-    """Observer tallying SDR-rule moves per process (for Corollary 4)."""
+class SdrMoveCounter(Probe):
+    """Decode-tier probe tallying SDR-rule moves per process (Corollary 4).
+
+    Needs the per-step rule attribution of decoded records, so it stays
+    on the decode tier (its experiments run adversarial daemons anyway,
+    which cannot fuse).
+    """
+
+    name = "sdr-move-counter"
 
     def __init__(self, n: int):
         self.counts = [0] * n
         self.rules = set(SDR_RULES)
 
-    def __call__(self, sim, record) -> None:
+    def on_step(self, sim, record) -> None:
         for u, rule in record.selection.items():
             if rule in self.rules:
                 self.counts[u] += 1
@@ -108,6 +116,22 @@ class SdrMoveCounter:
     def touched(self) -> int:
         """Number of processes that executed at least one SDR rule."""
         return sum(1 for c in self.counts if c)
+
+
+def _measure(sim: Simulator, predicate, mask: str,
+             max_steps: int) -> StabilizationProbe:
+    """Fused-path stabilization measurement for the experiment bodies.
+
+    Attaches a two-tier probe and runs: vectorized executions measure on
+    the fused loop, everything else decodes per step — identical
+    numbers.  Raises :class:`~repro.core.exceptions.NotStabilized` when
+    the budget runs out.
+    """
+    probe = StabilizationProbe(predicate, mask=mask, name="legitimate")
+    sim.add_probe(probe)
+    sim.run(max_steps=max_steps)
+    probe.require_hit()
+    return probe
 
 
 def _delay_strategy(cfg, u: int, rule: str, step: int) -> float:
@@ -163,7 +187,7 @@ def experiment_t1_t2(
                     counter = SdrMoveCounter(net.n)
                     sim = Simulator(
                         sdr, _daemon_menu(net)[daemon_name], config=cfg,
-                        seed=seed, observers=[counter],
+                        seed=seed, probes=[counter],
                     )
                     detector, _ = measure_stabilization(sim, sdr.is_normal, max_steps=2_000_000)
                     # Run past stabilization: per-process SDR moves are a
@@ -585,7 +609,7 @@ def figure_f3(
             )
             counter = SdrMoveCounter(net.n)
             sim = Simulator(sdr, DistributedRandomDaemon(0.5), config=cfg,
-                            seed=seed, observers=[counter])
+                            seed=seed, probes=[counter])
             detector, _ = measure_stabilization(sim, sdr.is_normal, max_steps=1_000_000)
             initiators.append(sim.moves_per_rule.get("rule_R", 0))
             footprints.append(counter.touched)
@@ -658,9 +682,9 @@ def figure_f5(
             sdr = SDR(Unison(net))
             cfg = sdr.random_configuration(Random(seed))
             sim = Simulator(sdr, _daemon_menu(net)[daemon_name], config=cfg, seed=seed)
-            detector, _ = measure_stabilization(sim, sdr.is_normal, max_steps=2_000_000)
-            moves.append(detector.moves or 0)
-            rounds.append(detector.rounds or 0)
+            probe = _measure(sim, sdr.is_normal, "normal_mask", 2_000_000)
+            moves.append(probe.moves)
+            rounds.append(probe.rounds)
         mean = lambda xs: sum(xs) / len(xs)
         within = max(moves) <= bounds.unison_move_bound(net.n, net.diameter) and \
             max(rounds) <= bounds.unison_rounds_bound(net.n)
@@ -702,9 +726,9 @@ def figure_f6(
                 variables=("c",),
             )
             sim = Simulator(sdr, DistributedRandomDaemon(0.5), config=cfg, seed=seed)
-            det, _ = measure_stabilization(sim, sdr.is_normal, max_steps=1_000_000)
-            sdr_m.append(det.moves or 0)
-            sdr_r.append(det.rounds or 0)
+            det = _measure(sim, sdr.is_normal, "normal_mask", 1_000_000)
+            sdr_m.append(det.moves)
+            sdr_r.append(det.rounds)
 
             mono = MonoReset(Unison(net))
             cfg = corrupt_processes(
@@ -712,9 +736,9 @@ def figure_f6(
                 variables=("c",),
             )
             sim = Simulator(mono, DistributedRandomDaemon(0.5), config=cfg, seed=seed)
-            det, _ = measure_stabilization(sim, mono.is_normal, max_steps=1_000_000)
-            mono_m.append(det.moves or 0)
-            mono_r.append(det.rounds or 0)
+            det = _measure(sim, mono.is_normal, "normal_mask", 1_000_000)
+            mono_m.append(det.moves)
+            mono_r.append(det.rounds)
         mean = lambda xs: sum(xs) / len(xs)
         table.add_row(n, f"{mean(sdr_m):.0f}", f"{mean(mono_m):.0f}",
                       f"{mean(sdr_r):.1f}", f"{mean(mono_r):.1f}")

@@ -16,7 +16,6 @@ Two execution fast paths keep trials off the per-step Python boundary:
 
 from __future__ import annotations
 
-import logging
 from dataclasses import dataclass, field
 from random import Random
 from typing import TYPE_CHECKING, Any, Callable, Sequence
@@ -25,12 +24,13 @@ from ..alliance.fga import FGA
 from ..alliance.functions import instance_by_name
 from ..analysis.metrics import RunMetrics, collect_metrics
 from ..core.daemon import DAEMON_KINDS, Daemon, make_daemon
-from ..core.detectors import measure_stabilization
 from ..core.exceptions import NotStabilized, UnbatchableError
 from ..core.graph import Network
 from ..core.simulator import Simulator
 from ..faults.injector import corrupt_processes
 from ..faults.scenarios import clock_gradient, clock_split, fake_reset_wave, hollow_alliance
+from ..probes import StabilizationProbe
+from ..probes.stabilization import resolve_mask
 from ..reset.sdr import SDR
 from ..topology import by_name
 from ..unison.boulinier import BoulinierUnison
@@ -84,49 +84,45 @@ def _make_daemon(spec: str | Daemon, network: Network) -> Daemon:
     return make_daemon(spec, network)
 
 
-#: ``program.mask_attr`` combinations already warned about — one warning
-#: per combination, like the simulator's backend="auto" fallback warning.
-_MASK_FALLBACK_WARNED: set[str] = set()
+#: Recognized values of the trial runners' ``probe`` execution option.
+PROBE_MODES = ("auto", "decode")
+
+
+def _check_probe_mode(probe: str) -> None:
+    if probe not in PROBE_MODES:
+        raise ValueError(
+            f"unknown probe mode {probe!r}; choose from {PROBE_MODES}"
+        )
 
 
 def _stabilization(
-    sim: Simulator, predicate, mask_attr: str, max_steps: int
+    sim: Simulator, predicate, mask_attr: str, max_steps: int,
+    probe: str = "auto",
 ) -> tuple[int, int, int]:
     """``(steps, rounds, moves)`` at the first legitimate configuration.
 
-    Prefers the fused kernel loop with the program's vectorized
-    legitimacy mask (``mask_attr``) — same stopping step and accounting
-    as the observer-based detector, but no per-step decode.  Falls back
-    to :func:`~repro.core.detectors.measure_stabilization` whenever
-    fusion is off (dict backend, tracing, non-vector daemon, …) — or,
-    loudly, when the kernel program lacks the expected mask (a rename or
-    an unported mask would otherwise silently cost the fast path).
+    Attaches a :class:`~repro.probes.StabilizationProbe` carrying both
+    tiers of the legitimacy notion: the program's vectorized mask
+    (``mask_attr`` — rides the fused kernel loop, no per-step decode)
+    and the ``predicate`` closure (the decode tier, used whenever
+    fusion is off: dict backend, tracing, non-vector daemon, or
+    ``probe="decode"`` forcing the per-step path).  Measurements are
+    identical on both tiers — the probe-equivalence property suite
+    asserts byte-equality.
     """
-    mask_fn = (
-        getattr(sim._program, mask_attr, None)
-        if sim._program is not None
-        else None
+    measure = StabilizationProbe(
+        predicate,
+        mask=mask_attr if probe == "auto" else None,
+        name="legitimate",
     )
-    if sim._program is not None and mask_fn is None:
-        key = f"{type(sim._program).__name__}.{mask_attr}"
-        if key not in _MASK_FALLBACK_WARNED:
-            _MASK_FALLBACK_WARNED.add(key)
-            logging.getLogger(__name__).warning(
-                "kernel program %s provides no %s; stabilization detection "
-                "falls back to per-step decoding (slower, same results)",
-                type(sim._program).__name__,
-                mask_attr,
-            )
-    if mask_fn is not None and sim.fusion_available:
-        result = sim.run_until_mask(mask_fn, max_steps)
-        if result.stop_reason != "predicate":
-            raise NotStabilized(
-                f"predicate 'legitimate' not reached within {max_steps} steps",
-                steps=result.steps,
-            )
-        return result.steps, result.rounds, result.moves
-    detector, _ = measure_stabilization(sim, predicate, max_steps=max_steps)
-    return detector.step or 0, detector.rounds or 0, detector.moves or 0
+    sim.add_probe(measure)
+    result = sim.run(max_steps=max_steps)
+    if not measure.hit:
+        raise NotStabilized(
+            f"predicate 'legitimate' not reached within {max_steps} steps",
+            steps=result.steps,
+        )
+    return measure.step, measure.rounds, measure.moves
 
 
 def _unison_start(sdr: SDR, scenario: str, rng: Random):
@@ -188,19 +184,24 @@ def run_unison_trial(
     period: int | None = None,
     max_steps: int = UNISON_MAX_STEPS,
     backend: str = "auto",
+    probe: str = "auto",
 ) -> Trial:
     """Run ``U ∘ SDR`` to its first normal configuration.
 
     ``backend`` selects the simulator's execution engine (``"auto"`` runs
-    the array kernel when available); results are backend-independent.
+    the array kernel when available); ``probe`` selects the measurement
+    tier (``"auto"`` rides the fused loop on a vectorized legitimacy
+    mask, ``"decode"`` forces the per-step decoded path); results are
+    independent of both.
     """
+    _check_probe_mode(probe)
     rng = Random(seed)
     sdr = SDR(Unison(network, period=period))
     cfg = _unison_start(sdr, scenario, rng)
     sim = Simulator(sdr, _make_daemon(daemon, network), config=cfg, seed=seed,
-                    backend=backend)
+                    backend=backend, fuse=probe != "decode")
     steps, rounds, moves = _stabilization(sim, sdr.is_normal, "normal_mask",
-                                          max_steps)
+                                          max_steps, probe=probe)
     return Trial(
         algorithm="U o SDR",
         scenario=scenario,
@@ -226,6 +227,7 @@ def run_boulinier_trial(
     scenario: str = "random",
     max_steps: int = BOULINIER_MAX_STEPS,
     backend: str = "auto",
+    probe: str = "auto",
 ) -> Trial:
     """Run the reset-tail baseline to its first legitimate configuration.
 
@@ -233,13 +235,15 @@ def run_boulinier_trial(
     shared clock variable so head-to-head comparisons start from the same
     amount of clock disorder.
     """
+    _check_probe_mode(probe)
     rng = Random(seed)
     algo = BoulinierUnison(network, period=period, alpha=alpha)
     cfg = _boulinier_start(algo, scenario, rng)
     sim = Simulator(algo, _make_daemon(daemon, network), config=cfg, seed=seed,
-                    backend=backend)
+                    backend=backend, fuse=probe != "decode")
     steps, rounds, moves = _stabilization(sim, algo.is_legitimate,
-                                          "legitimate_mask", max_steps)
+                                          "legitimate_mask", max_steps,
+                                          probe=probe)
     return Trial(
         algorithm="boulinier",
         scenario=scenario,
@@ -266,13 +270,20 @@ def run_fga_trial(
     scenario: str = "random",
     max_steps: int = FGA_MAX_STEPS,
     backend: str = "auto",
+    probe: str = "auto",
 ) -> Trial:
-    """Run ``FGA ∘ SDR`` to termination (the composition is silent)."""
+    """Run ``FGA ∘ SDR`` to termination (the composition is silent).
+
+    The composition terminates rather than hitting a predicate, so
+    ``probe="decode"`` here simply forces the step-by-step loop
+    (``fuse=False``) — the measurement itself needs no probe.
+    """
+    _check_probe_mode(probe)
     rng = Random(seed)
     sdr = SDR(FGA(network, f, g))
     cfg = _fga_start(sdr, scenario, rng)
     sim = Simulator(sdr, _make_daemon(daemon, network), config=cfg, seed=seed,
-                    backend=backend)
+                    backend=backend, fuse=probe != "decode")
     result = sim.run_to_termination(max_steps=max_steps)
     alliance = sdr.input.alliance(sim.cfg)
     return Trial(
@@ -338,15 +349,18 @@ def can_batch(spec: "TrialSpec") -> bool:
 
     Requires a tileable kernel program for the algorithm, a daemon with
     an exact vector twin (every standard kind qualifies), and numpy —
-    and no explicit ``backend=dict`` request: batching never changes
-    results, but it *does* run on the array kernel, and a user who asked
-    for the dict engine (timing it, debugging it) must get it.
+    and no explicit ``backend=dict`` or ``probe=decode`` request:
+    batching never changes results, but it *does* run on the array
+    kernel with vectorized measurement, and a user who asked for the
+    dict engine or the decoded measurement path (timing it, debugging
+    it) must get it.
     """
     if spec.algorithm not in _BATCH_ALGORITHMS:
         return False
     if spec.daemon not in DAEMON_KINDS:
         return False
-    if dict(spec.params).get("backend") == "dict":
+    params = dict(spec.params)
+    if params.get("backend") == "dict" or params.get("probe") == "decode":
         return False
     try:
         import numpy  # noqa: F401
@@ -355,7 +369,11 @@ def can_batch(spec: "TrialSpec") -> bool:
     return True
 
 
-def run_trial_batch(specs: Sequence["TrialSpec"], seeds: Sequence[int]) -> list[Trial]:
+def run_trial_batch(
+    specs: Sequence["TrialSpec"],
+    seeds: Sequence[int],
+    probes: Sequence[Sequence] | None = None,
+) -> list[Trial]:
     """Run one campaign cell's replicate trials as a single tiled batch.
 
     ``specs`` must share everything but the replicate index (one cell);
@@ -363,8 +381,17 @@ def run_trial_batch(specs: Sequence["TrialSpec"], seeds: Sequence[int]) -> list[
     are record-identical to ``[run_trial(spec, seed) for …]`` — each
     trial's daemon consumes its own seeded stream in serial order, and
     per-trial accounting freezes at the trial's own stopping step.
+    ``probes`` (optional, one sequence of vector-tier probes per trial)
+    is forwarded to :func:`repro.core.kernel.batch.run_batch`: each
+    trial's probes observe its block of the tiled buffers inline.
+
     Raises :class:`~repro.core.exceptions.UnbatchableError` when the
-    cell cannot be batched (callers fall back to serial trials).
+    cell cannot be batched (callers fall back to serial trials).  When
+    one replicate exhausts its step budget, the raised
+    :class:`~repro.core.exceptions.NotStabilized` carries the
+    stabilizing siblings' finished :class:`Trial` results in its
+    ``partial`` attribute — callers land those instead of re-running
+    the cell.
     """
     spec = specs[0]
     if any(s.cell_key() != spec.cell_key() for s in specs[1:]):
@@ -373,7 +400,14 @@ def run_trial_batch(specs: Sequence["TrialSpec"], seeds: Sequence[int]) -> list[
 
     network = by_name(spec.topology, spec.n, seed=spec.topology_seed)
     params = spec.kwargs()
-    params.pop("backend", None)  # execution option; batching implies kernel
+    # Execution options: batching implies the kernel backend with
+    # vectorized measurement (can_batch routed explicit opt-outs away).
+    params.pop("backend", None)
+    if params.pop("probe", "auto") == "decode":
+        raise UnbatchableError(
+            "probe='decode' requests per-step decoded measurement — "
+            "cell cannot be batched"
+        )
     daemons = [make_daemon(spec.daemon, network) for _ in specs]
 
     if spec.algorithm == "unison":
@@ -385,14 +419,15 @@ def run_trial_batch(specs: Sequence["TrialSpec"], seeds: Sequence[int]) -> list[
         result = run_batch(
             program, cfgs, daemons, [Random(seed) for seed in seeds], network,
             max_steps=max_steps,
-            until=lambda prog, cols: prog.normal_mask(cols),
+            until=_batch_until("normal_mask"),
             exclusion_name=sdr.name if sdr.mutually_exclusive_rules else None,
+            probes=probes,
         )
-        _require_hits(result.outcomes, max_steps)
-        return [
-            _batch_trial("U o SDR", spec, seed, network, daemon, outcome)
-            for seed, daemon, outcome in zip(seeds, daemons, result.outcomes)
-        ]
+        return _batch_trials(
+            "U o SDR", spec, seeds, network, daemons, result.outcomes,
+            ok=lambda outcome: outcome.hit,
+            failure=f"predicate 'legitimate' not reached within {max_steps} steps",
+        )
 
     if spec.algorithm == "boulinier":
         algo = BoulinierUnison(
@@ -409,16 +444,17 @@ def run_trial_batch(specs: Sequence["TrialSpec"], seeds: Sequence[int]) -> list[
         result = run_batch(
             program, cfgs, daemons, [Random(seed) for seed in seeds], network,
             max_steps=max_steps,
-            until=lambda prog, cols: prog.legitimate_mask(cols),
+            until=_batch_until("legitimate_mask"),
             exclusion_name=algo.name if algo.mutually_exclusive_rules else None,
+            probes=probes,
         )
-        _require_hits(result.outcomes, max_steps)
         extra = {"period": algo.period, "alpha": algo.alpha}
-        return [
-            _batch_trial("boulinier", spec, seed, network, daemon, outcome,
-                         extra=dict(extra))
-            for seed, daemon, outcome in zip(seeds, daemons, result.outcomes)
-        ]
+        return _batch_trials(
+            "boulinier", spec, seeds, network, daemons, result.outcomes,
+            ok=lambda outcome: outcome.hit,
+            failure=f"predicate 'legitimate' not reached within {max_steps} steps",
+            extra_fn=lambda t: dict(extra),
+        )
 
     if spec.algorithm == "fga":
         instance = params.pop("instance", "dominating-set")
@@ -432,27 +468,20 @@ def run_trial_batch(specs: Sequence["TrialSpec"], seeds: Sequence[int]) -> list[
             program, cfgs, daemons, [Random(seed) for seed in seeds], network,
             max_steps=max_steps,
             exclusion_name=sdr.name if sdr.mutually_exclusive_rules else None,
+            probes=probes,
         )
-        trials = []
-        for t, (seed, daemon, outcome) in enumerate(
-            zip(seeds, daemons, result.outcomes)
-        ):
-            if outcome.stop_reason != "terminal":
-                raise NotStabilized(
-                    f"no terminal configuration within {max_steps} steps",
-                    steps=outcome.steps,
-                )
+
+        def fga_extra(t: int) -> dict:
             alliance = sdr.input.alliance(result.configuration(t))
-            trials.append(
-                _batch_trial(
-                    "FGA o SDR", spec, seed, network, daemon, outcome,
-                    extra={
-                        "alliance_size": len(alliance),
-                        "alliance": frozenset(alliance),
-                    },
-                )
-            )
-        return trials
+            return {"alliance_size": len(alliance),
+                    "alliance": frozenset(alliance)}
+
+        return _batch_trials(
+            "FGA o SDR", spec, seeds, network, daemons, result.outcomes,
+            ok=lambda outcome: outcome.stop_reason == "terminal",
+            failure=f"no terminal configuration within {max_steps} steps",
+            extra_fn=fga_extra,
+        )
 
     raise ValueError(f"algorithm {spec.algorithm!r} cannot run batched")
 
@@ -476,13 +505,60 @@ def _reject_params(spec: "TrialSpec", params: dict) -> None:
         )
 
 
-def _require_hits(outcomes, max_steps: int) -> None:
-    for outcome in outcomes:
-        if not outcome.hit:
-            raise NotStabilized(
-                f"predicate 'legitimate' not reached within {max_steps} steps",
-                steps=outcome.steps,
+def _batch_until(mask_attr: str):
+    """A per-process freeze mask resolved through the probe protocol.
+
+    Resolution happens against the *tiled* program at first evaluation;
+    a program lacking the expected mask makes the cell unbatchable (the
+    caller then falls back to serial trials, whose decode-tier probes
+    need no mask).
+    """
+
+    def until(prog, cols):
+        mask_fn = resolve_mask(prog, mask_attr)
+        if mask_fn is None:
+            raise UnbatchableError(
+                f"kernel program {type(prog).__name__} provides no "
+                f"{mask_attr} — cell cannot be batched"
             )
+        return mask_fn(cols)
+
+    return until
+
+
+def _batch_trials(
+    algorithm: str,
+    spec: "TrialSpec",
+    seeds: Sequence[int],
+    network: Network,
+    daemons: Sequence[Daemon],
+    outcomes,
+    *,
+    ok,
+    failure: str,
+    extra_fn=None,
+) -> list[Trial]:
+    """Per-trial records of one batch; partial results ride the failure.
+
+    Builds a :class:`Trial` for every outcome satisfying ``ok``.  When
+    all do, returns them in trial order; otherwise raises
+    :class:`~repro.core.exceptions.NotStabilized` with the finished
+    trials attached as ``partial`` ``(index, Trial)`` pairs, so callers
+    can land the stabilizing siblings without re-running the cell.
+    """
+    finished: list[tuple[int, Trial]] = []
+    first_bad = None
+    for t, (seed, daemon, outcome) in enumerate(zip(seeds, daemons, outcomes)):
+        if ok(outcome):
+            finished.append((t, _batch_trial(
+                algorithm, spec, seed, network, daemon, outcome,
+                extra=extra_fn(t) if extra_fn is not None else None,
+            )))
+        elif first_bad is None:
+            first_bad = outcome
+    if first_bad is not None:
+        raise NotStabilized(failure, steps=first_bad.steps, partial=finished)
+    return [trial for _, trial in finished]
 
 
 def _batch_trial(

@@ -1,0 +1,164 @@
+"""The capability-tiered observation protocol.
+
+Every measurement in this repository — stabilization times, closure
+assertions, accounting snapshots, trace samples — is an *observation*
+of an execution.  The legacy observer contract (a callable invoked with
+``(simulator, record)`` after every step) forces the simulator to build
+a decoded :class:`~repro.core.trace.StepRecord` per step, which kicks
+execution off the fused kernel loop: the experiments that matter most
+ran orders of magnitude slower than the engine allows, purely to be
+measured.
+
+:class:`Probe` replaces that contract with two declared capability
+tiers:
+
+* the **decode tier** — ``on_start(sim)`` / ``on_step(sim, record)``,
+  exactly the legacy contract.  Every probe supports it; it is the
+  fallback whenever the execution itself cannot fuse (dict backend,
+  unvectorizable daemon, tracing, paranoid mode).
+* the **vector tier** — ``on_columns(view)`` over a
+  :class:`~repro.probes.view.ColumnView`, invoked *inline* by the fused
+  drivers (:meth:`repro.core.kernel.engine.KernelRuntime.run` and the
+  batched :func:`repro.core.kernel.batch.run_batch`) with no per-step
+  decode.  A probe advertises this tier by returning ``False`` from
+  :meth:`Probe.wants_decode`; :attr:`Simulator.fusion_available` stays
+  true when *every* attached probe does, so measurement never costs the
+  fused loop.
+
+Both tiers must report identical measurements for identical executions
+(the probe-equivalence property suite asserts byte-equality); a probe
+that cannot guarantee that must stay on the decode tier.
+
+Stopping is part of the protocol: after each step (on either tier) the
+driver asks :meth:`Probe.done`; any probe answering ``True`` ends the
+run with ``stop_reason="probe"``.  This is how ``stop_when`` predicates
+and stabilization detection express themselves without a per-step
+Python closure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from .view import ColumnView
+
+if TYPE_CHECKING:  # import cycle: the simulator imports this package
+    from ..core.simulator import Simulator
+    from ..core.trace import StepRecord
+
+__all__ = ["Probe", "LegacyObserverProbe", "as_probe"]
+
+
+class Probe:
+    """Base class of the two-tier observation protocol.
+
+    Subclasses override the decode hooks (always) and, when they can
+    observe columns directly, the vector hooks plus ``wants_decode``.
+    The default implementation is a no-op decode-tier probe.
+    """
+
+    #: Human-readable label (diagnostics, CLI listings).
+    name = "probe"
+
+    # ------------------------------------------------------------------
+    # Capability declaration
+    # ------------------------------------------------------------------
+    def wants_decode(self) -> bool:
+        """Whether this probe needs per-step decoded records.
+
+        ``True`` (the default) keeps the execution on the step-by-step
+        loop.  Probes returning ``False`` MUST implement
+        :meth:`on_columns` and are then served inline by the fused
+        drivers.  Consulted after :meth:`on_start` ran, so probes may
+        resolve their capability against the simulator they are
+        attached to (e.g. whether its kernel program provides the mask
+        they need).
+        """
+        return True
+
+    def mask_fn(self, program) -> Callable[[Any], Any] | None:
+        """Optional per-process boolean mask over ``program``'s columns.
+
+        Batched execution uses this to freeze a trial the first time
+        the mask holds on its whole block (the vectorized counterpart
+        of a ``stop_when`` predicate); ``None`` means the probe has no
+        mask to offer.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # Decode tier (the legacy observer contract)
+    # ------------------------------------------------------------------
+    def on_start(self, sim: "Simulator") -> None:
+        """Observe the initial configuration, before any step."""
+
+    def on_step(self, sim: "Simulator", record: "StepRecord") -> None:
+        """Observe one decoded step (invoked after accounting updated)."""
+
+    # ------------------------------------------------------------------
+    # Vector tier
+    # ------------------------------------------------------------------
+    def on_columns(self, view: ColumnView) -> None:
+        """Observe one step (or the start) in array form.
+
+        Only invoked on probes whose :meth:`wants_decode` returned
+        ``False``; ``view.phase`` distinguishes the initial
+        configuration from per-step calls.
+        """
+
+    # ------------------------------------------------------------------
+    # Stop requests
+    # ------------------------------------------------------------------
+    def done(self) -> bool:
+        """Whether this probe requests no further execution.
+
+        Checked by every driver after each observation (and once on the
+        initial configuration); any attached probe answering ``True``
+        stops the run with ``stop_reason="probe"``.
+        """
+        return False
+
+    # ------------------------------------------------------------------
+    # Legacy interoperability: a probe can be handed to code that still
+    # calls observers as plain ``observer(sim, record)`` callables.
+    # ------------------------------------------------------------------
+    def __call__(self, sim: "Simulator", record: "StepRecord") -> None:
+        self.on_step(sim, record)
+
+
+class LegacyObserverProbe(Probe):
+    """Deprecation shim: a legacy observer callable as a decode-tier probe.
+
+    Wraps today's observer contract — ``observer(simulator, record)``
+    per step, optional ``on_start(simulator)`` attribute — unchanged.
+    Wrapped observers never fuse (the callable's needs are unknowable),
+    which is exactly the legacy behavior; port the observer to a
+    :class:`Probe` subclass with a vector tier to get the fused loop
+    back.
+    """
+
+    __slots__ = ("observer",)
+    name = "legacy-observer"
+
+    def __init__(self, observer: Callable[["Simulator", "StepRecord"], Any]):
+        if not callable(observer):
+            raise TypeError(f"observer {observer!r} is not callable")
+        self.observer = observer
+
+    def on_start(self, sim: "Simulator") -> None:
+        on_start = getattr(self.observer, "on_start", None)
+        if on_start is not None:
+            on_start(sim)
+
+    def on_step(self, sim: "Simulator", record: "StepRecord") -> None:
+        self.observer(sim, record)
+
+    def __repr__(self) -> str:
+        return f"LegacyObserverProbe({self.observer!r})"
+
+
+def as_probe(observer: Any) -> Probe:
+    """Coerce a legacy observer callable (or a probe) into a probe."""
+    if isinstance(observer, Probe):
+        return observer
+    return LegacyObserverProbe(observer)

@@ -1,0 +1,71 @@
+"""The column view the fused drivers expose to vectorized probes.
+
+A :class:`ColumnView` is the window a probe's ``on_columns`` hook sees:
+the frozen read columns after one atomic step, the activated index
+vector, the post-step enabled mask, and the execution's accounting
+totals — everything the per-step decoded path would offer, but in array
+form and without leaving the fused loop.  The driver owns one view per
+execution (one per trial in batched runs) and mutates its fields in
+place before each probe call; probes must treat every field as
+read-only and must not retain references across steps (arrays are
+reused buffers).
+"""
+
+from __future__ import annotations
+
+__all__ = ["ColumnView"]
+
+
+class ColumnView:
+    """Per-step window into a fused execution.
+
+    Attributes
+    ----------
+    program:
+        The :class:`~repro.core.kernel.programs.KernelProgram` whose
+        columns are being observed.  In batched runs this is the *base*
+        (untiled) program: the view's columns are one trial's block, so
+        base-program masks evaluate per trial exactly as in a single
+        run.  (Caveat: ``opt_index`` columns in a tiled layout hold
+        *globalized* indices — probes comparing them against local
+        process ids must subtract ``trial * n`` themselves.)
+    trial:
+        Trial index in a batched run, ``None`` in a single execution.
+    phase:
+        ``"start"`` — the initial configuration, before any step
+        (``chosen`` is ``None``); ``"step"`` — after one atomic step.
+    cols:
+        The current read columns (mapping variable name → ndarray; block
+        views in batched runs).
+    chosen:
+        Activated process indices of this step (ascending, trial-local),
+        or ``None`` at phase ``"start"``.
+    enabled_mask:
+        Per-process boolean enabled mask of the *current* configuration.
+    steps / moves / rounds:
+        Accounting totals at the current configuration (absolute, so a
+        probe's measurements agree with ``sim.step_count`` etc. even
+        when a run resumes mid-execution).
+    """
+
+    __slots__ = (
+        "program", "trial", "phase", "cols", "chosen", "enabled_mask",
+        "steps", "moves", "rounds",
+    )
+
+    def __init__(self, program, trial: int | None = None):
+        self.program = program
+        self.trial = trial
+        self.phase = "start"
+        self.cols = None
+        self.chosen = None
+        self.enabled_mask = None
+        self.steps = 0
+        self.moves = 0
+        self.rounds = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnView(phase={self.phase!r}, trial={self.trial}, "
+            f"steps={self.steps}, moves={self.moves}, rounds={self.rounds})"
+        )

@@ -195,3 +195,175 @@ class TestRunBatch:
                 Broken(net), cfgs, daemons, [Random(0), Random(1)], net,
                 max_steps=5, exclusion_name="broken",
             )
+
+
+class TiledSpy:
+    """Delegating program wrapper recording every ``tiled(copies)`` call."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = []
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def tiled(self, copies):
+        self.calls.append(copies)
+        return self.inner.tiled(copies)
+
+
+class TestCompaction:
+    """Trailing frozen blocks are dropped from the working buffers."""
+
+    def _mixed_batch(self, trailing_normal=6, leading_random=2):
+        """Leading trials start random (long recovery), trailing trials
+        start normal (freeze immediately) — a deterministic heavy tail."""
+        net = ring(8)
+        sdr = SDR(Unison(net))
+        trials = leading_random + trailing_normal
+        cfgs = [sdr.random_configuration(Random(seed))
+                for seed in range(leading_random)]
+        cfgs += [sdr.initial_configuration() for _ in range(trailing_normal)]
+        daemons = [make_daemon("distributed-random", net) for _ in range(trials)]
+        rngs = [Random(seed) for seed in range(trials)]
+        return net, sdr, cfgs, daemons, rngs
+
+    def test_compaction_retiles_to_the_surviving_prefix(self):
+        net, sdr, cfgs, daemons, rngs = self._mixed_batch()
+        spy = TiledSpy(sdr.kernel_program())
+        result = run_batch(
+            spy, cfgs, daemons, rngs, net, max_steps=50_000,
+            until=lambda prog, cols: prog.normal_mask(cols),
+        )
+        # Initial tile for all 8 trials, then a re-tile once the trailing
+        # frozen blocks were dropped.
+        assert spy.calls[0] == 8
+        assert len(spy.calls) > 1 and spy.calls[1] < 8
+        assert all(outcome.hit for outcome in result.outcomes)
+
+    def test_compaction_is_invisible_in_the_results(self):
+        net, sdr, cfgs, daemons, rngs = self._mixed_batch()
+        batched = run_batch(
+            sdr.kernel_program(), cfgs, daemons, rngs, net, max_steps=50_000,
+            until=lambda prog, cols: prog.normal_mask(cols),
+        )
+        for t, cfg in enumerate(cfgs):
+            single = run_batch(
+                sdr.kernel_program(), [cfg.copy()],
+                [make_daemon("distributed-random", net)], [Random(t)],
+                net, max_steps=50_000,
+                until=lambda prog, cols: prog.normal_mask(cols),
+            )
+            a, b = batched.outcomes[t], single.outcomes[0]
+            assert (a.steps, a.moves, a.rounds, a.stop_reason, a.hit) == (
+                b.steps, b.moves, b.rounds, b.stop_reason, b.hit,
+            )
+            assert a.moves_per_process == b.moves_per_process
+            assert a.moves_per_rule == b.moves_per_rule
+            got, want = batched.configuration(t), single.configuration(0)
+            for u in range(net.n):
+                assert got[u] == want[u]
+
+
+class TestBatchProbes:
+    """Per-trial vector probes observe their block of the tiled buffers."""
+
+    def test_accounting_probes_match_serial_fused_runs(self):
+        from repro.probes import AccountingProbe, StabilizationProbe
+        from repro.core.simulator import Simulator
+
+        net = ring(8)
+        sdr = SDR(Unison(net))
+        seeds = [0, 1, 2]
+        cfgs = [sdr.random_configuration(Random(seed)) for seed in seeds]
+        probes = [[AccountingProbe(every=5)] for _ in seeds]
+        run_batch(
+            sdr.kernel_program(), [c.copy() for c in cfgs],
+            [make_daemon("distributed-random", net) for _ in seeds],
+            [Random(seed) for seed in seeds], net, max_steps=50_000,
+            until=lambda prog, cols: prog.normal_mask(cols),
+            probes=probes,
+        )
+        for seed, cfg, plist in zip(seeds, cfgs, probes):
+            fresh = SDR(Unison(net))
+            sim = Simulator(
+                fresh, make_daemon("distributed-random", net),
+                config=cfg.copy(), seed=seed,
+            )
+            reference = AccountingProbe(every=5)
+            sim.add_probe(reference)
+            sim.add_probe(StabilizationProbe(fresh.is_normal, mask="normal_mask"))
+            assert sim.fusion_available
+            sim.run(max_steps=50_000)
+            assert plist[0].samples == reference.samples
+
+    def test_probe_done_freezes_its_trial_only(self):
+        from repro.probes import StopProbe
+
+        net = ring(8)
+        sdr = SDR(Unison(net))
+        seeds = [0, 1]
+        cfgs = [sdr.random_configuration(Random(seed)) for seed in seeds]
+        # Trial 0 stops via its probe after its clocks first all go even;
+        # trial 1 runs to its budget.
+        stopper = StopProbe(mask=lambda cols: cols["c"] % 2 == 0, name="even")
+        result = run_batch(
+            sdr.kernel_program(), cfgs,
+            [make_daemon("distributed-random", net) for _ in seeds],
+            [Random(seed) for seed in seeds], net, max_steps=60,
+            probes=[[stopper], []],
+        )
+        assert result.outcomes[0].stop_reason == "probe"
+        assert stopper.hit
+        assert result.outcomes[1].stop_reason == "budget"
+        assert result.outcomes[1].steps == 60
+
+    def test_probes_must_align_with_trials(self):
+        net = ring(8)
+        sdr = SDR(Unison(net))
+        cfgs = [sdr.random_configuration(Random(0))]
+        with pytest.raises(ValueError, match="align"):
+            run_batch(
+                sdr.kernel_program(), cfgs,
+                [make_daemon("distributed-random", net)], [Random(0)], net,
+                max_steps=10, probes=[[], []],
+            )
+
+    def test_named_mask_probes_resolve_against_the_view_program(self):
+        """Batch-attached probes never see a simulator; a mask given by
+        attribute name must resolve against the view's base program."""
+        from repro.probes import StabilizationProbe
+
+        net = ring(8)
+        sdr = SDR(Unison(net))
+        seeds = [0, 1]
+        cfgs = [sdr.random_configuration(Random(seed)) for seed in seeds]
+        probes = [
+            [StabilizationProbe(mask="normal_mask", stop=False)]
+            for _ in seeds
+        ]
+        result = run_batch(
+            sdr.kernel_program(), cfgs,
+            [make_daemon("distributed-random", net) for _ in seeds],
+            [Random(seed) for seed in seeds], net, max_steps=50_000,
+            until=lambda prog, cols: prog.normal_mask(cols),
+            probes=probes,
+        )
+        for outcome, plist in zip(result.outcomes, probes):
+            assert outcome.hit
+            # The probe and the freeze mask agree on the hit point.
+            assert plist[0].step == outcome.steps
+
+    def test_unresolvable_named_mask_raises_cleanly(self):
+        from repro.probes import StabilizationProbe
+
+        net = ring(8)
+        sdr = SDR(Unison(net))
+        cfgs = [sdr.random_configuration(Random(0))]
+        with pytest.raises(ValueError, match="did not resolve"):
+            run_batch(
+                sdr.kernel_program(), cfgs,
+                [make_daemon("distributed-random", net)], [Random(0)], net,
+                max_steps=10,
+                probes=[[StabilizationProbe(mask="no_such_mask")]],
+            )

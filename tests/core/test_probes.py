@@ -1,0 +1,225 @@
+"""Unit tests for repro.probes: protocol, shim, sampling, stop semantics."""
+
+from random import Random
+
+import pytest
+
+from repro.core import Simulator, make_daemon
+from repro.core.configuration import state_equal
+from repro.probes import (
+    AccountingProbe,
+    LegacyObserverProbe,
+    Probe,
+    StabilizationProbe,
+    StopProbe,
+    TraceProbe,
+    as_probe,
+)
+from repro.reset import SDR
+from repro.topology import ring
+from repro.unison import Unison
+
+
+def make_sim(seed=0, n=9, **kwargs):
+    net = ring(n)
+    sdr = SDR(Unison(net))
+    cfg = sdr.random_configuration(Random(seed))
+    sim = Simulator(
+        sdr, make_daemon("distributed-random", net), config=cfg, seed=seed,
+        **kwargs,
+    )
+    return sim, sdr
+
+
+# ======================================================================
+# The deprecation shim
+# ======================================================================
+class RecordingObserver:
+    """A legacy observer callable with the optional on_start attribute."""
+
+    def __init__(self):
+        self.started = 0
+        self.steps = []
+
+    def on_start(self, sim):
+        self.started += 1
+
+    def __call__(self, sim, record):
+        self.steps.append(record.index)
+
+
+def test_as_probe_wraps_callables_and_passes_probes_through():
+    probe = AccountingProbe()
+    assert as_probe(probe) is probe
+    wrapped = as_probe(lambda sim, record: None)
+    assert isinstance(wrapped, LegacyObserverProbe)
+    with pytest.raises(TypeError):
+        LegacyObserverProbe(42)
+
+
+def test_legacy_observer_probe_delegates_both_hooks():
+    observer = RecordingObserver()
+    sim, _ = make_sim(probes=[as_probe(observer)])
+    assert observer.started == 1
+    sim.step()
+    sim.step()
+    assert observer.steps == [0, 1]
+
+
+def test_wrapped_observer_disables_fusion_like_observers_did():
+    sim, _ = make_sim(probes=[as_probe(lambda sim, record: None)])
+    assert sim.backend == "kernel"
+    assert not sim.fusion_available
+
+
+def test_legacy_observers_kwarg_still_works_and_blocks_fusion():
+    observer = RecordingObserver()
+    sim, _ = make_sim(observers=[observer])
+    assert observer.started == 1
+    assert not sim.fusion_available
+    sim.step()
+    assert observer.steps == [0]
+
+
+def test_probe_is_callable_as_a_legacy_observer():
+    """Code appending probes to sim.observers keeps working."""
+    probe = AccountingProbe()
+    sim, _ = make_sim()
+    probe.on_start(sim)
+    sim.observers.append(probe)
+    sim.step()
+    assert probe.samples[-1][0] == 1
+
+
+# ======================================================================
+# Capability gating
+# ======================================================================
+def test_vector_probes_keep_fusion_available():
+    sim, sdr = make_sim(probes=[AccountingProbe(every=5), TraceProbe(every=50)])
+    assert sim.fusion_available
+
+
+def test_decode_probe_forces_step_loop():
+    class DecodeProbe(Probe):
+        pass  # wants_decode() defaults to True
+
+    sim, _ = make_sim(probes=[DecodeProbe()])
+    assert not sim.fusion_available
+
+
+def test_stabilization_probe_without_mask_is_decode_tier():
+    sim, sdr = make_sim()
+    probe = StabilizationProbe(sdr.is_normal)
+    sim.add_probe(probe)
+    assert probe.wants_decode()
+    assert not sim.fusion_available
+
+
+def test_stabilization_probe_with_missing_mask_attr_falls_back():
+    sim, sdr = make_sim()
+    probe = StabilizationProbe(sdr.is_normal, mask="no_such_mask")
+    sim.add_probe(probe)
+    assert probe.wants_decode()
+    sim.run(max_steps=50_000)
+    probe.require_hit()
+
+
+# ======================================================================
+# Sampling probes: fused == decode
+# ======================================================================
+def test_accounting_probe_samples_identical_fused_and_decoded():
+    runs = []
+    for fuse in (True, False):
+        sim, _ = make_sim(seed=4, fuse=fuse)
+        probe = AccountingProbe(every=7)
+        sim.add_probe(probe)
+        assert sim.fusion_available is fuse
+        sim.run(max_steps=140)
+        runs.append(probe.samples)
+    assert runs[0] == runs[1]
+    assert runs[0][0] == (0, 0, 0)
+    assert len(runs[0]) == 1 + 140 // 7
+
+
+def test_trace_probe_samples_identical_fused_and_decoded():
+    runs = []
+    for fuse in (True, False):
+        sim, _ = make_sim(seed=4, fuse=fuse)
+        probe = TraceProbe(every=20)
+        sim.add_probe(probe)
+        sim.run(max_steps=100)
+        runs.append(probe.samples)
+    assert [step for step, _ in runs[0]] == [step for step, _ in runs[1]]
+    for (_, fused_cfg), (_, decoded_cfg) in zip(*runs):
+        for u in range(len(fused_cfg)):
+            assert state_equal(fused_cfg[u], decoded_cfg[u])
+
+
+@pytest.mark.parametrize("cls", [AccountingProbe, TraceProbe])
+def test_sampling_probes_reject_bad_interval(cls):
+    with pytest.raises(ValueError):
+        cls(every=0)
+
+
+# ======================================================================
+# Stop semantics
+# ======================================================================
+def test_stop_probe_equals_stop_when_and_reports_probe_reason():
+    predicate = lambda c: all(c[u]["st"] == "C" for u in range(9))
+
+    sim, sdr = make_sim(seed=6)
+    probe = StopProbe(predicate, mask=lambda cols: cols["st"] == 0)
+    sim.add_probe(probe)
+    assert sim.fusion_available
+    fused = sim.run(max_steps=50_000)
+    assert fused.stop_reason == "probe"
+
+    ref, _ = make_sim(seed=6, backend="dict")
+    reference = ref.run(max_steps=50_000, stop_when=lambda s: predicate(s.cfg))
+    assert reference.stop_reason == "predicate"
+    assert (fused.steps, fused.moves, fused.rounds) == (
+        reference.steps, reference.moves, reference.rounds,
+    )
+
+
+def test_initial_hit_stops_with_zero_steps_on_both_tiers():
+    for fuse in (True, False):
+        net = ring(9)
+        sdr = SDR(Unison(net))
+        sim = Simulator(
+            sdr, make_daemon("distributed-random", net),
+            config=sdr.initial_configuration(), seed=0, fuse=fuse,
+        )
+        probe = StabilizationProbe(sdr.is_normal, mask="normal_mask")
+        sim.add_probe(probe)
+        result = sim.run(max_steps=1000)
+        assert result.stop_reason == "probe"
+        assert result.steps == 0
+        assert (probe.step, probe.rounds, probe.moves) == (0, 0, 0)
+
+
+def test_run_past_runs_exactly_that_many_extra_steps():
+    sim, sdr = make_sim(seed=2)
+    probe = StabilizationProbe(sdr.is_normal, mask="normal_mask", run_past=30)
+    sim.add_probe(probe)
+    assert sim.fusion_available
+    result = sim.run(max_steps=100_000)
+    probe.require_hit()
+    assert result.stop_reason == "probe"
+    assert result.steps == probe.step + 30  # unison never terminates
+    assert probe.violations_after_hit == 0  # the predicate is closed
+
+
+def test_require_hit_raises_not_stabilized():
+    from repro.core.exceptions import NotStabilized
+
+    probe = StabilizationProbe(lambda c: False)
+    with pytest.raises(NotStabilized):
+        probe.require_hit()
+
+
+def test_probe_without_predicate_needs_resolvable_mask():
+    sim, _ = make_sim(backend="dict")
+    probe = StabilizationProbe(mask="normal_mask")
+    with pytest.raises(ValueError):
+        sim.add_probe(probe)

@@ -132,3 +132,39 @@ class TestExperimentsThroughEngine:
         assert store.keys() == before
         assert first.table.rows == second.table.rows
         assert first.ok and second.ok
+
+    def test_probe_tier_is_an_execution_option(self, tmp_path):
+        """--probe decode measures identically to the fused default
+        (and deduplicates against it on resume)."""
+        fused, decoded = tmp_path / "pf.jsonl", tmp_path / "pd.jsonl"
+        assert sweep("--workers", "0", "--out", str(fused)) == 0
+        assert sweep("--workers", "0", "--out", str(decoded),
+                     "--probe", "decode") == 0
+        fused_records = ResultStore(fused).load(strict=True)
+        decoded_records = ResultStore(decoded).load(strict=True)
+        # Same keys (probe is an execution option), same measurements.
+        assert [r["key"] for r in fused_records] == [
+            r["key"] for r in decoded_records
+        ]
+        assert [r["result"] for r in fused_records] == [
+            r["result"] for r in decoded_records
+        ]
+
+        # Execution option: a probe=decode rerun resumes from the fused
+        # store without re-running anything.
+        assert sweep("--workers", "0", "--out", str(fused),
+                     "--probe", "decode", "--resume") == 0
+        records = ResultStore(fused).load(strict=True)
+        assert len(records) == 4
+
+    def test_probe_decode_spec_params_disable_batching(self):
+        from repro.engine.campaign import TrialSpec
+        from repro.harness.runner import can_batch
+
+        fused_spec = TrialSpec(algorithm="unison", topology="ring", n=8, trial=0)
+        decode_spec = TrialSpec(
+            algorithm="unison", topology="ring", n=8, trial=0,
+            params=(("probe", "decode"),),
+        )
+        assert fused_spec.key() == decode_spec.key()  # execution option
+        assert can_batch(fused_spec) and not can_batch(decode_spec)

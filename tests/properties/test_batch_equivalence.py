@@ -12,8 +12,9 @@ import json
 
 import pytest
 
-from repro.engine.campaign import Campaign
+from repro.engine.campaign import Campaign, TrialSpec
 from repro.engine.pool import execute_batch, execute_trial, run_specs
+from repro.engine.seeds import derive_seed
 from repro.engine.store import ResultStore
 from repro.harness.runner import can_batch, run_trial_batch
 
@@ -154,31 +155,44 @@ def test_unbatchable_cells_fall_back(monkeypatch):
 def test_not_stabilized_batch_persists_stabilizing_siblings(
     monkeypatch, tmp_path, workers
 ):
-    """A budget-exhausted batch reruns serially so siblings still land.
+    """A budget-exhausted batch lands its stabilizing siblings' records.
 
     When one replicate of a batched cell exceeds its step budget, the
-    serial path would have persisted every stabilizing sibling's record
-    before raising; the batched path must leave the store in the same
-    state rather than discarding the whole cell — at any worker count.
+    batch's own per-trial outcomes already hold the siblings that did
+    stabilize; those records ride the ``NotStabilized`` failure
+    (``partial``) and land in the store — with *no* serial re-run of
+    the cell — at any worker count.
     """
     from repro.core.exceptions import NotStabilized
 
     campaign = Campaign(
         name="batch-ns", seed=53, algorithms=("unison",), topologies=("ring",),
-        sizes=(8, 10), daemons=("distributed-random",), trials=3,
+        sizes=(8,), daemons=("distributed-random",), trials=4,
     )
     specs = campaign.specs()
-    serial = [execute_trial(s, campaign.seed, campaign.name) for s in specs]
+    # Full-budget reference run, then shrink the *default* budget (not a
+    # spec param — that would change keys, hence seeds) so the cell
+    # splits into stabilizing and budget-exhausted replicates.
+    reference = [execute_trial(s, campaign.seed, campaign.name) for s in specs]
+    steps = [r["result"]["steps"] for r in reference]
+    assert len(set(steps)) > 1, "seeds collapsed; pick another campaign seed"
+    budget = min(steps)
+    monkeypatch.setattr("repro.harness.runner.UNISON_MAX_STEPS", budget)
+    expected = [
+        execute_trial(spec, campaign.seed, campaign.name)
+        for spec, full in zip(specs, reference)
+        if full["result"]["steps"] <= budget
+    ]
+    assert 0 < len(expected) < len(specs)
 
-    def exhausted_batch(specs, seeds):
-        raise NotStabilized("budget exhausted in one replicate", steps=10)
+    # The rerun path is gone: a batched cell must never fall back to
+    # per-trial execution on budget exhaustion.  (The patch reaches
+    # forked pool workers too — Linux fork copies the patched module.)
+    def no_serial_rerun(spec, campaign_seed, campaign=""):
+        raise AssertionError("budget-exhausted batch was re-run serially")
 
-    # The patch reaches forked pool workers too (Linux fork start method
-    # copies the patched module); on spawn platforms only workers=0 bites.
-    monkeypatch.setattr("repro.harness.runner.run_trial_batch", exhausted_batch)
+    monkeypatch.setattr("repro.engine.pool.execute_trial", no_serial_rerun)
     store = ResultStore(tmp_path / "ns.jsonl")
-    # Serially every trial stabilizes here, so after landing the cell's
-    # records the divergence backstop re-raises the original exception.
     with pytest.raises(NotStabilized):
         run_specs(
             specs, campaign.seed, campaign=campaign.name, store=store,
@@ -187,15 +201,35 @@ def test_not_stabilized_batch_persists_stabilizing_siblings(
     from repro.engine.store import _dump_line
 
     stored = set(store.path.read_text().splitlines())
-    expected = {_dump_line(r).rstrip("\n") for r in serial}
-    # The first failing cell aborts the run, so the store holds at least
-    # that cell's stabilizing records and nothing outside the grid.
-    assert stored and stored <= expected
-    cells = {json.loads(line)["spec"]["n"] for line in stored}
-    assert any(
-        {l for l in expected if json.loads(l)["spec"]["n"] == n} <= stored
-        for n in cells
+    # Exactly the stabilizing siblings landed, byte-identical to their
+    # serial records.
+    assert stored == {_dump_line(r).rstrip("\n") for r in expected}
+
+
+def test_not_stabilized_carries_partial_trials(monkeypatch):
+    """``run_trial_batch`` attaches finished sibling Trials to the failure."""
+    from repro.core.exceptions import NotStabilized
+    from repro.harness.runner import run_trial, run_trial_batch
+
+    campaign = Campaign(
+        name="batch-partial", seed=53, algorithms=("unison",),
+        topologies=("ring",), sizes=(8,), daemons=("distributed-random",),
+        trials=4,
     )
+    specs = campaign.specs()
+    seeds = [derive_seed(campaign.seed, spec.key()) for spec in specs]
+    full = run_trial_batch(specs, seeds)
+    budget = min(t.steps for t in full)
+    assert any(t.steps > budget for t in full)
+
+    monkeypatch.setattr("repro.harness.runner.UNISON_MAX_STEPS", budget)
+    with pytest.raises(NotStabilized) as excinfo:
+        run_trial_batch(specs, seeds)
+    partial = dict(excinfo.value.partial)
+    expected = {i for i, t in enumerate(full) if t.steps <= budget}
+    assert set(partial) == expected
+    for i in expected:
+        assert partial[i] == run_trial(specs[i], seeds[i])
 
 
 def test_mixed_backend_cell_is_not_batched():
@@ -231,3 +265,26 @@ def test_cell_key_groups_replicates_only():
     for cell in cells.values():
         assert sorted(s.trial for s in cell) == [0, 1]
         assert len({s.key() for s in cell}) == len(cell)
+
+
+def test_execute_batch_attaches_partial_records(monkeypatch):
+    """Direct execute_batch callers get the siblings' store records on
+    the failure (partial_records), not just raw Trial pairs."""
+    from repro.core.exceptions import NotStabilized
+
+    campaign = Campaign(
+        name="batch-pr", seed=53, algorithms=("unison",), topologies=("ring",),
+        sizes=(8,), daemons=("distributed-random",), trials=4,
+    )
+    specs = campaign.specs()
+    reference = [execute_trial(s, campaign.seed, campaign.name) for s in specs]
+    budget = min(r["result"]["steps"] for r in reference)
+    monkeypatch.setattr("repro.harness.runner.UNISON_MAX_STEPS", budget)
+    expected = [
+        execute_trial(spec, campaign.seed, campaign.name)
+        for spec, full in zip(specs, reference)
+        if full["result"]["steps"] <= budget
+    ]
+    with pytest.raises(NotStabilized) as excinfo:
+        execute_batch(specs, campaign.seed, campaign.name)
+    assert excinfo.value.partial_records == expected
