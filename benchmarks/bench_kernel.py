@@ -18,12 +18,18 @@ emits ``BENCH_core.json`` at the repo root:
   ``normal_mask`` every step *inside* the loop, and the run asserts the
   fused path stayed engaged — measurement must not kick execution off
   the fast path.
+* ``fused+telemetry`` — the fused loop with
+  :mod:`repro.telemetry.phases` tracing enabled (stride-sampled phase
+  timers in the hot loop).  The report carries its phase breakdown, and
+  ``--check`` bounds its overhead against plain ``fused``.
 
-All four produce identical executions (equal seeds ⇒ equal traces); the
+All five produce identical executions (equal seeds ⇒ equal traces); the
 report records steps/sec, moves/sec, per-size wall time, and the pairwise
 speedups.  The tracked baseline keeps the perf trajectory honest; CI runs
 a small-size smoke (``--check`` asserts fused ≥ fused+probe ≥ kernel ≥
-dict, with measurement overhead bounded).
+dict, with measurement *and* telemetry overhead bounded).  ``--out``
+also writes a provenance manifest sidecar (git SHA, package versions,
+host, phase breakdown) next to the JSON report.
 
 Usage::
 
@@ -47,31 +53,39 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.core import Simulator, make_daemon  # noqa: E402
 from repro.probes import StabilizationProbe  # noqa: E402
 from repro.reset import SDR  # noqa: E402
+from repro.telemetry import phases as telemetry  # noqa: E402
 from repro.topology import ring  # noqa: E402
 from repro.unison import Unison  # noqa: E402
 
 #: The workload: F1/F2's algorithm and topology family.
 DAEMONS = ("distributed-random", "synchronous")
 
-#: Timed configurations: ``(label, Simulator kwargs, attach probe)``.
+#: Timed configurations:
+#: ``(label, Simulator kwargs, attach probe, enable telemetry)``.
 CONFIGS = (
-    ("dict", {"backend": "dict"}, False),
-    ("kernel", {"backend": "kernel", "fuse": False}, False),
-    ("fused", {"backend": "kernel"}, False),
-    ("fused+probe", {"backend": "kernel"}, True),
+    ("dict", {"backend": "dict"}, False, False),
+    ("kernel", {"backend": "kernel", "fuse": False}, False, False),
+    ("fused", {"backend": "kernel"}, False, False),
+    ("fused+probe", {"backend": "kernel"}, True, False),
+    ("fused+telemetry", {"backend": "kernel"}, False, True),
 )
 
 
 def time_run(
-    n: int, label: str, sim_kwargs: dict, probe: bool, daemon: str,
-    steps: int, seed: int, repeats: int
-) -> dict:
-    """Best-of-``repeats`` timing of one fixed-step ring unison run."""
+    n: int, label: str, sim_kwargs: dict, probe: bool, trace: bool,
+    daemon: str, steps: int, seed: int, repeats: int
+) -> tuple[dict, dict | None]:
+    """Best-of-``repeats`` timing of one fixed-step ring unison run.
+
+    Returns ``(row, phase_snapshot)`` — the snapshot (fastest repeat's
+    phase breakdown) only for telemetry-enabled configurations.
+    """
     network = ring(n)
     sdr = SDR(Unison(network))
     cfg = sdr.random_configuration(Random(seed))
     best = None
     result = None
+    phase_snapshot = None
     for _ in range(repeats):
         sim = Simulator(
             sdr,
@@ -92,11 +106,19 @@ def time_run(
                     "FAIL: attaching a vectorized StabilizationProbe "
                     "disabled the fused loop"
                 )
-        t0 = time.perf_counter()
-        result = sim.run(max_steps=steps)
-        elapsed = time.perf_counter() - t0
+        if trace:
+            with telemetry.recording() as stats:
+                t0 = time.perf_counter()
+                result = sim.run(max_steps=steps)
+                elapsed = time.perf_counter() - t0
+            if best is None or elapsed < best:
+                phase_snapshot = stats.snapshot()
+        else:
+            t0 = time.perf_counter()
+            result = sim.run(max_steps=steps)
+            elapsed = time.perf_counter() - t0
         best = elapsed if best is None else min(best, elapsed)
-    return {
+    row = {
         "n": n,
         "daemon": daemon,
         "backend": label,
@@ -107,25 +129,37 @@ def time_run(
         "steps_per_s": round(result.steps / best, 1),
         "moves_per_s": round(result.moves / best, 1),
     }
+    return row, phase_snapshot
 
 
 def run_benchmark(sizes: list[int], steps: int, seed: int, repeats: int) -> dict:
     rows = []
     speedups = {}
+    phase_snaps = []
     for daemon in DAEMONS:
         for n in sizes:
             cell = {}
-            for label, sim_kwargs, probe in CONFIGS:
-                row = time_run(n, label, sim_kwargs, probe, daemon, steps,
-                               seed, repeats)
+            for label, sim_kwargs, probe, trace in CONFIGS:
+                row, snap = time_run(n, label, sim_kwargs, probe, trace,
+                                     daemon, steps, seed, repeats)
                 rows.append(row)
                 cell[label] = row
+                if snap is not None:
+                    phase_snaps.append(snap)
                 print(
-                    f"  n={n:4d} {daemon:19s} {label:12s} "
+                    f"  n={n:4d} {daemon:19s} {label:15s} "
                     f"{row['steps_per_s']:12,.0f} steps/s "
                     f"{row['moves_per_s']:14,.0f} moves/s "
                     f"{row['wall_s'] * 1000:9.1f} ms"
                 )
+            # Telemetry is write-only observation: the traced run must
+            # be the same execution, not merely a similar one.
+            for field in ("steps", "moves", "rounds"):
+                if cell["fused+telemetry"][field] != cell["fused"][field]:
+                    raise SystemExit(
+                        f"FAIL: telemetry changed the execution — {field} "
+                        f"{cell['fused+telemetry'][field]} != {cell['fused'][field]}"
+                    )
             ratios = {
                 "kernel_vs_dict": cell["kernel"]["steps_per_s"] / cell["dict"]["steps_per_s"],
                 "fused_vs_kernel": cell["fused"]["steps_per_s"] / cell["kernel"]["steps_per_s"],
@@ -136,6 +170,13 @@ def run_benchmark(sizes: list[int], steps: int, seed: int, repeats: int) -> dict
                 "probe_overhead": (
                     cell["fused"]["steps_per_s"] / cell["fused+probe"]["steps_per_s"]
                 ),
+                # Throughput retained with phase tracing on (>= 1 means
+                # free); the 2% budget + noise puts the --check floor at
+                # 0.93.
+                "telemetry_vs_fused": (
+                    cell["fused+telemetry"]["steps_per_s"]
+                    / cell["fused"]["steps_per_s"]
+                ),
             }
             speedups[f"{daemon}/n={n}"] = {
                 key: round(value, 2) for key, value in ratios.items()
@@ -145,7 +186,8 @@ def run_benchmark(sizes: list[int], steps: int, seed: int, repeats: int) -> dict
                 f"kernel/dict {ratios['kernel_vs_dict']:.2f}x  "
                 f"fused/kernel {ratios['fused_vs_kernel']:.2f}x  "
                 f"fused/dict {ratios['fused_vs_dict']:.2f}x  "
-                f"fused+probe/kernel {ratios['fused_probe_vs_kernel']:.2f}x"
+                f"fused+probe/kernel {ratios['fused_probe_vs_kernel']:.2f}x  "
+                f"telemetry/fused {ratios['telemetry_vs_fused']:.2f}x"
             )
     return {
         "benchmark": "F1/F2 ring unison sweep (U o SDR, random initial configs)",
@@ -155,13 +197,14 @@ def run_benchmark(sizes: list[int], steps: int, seed: int, repeats: int) -> dict
             "topology": "ring",
             "scenario": "random",
             "daemons": list(DAEMONS),
-            "backends": [label for label, _, _ in CONFIGS],
+            "backends": [label for label, _, _, _ in CONFIGS],
             "steps_per_run": steps,
             "seed": seed,
             "repeats": repeats,
         },
         "results": rows,
         "speedup_steps_per_s": speedups,
+        "telemetry_phases": telemetry.merge_snapshots(*phase_snaps),
     }
 
 
@@ -188,8 +231,27 @@ def main(argv: list[str] | None = None) -> int:
         out = pathlib.Path(args.out)
         out.write_text(json.dumps(report, indent=2) + "\n")
         print(f"\nwrote {out}")
+        from repro.telemetry.provenance import build_manifest, write_manifest
+
+        manifest = build_manifest(
+            phase_stats=report["telemetry_phases"],
+            extra={"benchmark": report["benchmark"],
+                   "workload": report["workload"]},
+            cwd=REPO_ROOT,
+        )
+        write_manifest(out, manifest)
+        print(f"wrote {out.with_name(out.stem + '.manifest.json')}")
 
     if args.check:
+        breakdown = report["telemetry_phases"].get("phases", {})
+        if breakdown:
+            shares = "  ".join(
+                f"{name} {entry['share'] * 100:.0f}%"
+                for name, entry in sorted(
+                    breakdown.items(), key=lambda kv: -kv[1]["share"]
+                )
+            )
+            print(f"fused-loop phase breakdown (stride-sampled): {shares}")
         # probe_overhead (fused / fused+probe) gets a small noise
         # allowance: the two configurations differ only by the mask
         # evaluation, and short smoke runs jitter a few percent.
@@ -205,8 +267,20 @@ def main(argv: list[str] | None = None) -> int:
             print("FAIL: backend ordering fused >= fused+probe >= kernel "
                   f">= dict violated at {slow}")
             return 1
+        # Enabled phase tracing must retain >= 93% of fused throughput:
+        # the 2% sampling budget plus the same jitter allowance.
+        heavy = {
+            cell: ratios["telemetry_vs_fused"]
+            for cell, ratios in report["speedup_steps_per_s"].items()
+            if ratios["telemetry_vs_fused"] < 0.93
+        }
+        if heavy:
+            print("FAIL: phase telemetry slowed the fused loop beyond its "
+                  f"2% budget (plus noise allowance) at {heavy}")
+            return 1
         print("OK: fused >= fused+probe >= kernel >= dict throughput at "
-              "every size (stabilization measurement stays on the fused loop)")
+              "every size (stabilization measurement stays on the fused "
+              "loop; phase telemetry within its 2% budget)")
     return 0
 
 

@@ -25,6 +25,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from ...telemetry import phases as telemetry
 from ..exceptions import ModelViolation, UnbatchableError
 from .daemons import open_stream, vectorize
 from .engine import MoveAccumulator, dispatch_rules, exclusion_offender
@@ -210,7 +211,7 @@ def run_batch(
                 for t in range(trials)
             ]
 
-    def observe(t: int, phase: str, chosen_local) -> bool:
+    def observe(t: int, phase: str, chosen_local, chosen_kinds=None) -> bool:
         """Show trial ``t``'s block to its probes; ``True`` = freeze it."""
         view = views[t]
         if view is None:
@@ -221,6 +222,10 @@ def run_batch(
         view.cols = {name: col[lo:hi] for name, col in read.items()}
         view.chosen = chosen_local
         view.enabled_mask = enabled_mask[lo:hi]
+        view.chosen_rules = chosen_kinds
+        # dispatch_rules only materializes rule_idx in the multi-rule
+        # case; the single-rule fast path leaves it stale.
+        view.rule_idx = rule_idx[lo:hi] if only_rule[0] == -2 else None
         view.steps = steps[t]
         view.moves = moves[t]
         view.rounds = completed[t]
@@ -229,6 +234,20 @@ def run_batch(
             probe.on_columns(view)
             stop = probe.done() or stop
         return stop
+
+    # Telemetry: resolved once per batch, never per step.  Disabled costs
+    # one boolean test per iteration; enabled, one iteration in every
+    # ``stats.stride`` is timed phase by phase.  Compaction is rare, so
+    # it is timed exactly on every occurrence instead of sampled.
+    stats = telemetry.collector()
+    tel = stats is not None
+    if tel:
+        smask, ttimes, tcounts = stats.mask, stats.times, stats.counts
+        T_DAEMON, T_APPLY, T_GUARD, T_ROUNDS, T_PROBE, T_COMPACT = (
+            telemetry.DAEMON, telemetry.APPLY, telemetry.GUARD,
+            telemetry.ROUNDS, telemetry.PROBE, telemetry.COMPACT,
+        )
+    iteration = 0
 
     try:
         enabled_mask = compute_enabled()
@@ -267,6 +286,8 @@ def run_batch(
             # its last element bounds the surviving prefix.
             lim = active[-1] + 1
             if lim <= blocks - max(1, blocks >> 2):
+                if tel:
+                    t_compact = telemetry.timer()
                 cut = lim * n
                 # Land the dropped blocks' frozen state in *both* buffer
                 # parities: neither is ever written beyond ``cut`` again,
@@ -290,22 +311,43 @@ def run_batch(
                 pending = pending[:cut]
                 scratch = scratch[:cut]
                 enabled_mask = enabled_mask[:cut]
+                if tel:
+                    ttimes[T_COMPACT] += telemetry.timer() - t_compact
+                    tcounts[T_COMPACT] += 1
 
+            sampling = tel and (iteration & smask) == 0
+            iteration += 1
+            if sampling:
+                t_mark = telemetry.timer()
             enabled_idx = enabled_mask.nonzero()[0]
             bounds = np.searchsorted(enabled_idx, block_bounds)
             parts = []
             stepped = list(active) if views is not None else None
             local_parts = [] if views is not None else None
+            kinds_parts = [] if views is not None else None
+            k0 = only_rule[0]
             for t in active:
                 local = enabled_idx[bounds[t] : bounds[t + 1]] - block_starts[t]
                 chosen_local = vecs[t].select(local, streams[t])
                 parts.append(chosen_local + block_starts[t])
                 if local_parts is not None:
                     local_parts.append(chosen_local)
+                    # Captured pre-apply, while rule_idx still holds the
+                    # dispatch this step executes (fancy indexing copies).
+                    kinds_parts.append(
+                        rule_idx[chosen_local + block_starts[t]]
+                        if k0 == -2
+                        else np.full(chosen_local.shape[0], k0, dtype=np.int8)
+                    )
                 steps[t] += 1
                 moves[t] += chosen_local.shape[0]
             chosen = parts[0] if len(parts) == 1 else np.concatenate(parts)
             acc.add(chosen)
+            if sampling:
+                t_now = telemetry.timer()
+                ttimes[T_DAEMON] += t_now - t_mark
+                tcounts[T_DAEMON] += 1
+                t_mark = t_now
 
             for src, dst in column_pairs[flip]:
                 dst[:] = src
@@ -327,9 +369,19 @@ def run_batch(
             read, write = write, read
             full_read, full_write = full_write, full_read
             flip ^= 1
+            if sampling:
+                t_now = telemetry.timer()
+                ttimes[T_APPLY] += t_now - t_mark
+                tcounts[T_APPLY] += 1
+                t_mark = t_now
 
             prev_mask = enabled_mask
             enabled_mask = compute_enabled()
+            if sampling:
+                t_now = telemetry.timer()
+                ttimes[T_GUARD] += t_now - t_mark
+                tcounts[T_GUARD] += 1
+                t_mark = t_now
 
             # Rounds: one neutralization update per block.  Frozen blocks
             # are untouched (no selection, enabled set unchanged).
@@ -346,12 +398,22 @@ def run_batch(
                     block = enabled_mask[lo:hi]
                     pending[lo:hi] = block
                     round_open[t] = bool(block.any())
+            if sampling:
+                t_now = telemetry.timer()
+                ttimes[T_ROUNDS] += t_now - t_mark
+                tcounts[T_ROUNDS] += 1
+                t_mark = t_now
 
             if views is not None:
-                for t, chosen_local in zip(stepped, local_parts):
-                    if observe(t, "step", chosen_local):
+                for t, chosen_local, chosen_kinds in zip(
+                    stepped, local_parts, kinds_parts
+                ):
+                    if observe(t, "step", chosen_local, chosen_kinds):
                         freeze(t, "probe")
                         active.remove(t)
+                if sampling:
+                    ttimes[T_PROBE] += telemetry.timer() - t_mark
+                    tcounts[T_PROBE] += 1
 
             if until is not None:
                 hit_all = np.logical_and.reduceat(

@@ -23,6 +23,7 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from ...telemetry import phases as telemetry
 from ..configuration import Configuration
 from ..exceptions import ModelViolation
 from .daemons import VectorDaemon, open_stream
@@ -370,12 +371,16 @@ class KernelRuntime:
         steps0 = view.steps if view is not None else 0
         moves0 = view.moves if view is not None else 0
 
-        def observe(phase: str, chosen, mask) -> bool:
+        def observe(phase: str, chosen, mask, chosen_kinds=None) -> bool:
             """Show the current configuration to every probe; True = stop."""
             view.phase = phase
             view.cols = self.read
             view.chosen = chosen
             view.enabled_mask = mask
+            view.chosen_rules = chosen_kinds
+            # dispatch_rules only materializes rule_idx in the multi-rule
+            # case; the single-rule fast path leaves it stale.
+            view.rule_idx = rule_idx if only_rule[0] == -2 else None
             view.steps = steps0 + steps
             view.moves = moves0 + moves
             view.rounds = rounds.completed if rounds is not None else 0
@@ -397,6 +402,18 @@ class KernelRuntime:
             [(self.write[name], self.read[name]) for name in self.read],
         )
         flip = 0
+        # Telemetry: resolved once per run, never per step.  Disabled
+        # costs one boolean test per iteration (no timer calls at all);
+        # enabled, one step in every ``stats.stride`` is timed phase by
+        # phase into flat slots (see repro.telemetry.phases).
+        stats = telemetry.collector()
+        tel = stats is not None
+        if tel:
+            smask, ttimes, tcounts = stats.mask, stats.times, stats.counts
+            T_DAEMON, T_APPLY, T_GUARD, T_ROUNDS, T_PROBE = (
+                telemetry.DAEMON, telemetry.APPLY, telemetry.GUARD,
+                telemetry.ROUNDS, telemetry.PROBE,
+            )
         try:
             enabled_mask = compute_enabled()
             if probes and observe("start", None, enabled_mask):
@@ -415,16 +432,32 @@ class KernelRuntime:
                 if steps >= max_steps:
                     stop_reason = "budget"
                     break
+                sampling = tel and (steps & smask) == 0
+                if sampling:
+                    t_mark = telemetry.timer()
                 chosen = daemon.select(enabled_idx, stream)
+                if sampling:
+                    t_now = telemetry.timer()
+                    ttimes[T_DAEMON] += t_now - t_mark
+                    tcounts[T_DAEMON] += 1
+                    t_mark = t_now
 
                 read, write = self.read, self.write
                 for src, dst in column_pairs[flip]:
                     dst[:] = src
-                k = only_rule[0]
-                if k >= 0:
-                    program.apply(rules[k], chosen, read, write)
-                    moves_per_rule[k] += chosen.shape[0]
+                k0 = only_rule[0]
+                chosen_kinds = None
+                if k0 >= 0:
+                    program.apply(rules[k0], chosen, read, write)
+                    moves_per_rule[k0] += chosen.shape[0]
+                    if probes:
+                        chosen_kinds = np.full(
+                            chosen.shape[0], k0, dtype=np.int8
+                        )
                 else:
+                    # Fancy indexing copies, so ``chosen_kinds`` survives
+                    # the post-step guard recomputation overwriting
+                    # ``rule_idx`` below.
                     kinds = rule_idx[chosen]
                     for k in range(nrules):
                         if rule_counts[k] == 0:
@@ -433,6 +466,7 @@ class KernelRuntime:
                         if idx.shape[0]:
                             program.apply(rules[k], idx, read, write)
                             moves_per_rule[k] += idx.shape[0]
+                    chosen_kinds = kinds
                 self.read, self.write = write, read
                 self._masks = None
                 self._prev_valid = False
@@ -441,13 +475,33 @@ class KernelRuntime:
                 steps += 1
                 moves += chosen.shape[0]
                 acc.add(chosen)
+                if sampling:
+                    t_now = telemetry.timer()
+                    ttimes[T_APPLY] += t_now - t_mark
+                    tcounts[T_APPLY] += 1
+                    t_mark = t_now
                 prev_mask = enabled_mask
                 enabled_mask = compute_enabled()
+                if sampling:
+                    t_now = telemetry.timer()
+                    ttimes[T_GUARD] += t_now - t_mark
+                    tcounts[T_GUARD] += 1
+                    t_mark = t_now
                 if rounds is not None:
                     rounds.observe_step(chosen, prev_mask, enabled_mask)
-                if probes and observe("step", chosen, enabled_mask):
-                    stop_reason = "probe"
-                    break
+                    if sampling:
+                        t_now = telemetry.timer()
+                        ttimes[T_ROUNDS] += t_now - t_mark
+                        tcounts[T_ROUNDS] += 1
+                        t_mark = t_now
+                if probes:
+                    stop = observe("step", chosen, enabled_mask, chosen_kinds)
+                    if sampling:
+                        ttimes[T_PROBE] += telemetry.timer() - t_mark
+                        tcounts[T_PROBE] += 1
+                    if stop:
+                        stop_reason = "probe"
+                        break
                 if until is not None and bool(until(self.read).all()):
                     stop_reason = "predicate"
                     hit = True

@@ -46,6 +46,7 @@ import logging
 from random import Random
 from typing import Any, Callable, Iterable, Sequence
 
+from ..telemetry import phases as telemetry
 from .algorithm import Algorithm
 from .configuration import Configuration, state_equal
 from .daemon import Daemon
@@ -423,12 +424,23 @@ class Simulator:
             enabled_after=enabled_after,
             rounds_completed=self.rounds.completed,
         )
+        # Same stride-sampled phase timing as the fused drivers; the
+        # index matches _advance's so one step's phases share a sample.
+        stats = telemetry.collector()
+        sampling = (
+            stats is not None and ((self.step_count - 1) & stats.mask) == 0
+        )
+        if sampling:
+            t_mark = telemetry.timer()
         if self.trace is not None:
             self.trace.append(record, self.cfg)
         for obs in self.observers:
             obs(self, record)
         for probe in self.probes:
             probe.on_step(self, record)
+        if sampling:
+            stats.times[telemetry.PROBE] += telemetry.timer() - t_mark
+            stats.counts[telemetry.PROBE] += 1
         return record
 
     def _step_fast(self) -> None:
@@ -444,15 +456,34 @@ class Simulator:
         if not self._enabled:
             return None
 
+        # Stride-sampled phase timing, shared with the fused drivers (see
+        # repro.telemetry.phases); when telemetry is off this costs one
+        # None check per step.
+        stats = telemetry.collector()
+        sampling = stats is not None and (self.step_count & stats.mask) == 0
+        if sampling:
+            ttimes, tcounts = stats.times, stats.counts
+            t_mark = telemetry.timer()
+
         enabled_before = self._enabled_snapshot
         daemon_cfg = self._cfg_view if self.backend == "kernel" else self.cfg
         selection = self.daemon.select(daemon_cfg, self._enabled, self.rng, self.step_count)
         if self.strict:
             self._check_selection(selection)
+        if sampling:
+            t_now = telemetry.timer()
+            ttimes[telemetry.DAEMON] += t_now - t_mark
+            tcounts[telemetry.DAEMON] += 1
+            t_mark = t_now
 
         if self.backend == "kernel":
             self._kernel.apply(selection)
             self._cfg_dirty = True
+            if sampling:
+                t_now = telemetry.timer()
+                ttimes[telemetry.APPLY] += t_now - t_mark
+                tcounts[telemetry.APPLY] += 1
+                t_mark = t_now
             self._enabled = self._kernel.enabled_map()
             self._check_exclusion_kernel()
             if self._shadow is not None:
@@ -465,11 +496,24 @@ class Simulator:
                 for u, rule in selection.items()
             }
             self.cfg.apply(updates)
+            if sampling:
+                t_now = telemetry.timer()
+                ttimes[telemetry.APPLY] += t_now - t_mark
+                tcounts[telemetry.APPLY] += 1
+                t_mark = t_now
             self._update_enabled(selection)
+        if sampling:
+            t_now = telemetry.timer()
+            ttimes[telemetry.GUARD] += t_now - t_mark
+            tcounts[telemetry.GUARD] += 1
+            t_mark = t_now
 
         enabled_after = tuple(self._enabled)
         self._enabled_snapshot = enabled_after
         self.rounds.observe_step(selection, enabled_before, enabled_after)
+        if sampling:
+            ttimes[telemetry.ROUNDS] += telemetry.timer() - t_mark
+            tcounts[telemetry.ROUNDS] += 1
 
         self.step_count += 1
         self.move_count += len(selection)

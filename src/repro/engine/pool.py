@@ -21,17 +21,23 @@ byte-identical records.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from typing import Any, Callable, Iterable, Sequence
 
+from ..telemetry import phases as telemetry
 from .campaign import TrialSpec
 from .seeds import derive_seed
 from .store import SCHEMA_VERSION, ResultStore, trial_to_dict
 
 __all__ = ["execute_trial", "execute_batch", "run_specs", "default_chunksize"]
 
-#: ``progress(done, total, record)`` — invoked in the parent after each
-#: trial lands (and after each skipped/streamed record on resume paths).
+#: ``progress(done, total, record)`` — invoked in the parent exactly once
+#: per landed trial (and per skipped/streamed record on resume paths).
 ProgressFn = Callable[[int, int, dict], None]
+
+#: Seconds between ``heartbeat`` events on an event sink (wall-clock
+#: throttle; the check itself runs once per landed record).
+HEARTBEAT_EVERY = 10.0
 
 
 def execute_trial(spec: TrialSpec, campaign_seed: int, campaign: str = "") -> dict:
@@ -175,8 +181,8 @@ def _serial_records(
 
 def _worker(
     args: tuple[str, Any, int, str]
-) -> tuple[list[dict], Exception | None]:
-    """Run one execution unit; returns ``(records, error)``.
+) -> tuple[list[dict], Exception | None, dict]:
+    """Run one execution unit; returns ``(records, error, meta)``.
 
     ``NotStabilized`` is not a defect — one replicate ran out of budget.
     A batch hitting it hands the stabilizing siblings' records to the
@@ -184,22 +190,53 @@ def _worker(
     per-trial outcomes already hold them, so nothing is re-run — and
     the parent re-raises after landing them.  Cells that cannot batch
     (``UnbatchableError``) run serially instead.  Genuine defects raise.
+
+    ``meta`` describes how the unit actually executed: ``kind`` as
+    dispatched, ``fallback`` when a batch degraded to serial trials, and
+    ``phases`` — this unit's telemetry delta (a
+    :meth:`~repro.telemetry.phases.PhaseStats.since` snapshot), so the
+    parent of a worker *process* can fold hot-path phase timings back
+    into its own collector.  ``None`` when telemetry is off.
     """
-    from ..core.exceptions import UnbatchableError
+    from ..core.exceptions import NotStabilized, UnbatchableError
 
     kind, payload, campaign_seed, campaign = args
-    if kind != "batch":
-        return [execute_trial(payload, campaign_seed, campaign)], None
+    stats = telemetry.collector()
+    mark = stats.mark() if stats is not None else None
+    fallback = False
     try:
-        return _batch_records(payload, campaign_seed, campaign)
-    except UnbatchableError:
-        return _serial_records(payload, campaign_seed, campaign)
+        if kind != "batch":
+            records, error = [execute_trial(payload, campaign_seed, campaign)], None
+        else:
+            try:
+                records, error = _batch_records(payload, campaign_seed, campaign)
+            except UnbatchableError:
+                fallback = True
+                records, error = _serial_records(payload, campaign_seed, campaign)
+    except NotStabilized as exc:
+        # Single-trial budget exhaustion: nothing landed, but the parent
+        # still owns the raise (so it can emit the failure event first).
+        records, error = [], exc
+    meta = {
+        "kind": kind,
+        "fallback": fallback,
+        "keys": _unit_keys(kind, payload),
+        "phases": stats.since(mark) if stats is not None else None,
+    }
+    return records, error, meta
 
 
 def default_chunksize(total: int, workers: int) -> int:
     """Chunk so each worker sees ~4 batches: big enough to amortize IPC,
     small enough to keep the tail balanced when trial costs vary."""
     return max(1, total // (workers * 4) or 1)
+
+
+def _unit_keys(kind: str, item: Any) -> list[str]:
+    """Canonical trial keys an execution unit is responsible for."""
+    if kind == "batch":
+        return [spec.key() for spec in item]
+    return [item.key()]
 
 
 def run_specs(
@@ -212,6 +249,8 @@ def run_specs(
     progress: ProgressFn | None = None,
     store: ResultStore | None = None,
     batch: bool = True,
+    events=None,
+    heartbeat_every: float = HEARTBEAT_EVERY,
 ) -> list[dict]:
     """Execute all ``specs``; return their records in spec order.
 
@@ -223,31 +262,102 @@ def run_specs(
     records are appended to ``store`` (if given) as they arrive, so an
     interrupted run keeps everything that finished —
     :func:`repro.engine.resume.run_campaign` picks up the rest.
+
+    Landing is idempotent per trial key: a record whose key already
+    landed is dropped (no duplicate store append, no extra ``progress``
+    call), so ``progress`` fires exactly once per trial whatever the
+    batch shapes or arrival order.
+
+    ``events`` (an :class:`repro.telemetry.events.EventSink`, optional)
+    receives the campaign lifecycle: ``cell_composed`` when units are
+    dispatched, ``trial_finished`` per landed record, ``trial_failed``
+    for a unit's unlanded trials before the failure re-raises, and a
+    throttled ``heartbeat`` (every ``heartbeat_every`` seconds) with
+    utilization and throughput.  On the multiprocessing path each
+    worker's hot-path phase timings are folded back into the parent's
+    telemetry collector, so a sweep's phase breakdown covers the
+    children's work too.
     """
     specs = list(specs)
     total = len(specs)
     records_by_key: dict[str, dict] = {}
+    started = time.monotonic()
+    last_beat = started
+    stats = telemetry.collector()
 
-    def land(record: dict) -> None:
+    def heartbeat() -> None:
+        nonlocal last_beat
+        if events is None:
+            return
+        now = time.monotonic()
+        if now - last_beat < heartbeat_every:
+            return
+        last_beat = now
+        done = len(records_by_key)
+        elapsed = now - started
+        rate = done / elapsed if elapsed > 0 else 0.0
+        events.emit(
+            "heartbeat",
+            done=done,
+            total=total,
+            elapsed_s=round(elapsed, 3),
+            trials_per_s=round(rate, 3),
+            eta_s=round((total - done) / rate, 1) if rate > 0 else None,
+        )
+
+    def land(record: dict, meta: dict) -> None:
+        if record["key"] in records_by_key:
+            return  # already landed (e.g. duplicate across units): once only
         records_by_key[record["key"]] = record
         if store is not None:
             store.append(record)
+        if events is not None:
+            events.emit(
+                "trial_finished",
+                key=record["key"],
+                status="ok",
+                steps=record.get("result", {}).get("steps"),
+                unit=meta.get("kind"),
+                fallback=meta.get("fallback", False),
+            )
         if progress is not None:
             progress(len(records_by_key), total, record)
+        heartbeat()
 
     units = _execution_units(specs, batch)
     payload = [(kind, item, campaign_seed, campaign) for kind, item in units]
+    if events is not None:
+        for kind, item in units:
+            cell = item[0].cell_key() if kind == "batch" else item.cell_key()
+            events.emit(
+                "cell_composed",
+                cell=cell,
+                trials=len(item) if kind == "batch" else 1,
+                kind=kind,
+            )
 
-    def land_unit(result: tuple[list[dict], Exception | None]) -> None:
-        records, error = result
+    def land_unit(
+        result: tuple[list[dict], Exception | None, dict],
+        absorb_phases: bool,
+    ) -> None:
+        records, error, meta = result
+        # Worker *processes* timed their hot paths into their own
+        # collectors; fold the delta into ours.  In-process units already
+        # accumulated here — absorbing again would double count.
+        if absorb_phases and stats is not None:
+            stats.absorb(meta.get("phases"))
         for record in records:
-            land(record)
+            land(record, meta)
         if error is not None:
+            if events is not None:
+                for key in meta.get("keys", ()):
+                    if key not in records_by_key:
+                        events.emit("trial_failed", key=key, error=str(error))
             raise error
 
     if workers <= 1 or total <= 1:
         for args in payload:
-            land_unit(_worker(args))
+            land_unit(_worker(args), absorb_phases=False)
     else:
         workers = min(workers, len(units))
         chunk = (
@@ -257,6 +367,6 @@ def run_specs(
         )
         with multiprocessing.Pool(workers) as pool:
             for result in pool.imap_unordered(_worker, payload, chunksize=chunk):
-                land_unit(result)
+                land_unit(result, absorb_phases=True)
 
     return [records_by_key[spec.key()] for spec in specs]

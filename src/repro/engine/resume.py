@@ -70,6 +70,7 @@ def run_campaign(
     chunksize: int | None = None,
     progress: ProgressFn | None = None,
     batch: bool = True,
+    events=None,
 ) -> CampaignOutcome:
     """Execute a campaign, optionally resuming from a partial store.
 
@@ -78,13 +79,35 @@ def run_campaign(
     missing trials execute; already-stored records are returned as-is.
     ``batch`` lets whole grid cells run as single vectorized multi-trial
     simulations (default; records are identical either way).
+
+    ``events`` (an :class:`repro.telemetry.events.EventSink`, optional)
+    receives ``campaign_started`` before any trial runs, the per-trial
+    lifecycle from :func:`repro.engine.pool.run_specs`, and
+    ``campaign_finished`` on success — the finish event carries the
+    process's telemetry phase breakdown when phase tracing is enabled.
+    A crashed run leaves the log without a finish event, which is how
+    the ``status`` reader distinguishes running/crashed from done.
     """
+    import time
+
+    from ..telemetry import phases as telemetry
+
     specs = campaign.specs()
     existing: dict[str, dict] = {}
     if resume and store is not None:
         existing = completed_records(campaign, store)
 
     todo = [spec for spec in specs if spec.key() not in existing]
+    if events is not None:
+        events.emit(
+            "campaign_started",
+            total=campaign.size,
+            pending=len(todo),
+            workers=workers,
+            batch=batch,
+            store=str(store.path) if store is not None else None,
+        )
+    started = time.monotonic()
     fresh = run_specs(
         todo,
         campaign.seed,
@@ -94,7 +117,18 @@ def run_campaign(
         progress=progress,
         store=store,
         batch=batch,
+        events=events,
     )
+    if events is not None:
+        elapsed = time.monotonic() - started
+        events.emit(
+            "campaign_finished",
+            done=len(fresh),
+            total=campaign.size,
+            elapsed_s=round(elapsed, 3),
+            trials_per_s=round(len(fresh) / elapsed, 3) if elapsed > 0 else 0.0,
+            phase_stats=telemetry.snapshot(),
+        )
     by_key = dict(existing)
     by_key.update((record["key"], record) for record in fresh)
     return CampaignOutcome(

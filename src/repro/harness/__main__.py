@@ -12,15 +12,26 @@ Usage::
         --grid n=8,16,32 --grid scenario=gradient \
         --trials 5 --seed 7 --workers 4 --out results.jsonl --resume
 
+    # inspect a running or crashed sweep from its sidecars:
+    python -m repro.harness status results.jsonl
+
 Sweep results are JSONL records keyed by trial descriptor; the same grid
 and seed produce byte-identical stores for any ``--workers`` value, and
-``--resume`` re-runs only trials missing from ``--out``.
+``--resume`` re-runs only trials missing from ``--out``.  A sweep with
+``--out`` also maintains two telemetry sidecars next to the store: a
+JSONL event log (``<store>.events.jsonl`` — campaign lifecycle,
+per-trial completions, heartbeats) and a provenance manifest
+(``<store>.manifest.json`` — git identity, package versions, host, grid
+hash).  Wall-clock data lives only in the sidecars; store records stay
+byte-identical with telemetry on or off.
 
 ``--backend {auto,dict,kernel}`` selects the simulator execution engine
-for every trial (array kernel vs dict reference); ``--probe
-{auto,decode}`` selects the measurement tier (fused vectorized probes vs
-the per-step decoded observer path).  Measured moves/rounds/steps are
-independent of both; only wall time differs.
+for every trial (array kernel vs dict reference); ``--probe`` selects
+the measurement tier (``auto`` rides the fused loop, ``decode`` forces
+the per-step decoded observer path) or attaches a named auxiliary probe
+(``accounting:100``, ``trace:50``, ``sdr-moves``).  Measured
+moves/rounds/steps are independent of all of these; only wall time
+differs.
 """
 
 from __future__ import annotations
@@ -109,6 +120,22 @@ def _build_campaign(args):
     )
 
 
+def _check_probe_selection(probe: str) -> None:
+    """Reject a bad ``--probe`` before any trial runs, not from a worker.
+
+    Mode names are checked directly; a named selection is instantiated
+    once (throwaway size) so malformed arguments like ``accounting:xx``
+    fail here too.
+    """
+    from .runner import PROBE_MODES, _check_probe_mode
+
+    _check_probe_mode(probe)
+    if probe not in PROBE_MODES:
+        from ..probes.registry import make_probe
+
+        make_probe(probe, 2)
+
+
 def _safe_to_compact(store) -> bool:
     """Only rewrite a store whose every line parses.
 
@@ -161,11 +188,12 @@ def run_sweep(argv: list[str]) -> int:
     parser.add_argument("--backend", default=None, choices=("auto", "dict", "kernel"),
                         help="simulator execution backend for every trial "
                              "(default: auto — array kernel when available)")
-    parser.add_argument("--probe", default=None, choices=("auto", "decode"),
-                        help="stabilization measurement tier: auto rides the "
-                             "fused kernel loop on a vectorized legitimacy "
-                             "mask; decode forces the per-step decoded "
-                             "observer path (results are identical)")
+    parser.add_argument("--probe", default=None, metavar="SEL",
+                        help="measurement tier (auto: fused vectorized "
+                             "legitimacy mask; decode: per-step decoded "
+                             "observer path) or a named auxiliary probe, "
+                             "e.g. accounting:100, trace:50, sdr-moves "
+                             "(stored results are identical for all of them)")
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes; 0 or 1 runs serially in-process")
     parser.add_argument("--no-batch", action="store_true",
@@ -183,6 +211,8 @@ def run_sweep(argv: list[str]) -> int:
     from ..engine import ResultStore, run_campaign, summary_table
 
     try:
+        if args.probe is not None:
+            _check_probe_selection(args.probe)
         campaign = _build_campaign(args)
     except (ValueError, TypeError) as exc:
         print(f"error: {exc}")
@@ -193,23 +223,54 @@ def run_sweep(argv: list[str]) -> int:
 
     store = ResultStore(args.out) if args.out else None
 
-    def progress(done: int, total: int, record: dict) -> None:
-        if not args.quiet:
-            print(f"[{done}/{total}] {record['key']}")
-
     from ..core.exceptions import ReproError
+    from ..telemetry import TtyProgress
+    from ..telemetry.events import JsonlEventSink, events_path_for
+    from ..telemetry.provenance import build_manifest, write_manifest
+
+    # Telemetry sidecars ride the store: an append-only event log for
+    # the campaign lifecycle, and a provenance manifest written before
+    # the first trial (so even a crashed sweep records what ran) and
+    # refreshed afterwards with the phase breakdown.
+    events = None
+    if store is not None:
+        events = JsonlEventSink(events_path_for(store.path))
+        write_manifest(store.path, build_manifest(campaign=campaign))
+
+    renderer = None
+    if not args.quiet and sys.stderr.isatty():
+        renderer = TtyProgress(label=campaign.name)
+
+    def progress(done: int, total: int, record: dict) -> None:
+        if renderer is not None:
+            renderer(done, total, record)
+        elif not args.quiet:
+            print(f"[{done}/{total}] {record['key']}")
 
     try:
         outcome = run_campaign(
             campaign, store=store, workers=args.workers,
             resume=args.resume, progress=progress,
-            batch=not args.no_batch,
+            batch=not args.no_batch, events=events,
         )
     except (ReproError, ValueError) as exc:
         # Completed trials are already in --out; rerun with --resume to
         # finish after fixing the grid.
         print(f"error: {exc}")
         return 1
+    finally:
+        if renderer is not None:
+            renderer.close()
+        if events is not None:
+            events.close()
+
+    if store is not None:
+        from ..telemetry import phases
+
+        write_manifest(
+            store.path,
+            build_manifest(campaign=campaign, phase_stats=phases.snapshot()),
+        )
 
     if store is not None and _safe_to_compact(store):
         # Compact to deterministic grid order (atomic rewrite): equal grids
@@ -234,9 +295,46 @@ def run_sweep(argv: list[str]) -> int:
     return 0
 
 
+def run_status(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness status",
+        description="Summarize a sweep from its store and telemetry "
+                    "sidecars (works mid-run and after a crash).",
+    )
+    parser.add_argument("store", metavar="STORE",
+                        help="the sweep's --out JSONL result store")
+    parser.add_argument("--json", action="store_true",
+                        help="print the raw JSON summary instead of text")
+    args = parser.parse_args(argv)
+
+    import os
+
+    from ..telemetry.events import events_path_for
+    from ..telemetry.provenance import manifest_path_for
+    from ..telemetry.status import render_status, summarize_status
+
+    # A sweep that failed before its first landed trial leaves only the
+    # sidecars (the store file is created lazily) — that is exactly when
+    # a status check matters most, so any of the three files will do.
+    known = (args.store, events_path_for(args.store), manifest_path_for(args.store))
+    if not any(os.path.exists(p) for p in known):
+        print(f"error: no result store (or telemetry sidecars) at {args.store}")
+        return 2
+    summary = summarize_status(args.store)
+    if args.json:
+        import json
+
+        print(json.dumps(summary, indent=2))
+    else:
+        print(render_status(summary))
+    return 1 if summary["failures"] else 0
+
+
 def main(argv: list[str]) -> int:
     if argv and argv[0] == "sweep":
         return run_sweep(argv[1:])
+    if argv and argv[0] == "status":
+        return run_status(argv[1:])
     if not argv:
         print("Available experiments (pass ids, or 'all'; or use 'sweep'):")
         for key in REGISTRY:

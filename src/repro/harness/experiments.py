@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from random import Random
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from ..alliance.fga import FGA
 from ..alliance.functions import INSTANCES, dominating_set
 from ..alliance.spec import (
@@ -94,28 +96,52 @@ class ExperimentResult:
 
 
 class SdrMoveCounter(Probe):
-    """Decode-tier probe tallying SDR-rule moves per process (Corollary 4).
+    """Two-tier probe tallying SDR-rule moves per process (Corollary 4).
 
-    Needs the per-step rule attribution of decoded records, so it stays
-    on the decode tier (its experiments run adversarial daemons anyway,
-    which cannot fuse).
+    Per-step rule attribution used to force the decode tier; the fused
+    drivers now expose the executed dispatch as
+    ``ColumnView.chosen_rules``, so vectorizable executions count SDR
+    moves without leaving the fused loop (one boolean gather per step).
+    Adversarial-daemon experiments still fall back to the decode tier —
+    both tiers produce identical counts.
     """
 
     name = "sdr-move-counter"
 
     def __init__(self, n: int):
-        self.counts = [0] * n
+        self.counts = np.zeros(n, dtype=np.int64)
         self.rules = set(SDR_RULES)
+        #: Per-rule-index "is an SDR rule" lookup, resolved against the
+        #: observed program's rule order on first vector-tier call.
+        self._rule_mask: np.ndarray | None = None
 
+    def wants_decode(self) -> bool:
+        return False
+
+    # Decode tier (dict backend, unvectorizable daemons, tracing) ------
     def on_step(self, sim, record) -> None:
         for u, rule in record.selection.items():
             if rule in self.rules:
                 self.counts[u] += 1
 
+    # Vector tier ------------------------------------------------------
+    def on_columns(self, view) -> None:
+        if view.phase == "start":
+            return
+        if self._rule_mask is None:
+            self._rule_mask = np.array(
+                [rule in self.rules for rule in view.program.rules],
+                dtype=np.bool_,
+            )
+        # ``chosen`` holds unique process indices, so the fancy-indexed
+        # increment needs no np.add.at.
+        sdr_moves = view.chosen[self._rule_mask[view.chosen_rules]]
+        self.counts[sdr_moves] += 1
+
     @property
     def touched(self) -> int:
         """Number of processes that executed at least one SDR rule."""
-        return sum(1 for c in self.counts if c)
+        return int(np.count_nonzero(self.counts))
 
 
 def _measure(sim: Simulator, predicate, mask: str,

@@ -84,15 +84,33 @@ def _make_daemon(spec: str | Daemon, network: Network) -> Daemon:
     return make_daemon(spec, network)
 
 
-#: Recognized values of the trial runners' ``probe`` execution option.
+#: Recognized mode values of the trial runners' ``probe`` execution
+#: option.  Anything else is parsed as a *named probe selection*
+#: (``"accounting:100"`` — see :mod:`repro.probes.registry`): an
+#: auxiliary vector-tier probe attached for observation only, whose
+#: samples never enter the result record.
 PROBE_MODES = ("auto", "decode")
 
 
 def _check_probe_mode(probe: str) -> None:
-    if probe not in PROBE_MODES:
+    from ..probes.registry import is_named_probe
+
+    if probe not in PROBE_MODES and not is_named_probe(probe):
+        from ..probes.registry import PROBE_NAMES
+
         raise ValueError(
-            f"unknown probe mode {probe!r}; choose from {PROBE_MODES}"
+            f"unknown probe mode {probe!r}; choose from {PROBE_MODES} "
+            f"or a named selection of {PROBE_NAMES} (optionally 'name:arg')"
         )
+
+
+def _named_probes(probe: str, n: int) -> list:
+    """The auxiliary probes a ``probe`` selection asks for (often none)."""
+    if probe in PROBE_MODES:
+        return []
+    from ..probes.registry import make_probe
+
+    return [make_probe(probe, n)]
 
 
 def _stabilization(
@@ -112,7 +130,7 @@ def _stabilization(
     """
     measure = StabilizationProbe(
         predicate,
-        mask=mask_attr if probe == "auto" else None,
+        mask=mask_attr if probe != "decode" else None,
         name="legitimate",
     )
     sim.add_probe(measure)
@@ -199,7 +217,8 @@ def run_unison_trial(
     sdr = SDR(Unison(network, period=period))
     cfg = _unison_start(sdr, scenario, rng)
     sim = Simulator(sdr, _make_daemon(daemon, network), config=cfg, seed=seed,
-                    backend=backend, fuse=probe != "decode")
+                    backend=backend, fuse=probe != "decode",
+                    probes=_named_probes(probe, network.n))
     steps, rounds, moves = _stabilization(sim, sdr.is_normal, "normal_mask",
                                           max_steps, probe=probe)
     return Trial(
@@ -240,7 +259,8 @@ def run_boulinier_trial(
     algo = BoulinierUnison(network, period=period, alpha=alpha)
     cfg = _boulinier_start(algo, scenario, rng)
     sim = Simulator(algo, _make_daemon(daemon, network), config=cfg, seed=seed,
-                    backend=backend, fuse=probe != "decode")
+                    backend=backend, fuse=probe != "decode",
+                    probes=_named_probes(probe, network.n))
     steps, rounds, moves = _stabilization(sim, algo.is_legitimate,
                                           "legitimate_mask", max_steps,
                                           probe=probe)
@@ -283,7 +303,8 @@ def run_fga_trial(
     sdr = SDR(FGA(network, f, g))
     cfg = _fga_start(sdr, scenario, rng)
     sim = Simulator(sdr, _make_daemon(daemon, network), config=cfg, seed=seed,
-                    backend=backend, fuse=probe != "decode")
+                    backend=backend, fuse=probe != "decode",
+                    probes=_named_probes(probe, network.n))
     result = sim.run_to_termination(max_steps=max_steps)
     alliance = sdr.input.alliance(sim.cfg)
     return Trial(
@@ -353,7 +374,9 @@ def can_batch(spec: "TrialSpec") -> bool:
     batching never changes results, but it *does* run on the array
     kernel with vectorized measurement, and a user who asked for the
     dict engine or the decoded measurement path (timing it, debugging
-    it) must get it.
+    it) must get it.  Named probe selections (``probe="accounting:100"``)
+    do batch: every registered probe is vector-capable, and the batch
+    runner attaches one instance per replicate.
     """
     if spec.algorithm not in _BATCH_ALGORITHMS:
         return False
@@ -403,11 +426,25 @@ def run_trial_batch(
     # Execution options: batching implies the kernel backend with
     # vectorized measurement (can_batch routed explicit opt-outs away).
     params.pop("backend", None)
-    if params.pop("probe", "auto") == "decode":
+    probe_sel = params.pop("probe", "auto")
+    if probe_sel == "decode":
         raise UnbatchableError(
             "probe='decode' requests per-step decoded measurement — "
             "cell cannot be batched"
         )
+    if probe_sel != "auto":
+        # A named probe selection: one instance per replicate (probes are
+        # stateful), merged with any caller-provided per-trial probes.
+        from ..probes.registry import make_probe
+
+        named = [[make_probe(probe_sel, spec.n)] for _ in specs]
+        if probes is None:
+            probes = named
+        else:
+            probes = [
+                list(existing) + named[t]
+                for t, existing in enumerate(probes)
+            ]
     daemons = [make_daemon(spec.daemon, network) for _ in specs]
 
     if spec.algorithm == "unison":

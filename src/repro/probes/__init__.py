@@ -33,6 +33,7 @@ Migration from the legacy API::
 """
 
 from .base import LegacyObserverProbe, Probe, as_probe
+from .registry import PROBE_NAMES, is_named_probe, make_probe
 from .sampling import AccountingProbe, TraceProbe
 from .stabilization import StabilizationProbe, StopProbe
 from .view import ColumnView
@@ -46,4 +47,7 @@ __all__ = [
     "StopProbe",
     "AccountingProbe",
     "TraceProbe",
+    "PROBE_NAMES",
+    "is_named_probe",
+    "make_probe",
 ]

@@ -1,0 +1,87 @@
+"""Named probe selections: ``"accounting:100"`` → a probe instance.
+
+The trial runners take a ``probe`` execution option.  Besides the two
+measurement-tier modes (``"auto"``/``"decode"``), it now accepts a
+*named selection* — ``name`` or ``name:arg`` — constructing an auxiliary
+probe that rides the trial for observation only: its samples feed
+telemetry and ad-hoc analysis, never the result record, so records stay
+byte-identical whatever probe was attached (the ``probe`` param is an
+:data:`repro.engine.campaign.EXECUTION_OPTIONS` member for exactly that
+reason).
+
+Every registered probe is vector-capable (``wants_decode() → False``),
+so named selections keep the fused loop *and* batch: the executor
+instantiates one probe per replicate and each observes its own block of
+the tiled buffers.
+
+Registered names:
+
+``accounting[:every]``
+    :class:`~repro.probes.sampling.AccountingProbe` — periodic
+    ``(steps, moves, rounds)`` snapshots, default ``every=1``.
+``trace[:every]``
+    :class:`~repro.probes.sampling.TraceProbe` — every-``k``-steps
+    configuration snapshots, default ``every=1``.
+``sdr-moves``
+    :class:`~repro.harness.experiments.SdrMoveCounter` — per-process
+    SDR-rule move tally (no argument).
+"""
+
+from __future__ import annotations
+
+from .base import Probe
+from .sampling import AccountingProbe, TraceProbe
+
+__all__ = ["PROBE_NAMES", "is_named_probe", "make_probe"]
+
+
+def _make_accounting(arg: str | None, n: int) -> Probe:
+    return AccountingProbe(every=int(arg) if arg else 1)
+
+
+def _make_trace(arg: str | None, n: int) -> Probe:
+    return TraceProbe(every=int(arg) if arg else 1)
+
+
+def _make_sdr_moves(arg: str | None, n: int) -> Probe:
+    if arg is not None:
+        raise ValueError("probe 'sdr-moves' takes no argument")
+    # Imported lazily: the harness imports this package at module scope.
+    from ..harness.experiments import SdrMoveCounter
+
+    return SdrMoveCounter(n)
+
+
+_FACTORIES = {
+    "accounting": _make_accounting,
+    "trace": _make_trace,
+    "sdr-moves": _make_sdr_moves,
+}
+
+#: Names accepted by :func:`make_probe` (each optionally ``name:arg``).
+PROBE_NAMES = tuple(sorted(_FACTORIES))
+
+
+def is_named_probe(selection: str) -> bool:
+    """Whether ``selection`` names a registered probe (arg not checked)."""
+    name = selection.split(":", 1)[0]
+    return name in _FACTORIES
+
+
+def make_probe(selection: str, n: int) -> Probe:
+    """Instantiate the probe a ``name[:arg]`` selection describes.
+
+    ``n`` is the network size (some probes are per-process).  Raises
+    :class:`ValueError` on an unknown name or a malformed argument.
+    """
+    name, _, arg = selection.partition(":")
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown probe {name!r}; choose from {PROBE_NAMES} "
+            "(or the measurement modes 'auto'/'decode')"
+        )
+    try:
+        return factory(arg or None, n)
+    except ValueError as exc:
+        raise ValueError(f"bad probe selection {selection!r}: {exc}") from exc

@@ -42,6 +42,22 @@ class ColumnView:
         or ``None`` at phase ``"start"``.
     enabled_mask:
         Per-process boolean enabled mask of the *current* configuration.
+    chosen_rules:
+        Rule-index vector aligned with ``chosen``: ``chosen_rules[i]`` is
+        the index (into ``program.rules``) of the rule process
+        ``chosen[i]`` executed this step.  ``None`` at phase ``"start"``.
+        This is the executed dispatch — captured before the post-step
+        guard recomputation — so probes counting per-rule moves can
+        vectorize (``np.isin(view.chosen_rules, ...)``) instead of
+        decoding per step.
+    rule_idx:
+        Per-process dispatch vector of the *current* (post-step) enabled
+        set: ``rule_idx[u]`` is the index of the lowest-indexed rule
+        enabled at ``u``, ``-1`` where disabled.  Only populated when
+        several rules are simultaneously active (the drivers' single-rule
+        fast path never materializes it) — ``None`` otherwise, so probes
+        must fall back to ``enabled_mask`` + ``program`` guard knowledge
+        when it is absent.  A reused buffer like every other array here.
     steps / moves / rounds:
         Accounting totals at the current configuration (absolute, so a
         probe's measurements agree with ``sim.step_count`` etc. even
@@ -50,7 +66,7 @@ class ColumnView:
 
     __slots__ = (
         "program", "trial", "phase", "cols", "chosen", "enabled_mask",
-        "steps", "moves", "rounds",
+        "chosen_rules", "rule_idx", "steps", "moves", "rounds",
     )
 
     def __init__(self, program, trial: int | None = None):
@@ -60,6 +76,8 @@ class ColumnView:
         self.cols = None
         self.chosen = None
         self.enabled_mask = None
+        self.chosen_rules = None
+        self.rule_idx = None
         self.steps = 0
         self.moves = 0
         self.rounds = 0

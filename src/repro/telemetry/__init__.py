@@ -1,0 +1,90 @@
+"""repro.telemetry — observe the *runtime*, not just the simulation.
+
+:mod:`repro.probes` made simulation state observable without leaving the
+fused loop; this package makes the execution stack itself observable,
+across three complementary layers:
+
+* :mod:`~repro.telemetry.phases` — **phase tracing**: the fused kernel
+  loop, the batched driver, and the dict engine accumulate per-phase
+  wall time and invocation counts (guard-eval, daemon selection,
+  apply/flip, round accounting, probe hooks, compaction/re-tile) into a
+  flat array-backed :class:`PhaseStats`.  A module-level kill switch
+  keeps the disabled cost to a handful of local attribute loads per
+  step; enabled, the sampled timers stay within a ~2% fused-loop budget
+  (asserted by ``benchmarks/bench_kernel.py --check``).
+* :mod:`~repro.telemetry.events` — **campaign lifecycle events**:
+  :mod:`repro.engine` emits structured trial/batch/heartbeat events to
+  a pluggable sink (a crash-tolerant JSONL log next to the result
+  store by default), so a running — or crashed — sweep can be inspected
+  by ``python -m repro.harness status``.
+* :mod:`~repro.telemetry.provenance` — **provenance manifests**: every
+  sweep store and every ``BENCH_core.json`` regeneration gets a sidecar
+  manifest (git SHA + dirty flag, package versions, numpy build info,
+  CPU/host, campaign grid hash, telemetry phase breakdown) so any
+  result row is explainable and two stores are comparable.
+
+Determinism contract: telemetry is *write-only observation*.  Nothing
+in this package touches an rng, a configuration, or a store record —
+result stores stay byte-identical with telemetry on, off, or absent
+(the overhead-guard tests assert it), and all wall-clock data lives in
+sidecar files, never in records.
+"""
+
+from .events import (
+    EVENT_SCHEMA_VERSION,
+    EventError,
+    JsonlEventSink,
+    MemoryEventSink,
+    events_path_for,
+    read_events,
+    validate_event,
+)
+from .phases import (
+    PHASES,
+    PhaseStats,
+    collector,
+    disable,
+    enable,
+    enabled,
+    recording,
+    snapshot,
+)
+from .progress import TtyProgress
+from .provenance import (
+    build_manifest,
+    grid_hash,
+    manifest_path_for,
+    read_manifest,
+    write_manifest,
+)
+from .status import render_status, summarize_status
+
+__all__ = [
+    # phases
+    "PHASES",
+    "PhaseStats",
+    "collector",
+    "enable",
+    "disable",
+    "enabled",
+    "recording",
+    "snapshot",
+    # events
+    "EVENT_SCHEMA_VERSION",
+    "EventError",
+    "JsonlEventSink",
+    "MemoryEventSink",
+    "events_path_for",
+    "read_events",
+    "validate_event",
+    # provenance
+    "build_manifest",
+    "grid_hash",
+    "manifest_path_for",
+    "read_manifest",
+    "write_manifest",
+    # progress / status
+    "TtyProgress",
+    "summarize_status",
+    "render_status",
+]

@@ -1,0 +1,139 @@
+"""Executor telemetry: lifecycle events, exactly-once progress, phase absorb."""
+
+import multiprocessing
+
+import pytest
+
+from repro.core.exceptions import NotStabilized
+from repro.engine import Campaign, ResultStore, run_campaign, run_specs
+from repro.telemetry import phases
+from repro.telemetry.events import MemoryEventSink
+
+CAMPAIGN = Campaign(
+    "events-test", seed=7, algorithms=("unison",), topologies=("ring",),
+    sizes=(5, 7), scenarios=("random",), trials=3,
+)
+
+FAILING = Campaign(
+    "events-fail", seed=7, algorithms=("unison",), topologies=("ring",),
+    sizes=(16,), scenarios=("gradient",), daemons=("central",), trials=2,
+    params=(("max_steps", 5),),
+)
+
+
+class TestProgressExactlyOnce:
+    @pytest.mark.parametrize("batch", [True, False])
+    def test_progress_fires_once_per_trial_in_order(self, batch):
+        calls = []
+        run_specs(
+            CAMPAIGN.specs(), CAMPAIGN.seed, batch=batch,
+            progress=lambda done, total, record: calls.append(
+                (done, total, record["key"])
+            ),
+        )
+        assert [done for done, _, _ in calls] == list(range(1, 7))
+        assert all(total == 6 for _, total, _ in calls)
+        assert len({key for _, _, key in calls}) == 6
+
+    def test_duplicate_specs_land_once(self, tmp_path):
+        spec = CAMPAIGN.specs()[0]
+        store = ResultStore(tmp_path / "r.jsonl")
+        calls = []
+        records = run_specs(
+            [spec, spec], CAMPAIGN.seed, store=store, batch=False,
+            progress=lambda done, total, record: calls.append(done),
+        )
+        assert calls == [1]  # second landing is a no-op
+        assert len(store.load(strict=True)) == 1
+        assert len(records) == 2 and records[0] == records[1]
+
+
+class TestLifecycleEvents:
+    def test_successful_campaign_event_sequence(self):
+        sink = MemoryEventSink()
+        outcome = run_campaign(CAMPAIGN, events=sink)
+        kinds = [event["event"] for event in sink.events]
+        assert kinds[0] == "campaign_started"
+        assert kinds[-1] == "campaign_finished"
+        assert kinds.count("trial_finished") == outcome.total == 6
+        assert kinds.count("cell_composed") == 2  # one per grid cell
+
+        started = sink.events[0]
+        assert started["total"] == 6 and started["pending"] == 6
+        finished = sink.events[-1]
+        assert finished["done"] == 6
+        assert finished["elapsed_s"] >= 0
+        for event in sink.events:
+            if event["event"] == "trial_finished":
+                assert event["status"] == "ok"
+                assert event["unit"] == "batch"
+                assert event["fallback"] is False
+                assert event["steps"] >= 0
+
+    def test_resume_reports_pending_not_total(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        run_campaign(CAMPAIGN, store=store)
+        sink = MemoryEventSink()
+        run_campaign(CAMPAIGN, store=store, resume=True, events=sink)
+        assert sink.events[0]["total"] == 6
+        assert sink.events[0]["pending"] == 0
+
+    def test_heartbeats_carry_throughput(self):
+        sink = MemoryEventSink()
+        run_specs(
+            CAMPAIGN.specs(), CAMPAIGN.seed, events=sink, heartbeat_every=0.0,
+        )
+        beats = [e for e in sink.events if e["event"] == "heartbeat"]
+        assert beats  # throttle at zero: one per landed trial
+        for beat in beats:
+            assert beat["total"] == 6
+            assert beat["elapsed_s"] >= 0
+            assert beat["trials_per_s"] >= 0
+
+    def test_failed_batch_emits_trial_failed_and_raises(self):
+        sink = MemoryEventSink()
+        with pytest.raises(NotStabilized):
+            run_specs(FAILING.specs(), FAILING.seed, events=sink)
+        failed = [e for e in sink.events if e["event"] == "trial_failed"]
+        assert {e["key"] for e in failed} == FAILING.keys()
+        assert all("5 steps" in e["error"] for e in failed)
+
+    def test_failed_single_trial_emits_trial_failed(self):
+        sink = MemoryEventSink()
+        spec = FAILING.specs()[0]
+        with pytest.raises(NotStabilized):
+            run_specs([spec], FAILING.seed, events=sink, batch=False)
+        assert [e["key"] for e in sink.events
+                if e["event"] == "trial_failed"] == [spec.key()]
+
+    def test_records_identical_with_and_without_events(self):
+        plain = run_specs(CAMPAIGN.specs(), CAMPAIGN.seed)
+        observed = run_specs(
+            CAMPAIGN.specs(), CAMPAIGN.seed, events=MemoryEventSink(),
+            heartbeat_every=0.0,
+        )
+        assert plain == observed
+
+
+class TestWorkerPhaseAbsorb:
+    def test_parallel_workers_fold_phase_timings_into_parent(self):
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("worker collectors are inherited via fork")
+        with phases.recording(stride=4) as stats:
+            run_specs(CAMPAIGN.specs(), CAMPAIGN.seed, workers=2)
+        snap = stats.snapshot()
+        assert snap["total_est_s"] > 0
+        assert snap["phases"]["guard"]["samples"] > 0
+
+    def test_serial_in_process_does_not_double_count(self):
+        with phases.recording(stride=1) as stats:
+            run_specs(CAMPAIGN.specs()[:3], CAMPAIGN.seed, workers=0)
+        direct = stats.snapshot()
+        # Re-running the same work must roughly double, not quadruple,
+        # the accumulated samples (absorb skipped in-process).
+        with phases.recording(stride=1) as twice:
+            run_specs(CAMPAIGN.specs()[:3], CAMPAIGN.seed, workers=0)
+            run_specs(CAMPAIGN.specs()[:3], CAMPAIGN.seed, workers=0)
+        doubled = twice.snapshot()
+        assert doubled["phases"]["guard"]["samples"] == \
+            2 * direct["phases"]["guard"]["samples"]

@@ -1,0 +1,84 @@
+"""Named probe selections: plumbed through serial and batched execution."""
+
+import dataclasses
+
+import pytest
+
+from repro.engine.campaign import TrialSpec
+from repro.harness.runner import run_trial, run_trial_batch
+from repro.probes import PROBE_NAMES, is_named_probe, make_probe
+from repro.probes.sampling import AccountingProbe, TraceProbe
+
+
+def spec_for(trial: int, probe: str | None = None, **over) -> TrialSpec:
+    params = dict(over.pop("params", ()))
+    if probe is not None:
+        params["probe"] = probe
+    base = dict(algorithm="unison", topology="ring", n=12,
+                scenario="gradient", daemon="central")
+    base.update(over)
+    return TrialSpec(trial=trial, params=tuple(params.items()), **base)
+
+
+SEEDS = [101, 102, 103]
+
+
+class TestRegistry:
+    def test_registered_names(self):
+        assert PROBE_NAMES == ("accounting", "sdr-moves", "trace")
+
+    def test_is_named_probe(self):
+        assert is_named_probe("accounting")
+        assert is_named_probe("accounting:100")
+        assert not is_named_probe("auto")
+        assert not is_named_probe("decode")
+        assert not is_named_probe("bogus")
+
+    def test_make_probe_constructs_and_validates(self):
+        assert isinstance(make_probe("accounting:50", 8), AccountingProbe)
+        assert isinstance(make_probe("trace", 8), TraceProbe)
+        with pytest.raises(ValueError, match="unknown probe"):
+            make_probe("bogus", 8)
+        with pytest.raises(ValueError, match="bad probe selection"):
+            make_probe("accounting:xx", 8)
+        with pytest.raises(ValueError, match="takes no argument"):
+            make_probe("sdr-moves:3", 8)
+
+    def test_registry_probes_are_vector_capable(self):
+        for name in PROBE_NAMES:
+            assert make_probe(name, 8).wants_decode() is False
+
+
+class TestSerialPlumbing:
+    @pytest.mark.parametrize("selection", ["accounting:100", "trace:200",
+                                           "sdr-moves"])
+    def test_named_probe_does_not_change_the_record(self, selection):
+        plain = run_trial(spec_for(0), SEEDS[0])
+        observed = run_trial(spec_for(0, probe=selection), SEEDS[0])
+        assert dataclasses.asdict(plain) == dataclasses.asdict(observed)
+
+    def test_unknown_selection_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown probe mode"):
+            run_trial(spec_for(0, probe="bogus"), SEEDS[0])
+
+
+class TestBatchPlumbing:
+    def test_named_probe_batch_matches_plain_batch(self):
+        named = [spec_for(t, probe="accounting:50") for t in range(3)]
+        plain = [spec_for(t) for t in range(3)]
+        for a, b in zip(run_trial_batch(named, SEEDS),
+                        run_trial_batch(plain, SEEDS)):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_named_probe_batch_matches_serial(self):
+        specs = [spec_for(t, probe="sdr-moves") for t in range(3)]
+        batched = run_trial_batch(specs, SEEDS)
+        for spec, seed, trial in zip(specs, SEEDS, batched):
+            assert dataclasses.asdict(run_trial(spec, seed)) == \
+                dataclasses.asdict(trial)
+
+    def test_named_selection_keeps_the_cell_batchable(self):
+        from repro.harness.runner import can_batch
+
+        assert can_batch(spec_for(0, probe="accounting"))
+        assert not can_batch(spec_for(0, probe="decode"))

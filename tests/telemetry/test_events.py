@@ -1,0 +1,98 @@
+"""Event log: schema validation, JSONL round-trip, crash-truncated tails."""
+
+import json
+
+import pytest
+
+from repro.telemetry.events import (
+    EVENT_SCHEMA_VERSION,
+    EventError,
+    JsonlEventSink,
+    MemoryEventSink,
+    events_path_for,
+    read_events,
+    validate_event,
+)
+
+
+class TestValidation:
+    def test_unknown_event_type_is_rejected(self):
+        sink = MemoryEventSink()
+        with pytest.raises(EventError):
+            sink.emit("totally_new_event", foo=1)
+
+    def test_missing_required_field_is_rejected(self):
+        sink = MemoryEventSink()
+        with pytest.raises(EventError):
+            sink.emit("trial_finished", key="k", status="ok")  # no steps/...
+
+    def test_extra_fields_are_allowed(self):
+        sink = MemoryEventSink()
+        sink.emit(
+            "campaign_finished", done=1, total=1, elapsed_s=0.1,
+            trials_per_s=10.0, phase_stats={"stride": 16},
+        )
+        assert sink.events[0]["phase_stats"] == {"stride": 16}
+
+    def test_envelope_is_stamped(self):
+        sink = MemoryEventSink()
+        sink.emit("trial_failed", key="k", error="boom")
+        event = sink.events[0]
+        assert event["v"] == EVENT_SCHEMA_VERSION
+        assert isinstance(event["ts"], float)
+        validate_event(event)  # round-trips through the validator
+
+    def test_validate_rejects_bad_envelope(self):
+        with pytest.raises(EventError):
+            validate_event({"event": "trial_failed", "key": "k", "error": "x"})
+        with pytest.raises(EventError):
+            validate_event({"v": EVENT_SCHEMA_VERSION, "ts": 1.0})
+
+
+class TestJsonlRoundTrip:
+    def test_sidecar_path_naming(self, tmp_path):
+        assert events_path_for(tmp_path / "res.jsonl").name == "res.events.jsonl"
+
+    def test_emitted_events_read_back_identically(self, tmp_path):
+        path = events_path_for(tmp_path / "r.jsonl")
+        sink = JsonlEventSink(path)
+        sink.emit("campaign_started", total=4, pending=4, workers=0,
+                  batch=True, store="r.jsonl")
+        sink.emit("trial_finished", key="a", status="ok", steps=10,
+                  unit="batch", fallback=False)
+        sink.close()
+        events = list(read_events(path, strict=True))
+        assert [e["event"] for e in events] == [
+            "campaign_started", "trial_finished",
+        ]
+        assert events[0]["total"] == 4
+        assert events[1]["steps"] == 10
+
+    def test_missing_log_yields_nothing(self, tmp_path):
+        assert list(read_events(tmp_path / "absent.events.jsonl")) == []
+
+    def test_truncated_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "r.events.jsonl"
+        sink = JsonlEventSink(path)
+        sink.emit("trial_failed", key="a", error="x")
+        sink.emit("trial_failed", key="b", error="y")
+        sink.close()
+        # Simulate a crash mid-write: a partial trailing line.
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"v": 1, "ts": 1.0, "eve')
+        events = list(read_events(path))
+        assert [e["key"] for e in events] == ["a", "b"]
+        with pytest.raises(EventError):
+            list(read_events(path, strict=True))
+
+    def test_mid_file_garbage_stops_the_read(self, tmp_path):
+        path = tmp_path / "r.events.jsonl"
+        sink = JsonlEventSink(path)
+        sink.emit("trial_failed", key="a", error="x")
+        sink.close()
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write("not json\n")
+            fh.write(json.dumps({"v": 1, "ts": 2.0, "event": "trial_failed",
+                                 "key": "b", "error": "y"}) + "\n")
+        # Non-strict reads must not resynchronize past corruption.
+        assert [e["key"] for e in read_events(path)] == ["a"]

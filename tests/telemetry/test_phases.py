@@ -1,0 +1,137 @@
+"""Phase tracing: kill switch, sampling arithmetic, determinism contract."""
+
+import pytest
+
+from random import Random
+
+from repro.core import Simulator, make_daemon
+from repro.reset import SDR
+from repro.telemetry import phases
+from repro.topology import ring
+from repro.unison import Unison
+
+
+def run_one(backend: str, steps: int = 400):
+    """One deterministic run; returns everything observable about it."""
+    network = ring(10)
+    sdr = SDR(Unison(network))
+    cfg = sdr.random_configuration(Random(5))
+    sim = Simulator(
+        sdr, make_daemon("distributed-random", network),
+        config=cfg, seed=5, backend=backend,
+    )
+    result = sim.run(max_steps=steps)
+    return (result.steps, result.moves, result.rounds, sim.cfg)
+
+
+class TestPhaseStats:
+    def test_stride_must_be_power_of_two(self):
+        for bad in (0, -1, 3, 12):
+            with pytest.raises(ValueError):
+                phases.PhaseStats(stride=bad)
+        for ok in (1, 2, 16, 64):
+            assert phases.PhaseStats(stride=ok).mask == ok - 1
+
+    def test_snapshot_extrapolates_sampled_phases(self):
+        stats = phases.PhaseStats(stride=8)
+        stats.add(phases.GUARD, 0.25)
+        stats.add(phases.GUARD, 0.25)
+        snap = stats.snapshot()
+        guard = snap["phases"]["guard"]
+        assert guard["samples"] == 2
+        assert guard["sampled_s"] == pytest.approx(0.5)
+        assert guard["est_s"] == pytest.approx(0.5 * 8)
+
+    def test_exact_phases_are_not_extrapolated(self):
+        stats = phases.PhaseStats(stride=8)
+        stats.add(phases.COMPACT, 0.5)
+        snap = stats.snapshot()
+        assert snap["phases"]["compact"]["est_s"] == pytest.approx(0.5)
+
+    def test_shares_sum_to_one(self):
+        stats = phases.PhaseStats(stride=4)
+        stats.add(phases.GUARD, 0.3)
+        stats.add(phases.APPLY, 0.1)
+        snap = stats.snapshot()
+        assert sum(e["share"] for e in snap["phases"].values()) == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_mark_since_isolates_a_delta(self):
+        stats = phases.PhaseStats(stride=2)
+        stats.add(phases.APPLY, 1.0)
+        mark = stats.mark()
+        stats.add(phases.APPLY, 0.5)
+        delta = stats.since(mark)
+        assert delta["phases"]["apply"]["samples"] == 1
+        assert delta["phases"]["apply"]["sampled_s"] == pytest.approx(0.5)
+
+    def test_absorb_preserves_estimated_seconds_across_strides(self):
+        worker = phases.PhaseStats(stride=4)
+        worker.add(phases.GUARD, 0.5)  # est 2.0s
+        parent = phases.PhaseStats(stride=16)
+        parent.absorb(worker.snapshot())
+        assert parent.snapshot()["phases"]["guard"]["est_s"] == pytest.approx(2.0)
+        parent.absorb(None)  # no-op
+
+    def test_merge_snapshots_sums_and_drops_stride(self):
+        a = phases.PhaseStats(stride=4)
+        a.add(phases.GUARD, 1.0)
+        b = phases.PhaseStats(stride=8)
+        b.add(phases.GUARD, 1.0)
+        b.add(phases.COMPACT, 0.25)
+        merged = phases.merge_snapshots(a.snapshot(), b.snapshot(), None)
+        assert merged["stride"] is None
+        assert merged["phases"]["guard"]["est_s"] == pytest.approx(4.0 + 8.0)
+        assert merged["phases"]["compact"]["est_s"] == pytest.approx(0.25)
+
+
+class TestKillSwitch:
+    def test_recording_scopes_and_restores(self):
+        assert phases.collector() is None
+        with phases.recording(stride=4) as stats:
+            assert phases.collector() is stats
+            with phases.recording(stride=2) as inner:
+                assert phases.collector() is inner
+            assert phases.collector() is stats
+        assert phases.collector() is None
+
+    def test_enable_disable(self):
+        try:
+            stats = phases.enable(stride=8)
+            assert phases.enabled() and phases.collector() is stats
+            assert phases.snapshot() == stats.snapshot()
+        finally:
+            phases.disable()
+        assert not phases.enabled() and phases.snapshot() is None
+
+    @pytest.mark.parametrize("backend", ["dict", "kernel"])
+    def test_disabled_run_never_consults_the_timer(self, backend, monkeypatch):
+        calls = []
+
+        def counting_timer():
+            calls.append(1)
+            return 0.0
+
+        assert phases.collector() is None
+        monkeypatch.setattr(phases, "timer", counting_timer)
+        run_one(backend)
+        assert calls == []
+
+    @pytest.mark.parametrize("backend", ["dict", "kernel"])
+    def test_enabled_run_samples_the_hot_path(self, backend):
+        with phases.recording(stride=4) as stats:
+            run_one(backend)
+        snap = stats.snapshot()
+        assert snap["total_est_s"] > 0
+        for phase in ("guard", "daemon", "apply"):
+            assert snap["phases"][phase]["samples"] > 0
+
+
+class TestDeterminismContract:
+    @pytest.mark.parametrize("backend", ["dict", "kernel"])
+    def test_results_identical_with_telemetry_on_and_off(self, backend):
+        off = run_one(backend)
+        with phases.recording(stride=2):
+            on = run_one(backend)
+        assert on == off
