@@ -270,11 +270,11 @@ class FGA(InputAlgorithm):
     # ------------------------------------------------------------------
     # Array backend
     # ------------------------------------------------------------------
-    def kernel_input_program(self):
+    def input_rule_set(self):
         try:
-            from .kernelized import FGAKernelProgram
+            from .kernelized import fga_rule_set
 
-            return FGAKernelProgram(self)
+            return fga_rule_set(self)
         except ModuleNotFoundError as exc:
             if exc.name and exc.name.split(".")[0] == "numpy":
                 return None  # numpy missing: dict backend only

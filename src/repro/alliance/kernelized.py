@@ -1,26 +1,26 @@
-"""Kernel (struct-of-arrays) ports of the alliance algorithms.
+"""IR definitions of the alliance algorithms.
 
-:class:`FGAKernelProgram` is Algorithm FGA; :class:`TurauKernelProgram`
-is the Turau-style MIS baseline (identifier tie-breaking as per-edge id
-comparisons).  The FGA port:
+:func:`fga_rule_set` states Algorithm FGA declaratively; the macros of
+Algorithm 3 become shared expression trees:
 
-Columns: ``col``/``canQ`` as bools, ``scr`` as int64 (−1/0/1), ``ptr`` as
-int64 with ``−1`` encoding ⊥.  The macros of Algorithm 3 vectorize as:
-
-* ``#InAll(u)`` — one segmented count of alliance-member neighbors;
+* ``#InAll(u)`` — a neighborhood count of alliance members;
 * ``realScr(u)`` — ``sign(#InAll − threshold)`` with the threshold picked
-  per process from ``f``/``g`` by (possibly overridden) membership;
-* ``bestPtr(u)`` — an argmin-by-identifier over the closed neighborhood,
-  done as a segmented min over the composite key ``id·n + v`` (unique
-  ids ⇒ the min key decodes to the unique argmin process via ``mod n``);
-* the ``∀v ∈ N[u]: ptr_v = u`` test of ``P_toQuit`` — one edge compare
-  against the edge-source vector plus the own-pointer check.
+  per process from the ``f``/``g`` parameter columns by (possibly
+  overridden) membership;
+* ``bestPtr(u)`` — an argmin-by-identifier over the closed neighborhood
+  via the composite key ``id·n + v`` (unique ids ⇒ the min key decodes to
+  the unique argmin process via ``mod n``);
+* the ``∀v ∈ N[u]: ptr_v = u`` test of ``P_toQuit`` — a per-edge compare
+  of the neighbor's pointer against the edge source.
 
 The sequential-macro semantics of the actions (``upd(u)`` seeing values
 ``cmpVar(u)`` just computed, ``rule_Clr`` seeing ``col_u`` already
-flipped) are reproduced by evaluating the overridden variants on the
-frozen read columns, exactly like the dict implementation's keyword
-overrides.
+flipped) are reproduced by instantiating the macros with the overridden
+membership/score expressions — all still over the frozen read columns,
+exactly like the dict implementation's keyword overrides.
+
+:func:`turau_rule_set` is the Turau-style MIS baseline: one enum column,
+identifier tie-breaks as per-edge id comparisons.
 """
 
 from __future__ import annotations
@@ -28,240 +28,192 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.exceptions import AlgorithmError
-from ..core.kernel.csr import CSRAdjacency
-from ..core.kernel.programs import InputKernelProgram, KernelProgram
 from ..core.kernel.schema import Schema, Var
+from ..ir import (
+    Assign,
+    InputRuleSet,
+    Rule,
+    RuleSet,
+    all_neighbors,
+    any_neighbors,
+    col,
+    count_neighbors,
+    gather,
+    min_over_neighbors,
+    minimum,
+    neigh,
+    nprocs,
+    own,
+    param,
+    proc_index,
+    sign,
+    where,
+)
+from ..ir.kernelc import IRInputKernelProgram, IRKernelProgram
 from .fga import CANQ, COL, PTR, SCR
 from .turau import IN, MSTATE, OUT, WAIT
 
-__all__ = ["FGAKernelProgram", "TurauKernelProgram"]
+__all__ = [
+    "fga_rule_set",
+    "turau_rule_set",
+    "FGAKernelProgram",
+    "TurauKernelProgram",
+]
 
 _NO_KEY = np.iinfo(np.int64).max
 
 
-class FGAKernelProgram(InputKernelProgram):
-    """Vectorized guards/actions of the paper's Algorithm FGA."""
+def fga_rule_set(algorithm) -> InputRuleSet:
+    """Algorithm FGA as an :class:`~repro.ir.rules.InputRuleSet`.
 
-    __slots__ = ("csr", "f", "g", "ids", "_own_key", "schema", "rules")
-
-    def __init__(self, algorithm):
-        network = algorithm.network
-        self.csr = CSRAdjacency(network)
-        self.f = np.asarray(algorithm.f, dtype=np.int64)
-        self.g = np.asarray(algorithm.g, dtype=np.int64)
-        self.ids = np.asarray(network.ids, dtype=np.int64)
-        n = network.n
-        if int(self.ids.max()) >= _NO_KEY // (n + 1) or int(self.ids.min()) < 0:
-            # The composite bestPtr key would overflow int64.
-            raise AlgorithmError(
-                "process identifiers too large for the kernel backend"
-            )
-        self._own_key = self.ids * n + np.arange(n, dtype=np.int64)
-        self.schema = Schema(
-            Var.bool(COL), Var.int(SCR), Var.bool(CANQ), Var.opt_index(PTR)
+    Raises :class:`AlgorithmError` when the identifiers would overflow
+    the composite ``bestPtr`` key (callers fall back to the dict
+    backend, mirroring the handwritten port).
+    """
+    network = algorithm.network
+    ids = tuple(network.ids)
+    n = network.n
+    if max(ids) >= _NO_KEY // (n + 1) or min(ids) < 0:
+        raise AlgorithmError(
+            "process identifiers too large for the kernel backend"
         )
-        self.rules = algorithm.rule_names()
 
-    def tiled(self, copies: int) -> "FGAKernelProgram | None":
-        csr = self.csr.tile(copies)
-        total = csr.n
-        ids = np.tile(self.ids, copies)
-        if int(ids.max()) >= _NO_KEY // (total + 1):
-            return None  # composite bestPtr key would overflow int64
-        prog = object.__new__(FGAKernelProgram)
-        prog.csr = csr
-        prog.f = np.tile(self.f, copies)
-        prog.g = np.tile(self.g, copies)
-        prog.ids = ids
-        # Identifiers repeat across blocks, but neighborhoods never cross
-        # a block boundary, so the argmin-by-id key stays unambiguous;
-        # pointers in a batch are *global* process indices (the schema's
-        # opt_index tiling offsets them per trial).
-        prog._own_key = ids * total + np.arange(total, dtype=np.int64)
-        prog.schema = self.schema
-        prog.rules = self.rules
-        return prog
+    ids_p = param(ids, "ids")
+    f_p = param(tuple(algorithm.f), "f")
+    g_p = param(tuple(algorithm.g), "g")
 
-    # ------------------------------------------------------------------
-    # Macros
-    # ------------------------------------------------------------------
-    def _in_alliance(self, cols) -> np.ndarray:
-        """``#InAll(u)`` for every ``u``."""
-        return self.csr.count_neigh(self.csr.pull(cols[COL]))
+    colv, scr, canq, ptr = col(COL), col(SCR), col(CANQ), col(PTR)
+    # Composite argmin key: id·n + index.  Identifiers repeat across tiled
+    # blocks, but neighborhoods never cross a block boundary, so the key
+    # stays unambiguous; ``tile_check`` below refuses layouts where it
+    # would overflow int64.
+    own_key = ids_p * nprocs() + proc_index()
 
-    def _real_scr(self, in_all, col_vec) -> np.ndarray:
+    # ``#InAll(u)``: alliance-member neighbors.
+    in_all = count_neighbors(neigh(colv))
+
+    def real_scr(col_vec):
         """``realScr(u)`` with membership given by ``col_vec``."""
-        threshold = np.where(col_vec, self.g, self.f)
-        return np.sign(in_all - threshold)
+        return sign(in_all - where(col_vec, g_p, f_p))
 
-    def _can_quit(self, cols, in_all, col_vec) -> np.ndarray:
+    def can_quit(col_vec):
         """``P_canQuit(u)`` with own membership given by ``col_vec``."""
-        neigh_saturated = self.csr.all_neigh(self.csr.pull(cols[SCR]) == 1)
-        return col_vec & (in_all >= self.f) & neigh_saturated
+        saturated = all_neighbors(neigh(scr) == 1)
+        return col_vec & (in_all >= f_p) & saturated
 
-    def _best_ptr(self, cols, scr_vec, canq_own) -> np.ndarray:
+    def best_ptr(scr_vec, canq_own):
         """``bestPtr(u)`` with own ``scr``/``canQ`` given by the overrides.
 
-        Neighbors always contribute their *stored* ``canQ`` (the overrides
-        are sequential-macro semantics local to ``u``).
+        Neighbors always contribute their *stored* ``canQ`` (the
+        overrides are sequential-macro semantics local to ``u``).
         """
-        csr, n = self.csr, self.csr.n
-        best = csr.min_neigh(csr.pull(self._own_key), csr.pull(cols[CANQ]), _NO_KEY)
-        best = np.minimum(best, np.where(canq_own, self._own_key, _NO_KEY))
-        ptr = np.where(best == _NO_KEY, -1, best % n)
-        return np.where(scr_vec <= 0, -1, ptr)
-
-    def _ptr_unanimous(self, cols) -> np.ndarray:
-        """``∀v ∈ N[u]: ptr_v = u`` (closed neighborhood)."""
-        ptr = cols[PTR]
-        neighbors_point_here = self.csr.all_neigh(
-            self.csr.pull(ptr) == self.csr.edge_src
+        best = min_over_neighbors(
+            neigh(own_key), where=neigh(canq), default=_NO_KEY
         )
-        own_points_here = ptr == np.arange(self.csr.n, dtype=np.int64)
-        return neighbors_point_here & own_points_here
+        if canq_own is not None:
+            best = minimum(best, where(canq_own, own_key, _NO_KEY))
+        pointer = where(best == _NO_KEY, -1, best % nprocs())
+        return where(scr_vec <= 0, -1, pointer)
 
-    # ------------------------------------------------------------------
-    # SDR input interface
-    # ------------------------------------------------------------------
-    def _icorrect(self, col, scr, ptr, real) -> np.ndarray:
-        """``P_ICorrect`` from precomputed ``realScr`` (the single source)."""
-        target_col = np.where(ptr >= 0, col[np.maximum(ptr, 0)], False)
-        scr_is_one = scr == 1
-        return (real >= 0) & (
-            (scr_is_one & (real == 1)) | (ptr < 0) | (scr_is_one & ~target_col)
-        )
+    # ``P_ICorrect`` from the single-source ``realScr``.
+    real = real_scr(colv)
+    target_col = where(ptr >= 0, gather(ptr, colv), False)
+    scr_is_one = scr == 1
+    icorrect = (real >= 0) & (
+        (scr_is_one & (real == 1)) | (ptr < 0) | (scr_is_one & ~target_col)
+    )
 
-    def icorrect_mask(self, cols) -> np.ndarray:
-        col, scr, ptr = cols[COL], cols[SCR], cols[PTR]
-        real = self._real_scr(self._in_alliance(cols), col)
-        return self._icorrect(col, scr, ptr, real)
+    # Guards; the host ANDs its cleanliness onto every rule (clean_gated).
+    ptr_unanimous = all_neighbors(neigh(ptr) == own(proc_index())) & (
+        ptr == proc_index()
+    )
+    can_quit_now = can_quit(colv)
+    to_quit = can_quit_now & ptr_unanimous
+    upd_ptr = ~to_quit & (ptr != best_ptr(scr, canq))
+    stale = (scr != real) | (canq != can_quit_now)
 
-    def reset_mask(self, cols) -> np.ndarray:
-        return cols[COL] & (cols[PTR] < 0) & cols[CANQ] & (cols[SCR] == 1)
+    clr_scr = sign(in_all - f_p)  # realScr with col_u := false
+    rules = [
+        # col_u := false; upd(u) — upd sees the new membership
+        # (P_canQuit needs col_u, so canQ := false).
+        Rule("rule_Clr", icorrect & to_quit,
+             [Assign(COL, False), Assign(SCR, clr_scr),
+              Assign(CANQ, False), Assign(PTR, best_ptr(clr_scr, None))],
+             clean_gated=True),
+        # ptr_u := ⊥; cmpVar(u)
+        Rule("rule_P1", icorrect & upd_ptr & (ptr >= 0),
+             [Assign(PTR, -1), Assign(SCR, real),
+              Assign(CANQ, can_quit_now)],
+             clean_gated=True),
+        # upd(u) = cmpVar(u); ptr := bestPtr(u) on the fresh values.
+        Rule("rule_P2", icorrect & upd_ptr & (ptr < 0),
+             [Assign(SCR, real), Assign(CANQ, can_quit_now),
+              Assign(PTR, best_ptr(real, can_quit_now))],
+             clean_gated=True),
+        # cmpVar(u); if realScr(u) ≤ 0 then ptr := ⊥
+        Rule("rule_Q", icorrect & ~to_quit & ~upd_ptr & stale,
+             [Assign(SCR, real), Assign(CANQ, can_quit_now),
+              Assign(PTR, -1, where=real <= 0)],
+             clean_gated=True),
+    ]
 
-    def apply_reset(self, idx, read, write) -> None:
-        write[COL][idx] = True
-        write[PTR][idx] = -1
-        write[CANQ][idx] = True
-        write[SCR][idx] = 1
-
-    # ------------------------------------------------------------------
-    # Guards and actions
-    # ------------------------------------------------------------------
-    def guard_masks(self, cols, clean=None) -> dict[str, np.ndarray]:
-        return self.host_masks(cols, clean)[2]
-
-    def host_masks(self, cols, clean):
-        col, scr, canq, ptr = cols[COL], cols[SCR], cols[CANQ], cols[PTR]
-        in_all = self._in_alliance(cols)
-        real = self._real_scr(in_all, col)
-        icorrect = self._icorrect(col, scr, ptr, real)
-
-        gate = icorrect if clean is None else icorrect & clean
-        can_quit = self._can_quit(cols, in_all, col)
-        to_quit = can_quit & self._ptr_unanimous(cols)
-        upd_ptr = ~to_quit & (ptr != self._best_ptr(cols, scr, canq))
-        stale = (scr != real) | (canq != can_quit)
-        masks = {
-            "rule_Clr": gate & to_quit,
-            "rule_P1": gate & upd_ptr & (ptr >= 0),
-            "rule_P2": gate & upd_ptr & (ptr < 0),
-            "rule_Q": gate & ~to_quit & ~upd_ptr & stale,
-        }
-        return icorrect, self.reset_mask(cols), masks
-
-    def apply(self, rule, idx, read, write) -> None:
-        col = read[COL]
-        in_all = self._in_alliance(read)
-        if rule == "rule_Clr":
-            # col_u := false; upd(u) — upd sees the new membership.
-            false_col = np.zeros(self.csr.n, dtype=np.bool_)
-            scr_new = np.sign(in_all - self.f)  # realScr with col = false
-            ptr_new = self._best_ptr(read, scr_new, false_col)
-            write[COL][idx] = False
-            write[SCR][idx] = scr_new[idx]
-            write[CANQ][idx] = False  # P_canQuit needs col_u
-            write[PTR][idx] = ptr_new[idx]
-        elif rule == "rule_P1":
-            # ptr_u := ⊥; cmpVar(u)
-            write[PTR][idx] = -1
-            write[SCR][idx] = self._real_scr(in_all, col)[idx]
-            write[CANQ][idx] = self._can_quit(read, in_all, col)[idx]
-        elif rule == "rule_P2":
-            # upd(u) = cmpVar(u); ptr := bestPtr(u) on the fresh values.
-            scr_new = self._real_scr(in_all, col)
-            canq_new = self._can_quit(read, in_all, col)
-            write[SCR][idx] = scr_new[idx]
-            write[CANQ][idx] = canq_new[idx]
-            write[PTR][idx] = self._best_ptr(read, scr_new, canq_new)[idx]
-        elif rule == "rule_Q":
-            # cmpVar(u); if realScr(u) ≤ 0 then ptr := ⊥
-            scr_new = self._real_scr(in_all, col)
-            write[SCR][idx] = scr_new[idx]
-            write[CANQ][idx] = self._can_quit(read, in_all, col)[idx]
-            negative = idx[scr_new[idx] <= 0]
-            write[PTR][negative] = -1
-        else:
-            raise AlgorithmError(f"FGA kernel program: unknown rule {rule!r}")
+    max_id = max(ids)
+    return InputRuleSet(
+        "fga",
+        network,
+        Schema(Var.bool(COL), Var.int(SCR), Var.bool(CANQ),
+               Var.opt_index(PTR)),
+        rules,
+        icorrect=icorrect,
+        reset=colv & (ptr < 0) & canq & scr_is_one,
+        reset_action=[Assign(COL, True), Assign(PTR, -1),
+                      Assign(CANQ, True), Assign(SCR, 1)],
+        tile_check=lambda total: max_id < _NO_KEY // (total + 1),
+    )
 
 
 #: Integer codes of the Turau membership enum (indices into (OUT, WAIT, IN)).
 _OUT, _WAIT, _IN = 0, 1, 2
 
 
-class TurauKernelProgram(KernelProgram):
-    """Vectorized guards/actions of the Turau-style MIS baseline.
+def turau_rule_set(algorithm) -> RuleSet:
+    """The Turau-style MIS baseline as a :class:`~repro.ir.rules.RuleSet`."""
+    network = algorithm.network
+    ids_p = param(tuple(network.ids), "ids")
+    state = col(MSTATE)
+    edge_state = neigh(state)
+    smaller_id = neigh(ids_p) < own(ids_p)
 
-    One int8 enum column holds the three-valued membership state; the
-    identifier tie-breaks become per-edge comparisons of the neighbor's
-    id against the owner's, reduced with ``any`` over each neighborhood.
-    """
+    has_in = any_neighbors(edge_state == _IN)
+    smaller_wait = any_neighbors((edge_state == _WAIT) & smaller_id)
+    smaller_in = any_neighbors((edge_state == _IN) & smaller_id)
 
-    __slots__ = ("csr", "ids", "schema", "rules")
+    is_out = state == _OUT
+    is_wait = state == _WAIT
+    return RuleSet(
+        "turau-mis",
+        network,
+        Schema(Var.enum(MSTATE, (OUT, WAIT, IN))),
+        [
+            Rule("rule_wait", is_out & ~has_in, [Assign(MSTATE, _WAIT)]),
+            Rule("rule_retreat", is_wait & has_in, [Assign(MSTATE, _OUT)]),
+            Rule("rule_enter", is_wait & ~has_in & ~smaller_wait,
+                 [Assign(MSTATE, _IN)]),
+            Rule("rule_leave", (state == _IN) & smaller_in,
+                 [Assign(MSTATE, _OUT)]),
+        ],
+    )
+
+
+class FGAKernelProgram(IRInputKernelProgram):
+    """Generated kernel program of the paper's Algorithm FGA."""
 
     def __init__(self, algorithm):
-        network = algorithm.network
-        self.csr = CSRAdjacency(network)
-        self.ids = np.asarray(network.ids, dtype=np.int64)
-        self.schema = Schema(Var.enum(MSTATE, (OUT, WAIT, IN)))
-        self.rules = algorithm.rule_names()
+        super().__init__(fga_rule_set(algorithm))
 
-    def tiled(self, copies: int) -> "TurauKernelProgram":
-        prog = object.__new__(TurauKernelProgram)
-        prog.csr = self.csr.tile(copies)
-        prog.ids = np.tile(self.ids, copies)
-        prog.schema = self.schema
-        prog.rules = self.rules
-        return prog
 
-    # ------------------------------------------------------------------
-    def guard_masks(self, cols) -> dict[str, np.ndarray]:
-        csr = self.csr
-        state = cols[MSTATE]
-        edge_state = csr.pull(state)
-        smaller_id = csr.pull(self.ids) < csr.own(self.ids)
+class TurauKernelProgram(IRKernelProgram):
+    """Generated kernel program of the Turau-style MIS baseline."""
 
-        has_in = csr.any_neigh(edge_state == _IN)
-        smaller_wait = csr.any_neigh((edge_state == _WAIT) & smaller_id)
-        smaller_in = csr.any_neigh((edge_state == _IN) & smaller_id)
-
-        is_out = state == _OUT
-        is_wait = state == _WAIT
-        return {
-            "rule_wait": is_out & ~has_in,
-            "rule_retreat": is_wait & has_in,
-            "rule_enter": is_wait & ~has_in & ~smaller_wait,
-            "rule_leave": (state == _IN) & smaller_in,
-        }
-
-    def apply(self, rule, idx, read, write) -> None:
-        if rule == "rule_wait":
-            write[MSTATE][idx] = _WAIT
-        elif rule == "rule_retreat":
-            write[MSTATE][idx] = _OUT
-        elif rule == "rule_enter":
-            write[MSTATE][idx] = _IN
-        elif rule == "rule_leave":
-            write[MSTATE][idx] = _OUT
-        else:
-            raise AlgorithmError(f"Turau kernel program: unknown rule {rule!r}")
+    def __init__(self, algorithm):
+        super().__init__(turau_rule_set(algorithm))

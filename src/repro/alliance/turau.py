@@ -110,15 +110,15 @@ class TurauMIS(Algorithm):
     def random_state(self, u: int, rng: Random) -> dict[str, Any]:
         return {MSTATE: (OUT, WAIT, IN)[rng.randrange(3)]}
 
-    def kernel_program(self):
-        """Array-backend program (see :mod:`repro.alliance.kernelized`)."""
+    def rule_set(self):
+        """IR definition (see :mod:`repro.alliance.kernelized`)."""
         try:
-            from .kernelized import TurauKernelProgram
+            from .kernelized import turau_rule_set
         except ModuleNotFoundError as exc:
             if exc.name and exc.name.split(".")[0] == "numpy":
                 return None  # numpy missing: dict backend only
             raise
-        return TurauKernelProgram(self)
+        return turau_rule_set(self)
 
     # ------------------------------------------------------------------
     def members(self, cfg: Configuration) -> set[int]:

@@ -1,36 +1,49 @@
-"""Kernel (struct-of-arrays) port of the mono-initiator reset baseline.
+"""IR definition of the mono-initiator reset baseline.
 
-:class:`~repro.baselines.mono_reset.MonoReset` flattens to three wave /
-tree columns — ``mode`` as an int8 enum over ``(IDLE, REQ, RESET, ACK)``,
-``tdist`` as int64, ``tparent`` as an optional process index — joined
-with the columns of the ported input algorithm.  The wave guards are
-parent/child gathers: *children of u* is the edge mask
-``parent_v = u`` (one pull against ``edge_src``), and the parent's mode
-is a single fancy-index gather on the ``tparent`` column.  The BFS-tree
-layer's lexicographic neighbor minimum ``(dist_v, v)`` is one masked
-segmented min over the composite key ``dist_v · N + v`` (the
-``bestPtr``-argmin pattern from the alliance port).
+:func:`mono_rule_set` composes ``I ∘ MonoReset`` at the IR level: wave
+mode (int8 enum over ``(IDLE, REQ, RESET, ACK)``), BFS-tree distance and
+parent columns joined with the input algorithm's
+:class:`~repro.ir.rules.InputRuleSet`.  The wave guards are parent/child
+gathers — *children of u* is the edge test ``parent_v = u`` against the
+edge source, the parent's mode a pointer :func:`~repro.ir.gather` on the
+``tparent`` column — and the BFS layer's lexicographic neighbor minimum
+``(dist_v, v)`` is an argmin over the composite key ``dist_v · N + v``
+(the ``bestPtr`` pattern from the alliance port).
 
-The input algorithm contributes its own vectorized
-``P_ICorrect``/``reset`` and rule guards, gated here by the baseline's
-``P_Clean`` ("whole closed neighborhood wave-idle") exactly like the
-dict host wiring.  Composite atomicity: actions read the frozen
-pre-step columns and write the double buffer.  Equivalence with the
-dict implementation is machine-checked by the paranoid lockstep mode
-and the backend-equivalence tests.
+The input's rules are gated by the baseline's ``P_Clean`` ("whole closed
+neighborhood wave-idle") exactly like the dict host wiring; equivalence
+with the dict implementation is machine-checked by paranoid lockstep,
+the backend-equivalence tests, and ``python -m repro.ir check``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..core.kernel.csr import CSRAdjacency
-from ..core.kernel.programs import InputKernelProgram, KernelProgram
 from ..core.kernel.schema import Schema, Var
+from ..ir import (
+    Assign,
+    Rule,
+    RuleSet,
+    all_neighbors,
+    any_neighbors,
+    col,
+    gather,
+    min_over_neighbors,
+    minimum,
+    neigh,
+    neigh_index,
+    nprocs,
+    own,
+    param,
+    proc_index,
+    where,
+)
+from ..ir.kernelc import IRKernelProgram
 from .bfs_tree import DIST_VAR, PARENT_VAR
 from .mono_reset import MODE, MODES, WAVE_RULES
 
-__all__ = ["MonoResetKernelProgram"]
+__all__ = ["mono_rule_set", "MonoResetKernelProgram"]
 
 #: Integer codes of the ``mode`` enum (indices into MODES).
 _IDLE, _REQ, _RESET, _ACK = 0, 1, 2, 3
@@ -39,149 +52,99 @@ _IDLE, _REQ, _RESET, _ACK = 0, 1, 2, 3
 _NO_KEY = np.iinfo(np.int64).max // 2
 
 
-class MonoResetKernelProgram(KernelProgram):
-    """Vectorized ``I ∘ MonoReset`` for a kernel-ported input ``I``."""
-
-    __slots__ = (
-        "csr", "input", "schema", "rules", "root", "n_base", "_is_root",
-        "_edge_true",
+def mono_rule_set(algorithm, input_rule_set) -> RuleSet:
+    """``I ∘ MonoReset`` as one composed rule set over the joint schema."""
+    network = algorithm.network
+    n_base = network.n
+    # Root flag per process slot; tiling repeats it per block, giving one
+    # distinguished root per trial.
+    is_root = param(
+        tuple(u == algorithm.root for u in range(n_base)), "is_root"
     )
 
-    def __init__(self, algorithm, input_program: InputKernelProgram):
-        self.csr = CSRAdjacency(algorithm.network)
-        self.input = input_program
-        self.schema = Schema(
-            Var.enum(MODE, MODES),
-            Var.int(DIST_VAR),
-            Var.opt_index(PARENT_VAR),
-            *input_program.schema.vars,
-        )
-        self.rules = algorithm.rule_names()
-        self.root = algorithm.root
-        self.n_base = algorithm.network.n
-        self._init_constants(1)
+    mode, tdist, parent = col(MODE), col(DIST_VAR), col(PARENT_VAR)
+    idle = mode == _IDLE
+    edge_mode = neigh(mode)
 
-    def _init_constants(self, copies: int) -> None:
-        #: Root flag per process slot (one distinguished root per block).
-        self._is_root = np.zeros(self.csr.n, dtype=np.bool_)
-        self._is_root[
-            np.arange(copies, dtype=np.int64) * self.n_base + self.root
-        ] = True
-        self._edge_true = np.ones(self.csr.indices.shape[0], dtype=np.bool_)
+    # P_Clean(u): every member of N[u] (u included) is wave-idle.
+    clean = idle & all_neighbors(edge_mode == _IDLE)
+    icorrect = input_rule_set.icorrect
 
-    def tiled(self, copies: int) -> "MonoResetKernelProgram | None":
-        input_tiled = self.input.tiled(copies)
-        if input_tiled is None:
-            return None
-        prog = object.__new__(MonoResetKernelProgram)
-        prog.csr = self.csr.tile(copies)
-        prog.input = input_tiled
-        prog.schema = self.schema
-        prog.rules = self.rules
-        prog.root = self.root
-        prog.n_base = self.n_base
-        prog._init_constants(copies)
-        return prog
+    # children(u) = {v ∈ N(u) | parent_v = u}, as an edge test.
+    child_edge = neigh(parent) == own(proc_index())
+    child_requests = any_neighbors(child_edge & (edge_mode == _REQ))
+    needs_reset = ~icorrect | child_requests
+    children_all_ack = all_neighbors(~child_edge | (edge_mode == _ACK))
 
-    # ------------------------------------------------------------------
-    def _tree_best(self, tdist: np.ndarray):
-        """``(best_dist, best_v, want)``: the BFS layer's neighbor argmin.
+    has_parent = parent >= 0
+    parent_mode = gather(parent, mode)
+    idle_or_req = idle | (mode == _REQ)
 
-        Lexicographic ``min (dist_v, v)`` over ``N(u)`` via one segmented
-        min of the composite key ``dist_v · N + v`` (``v < N``, so key
-        order is exactly pair order).
-        """
-        csr = self.csr
-        key = csr.pull(tdist) * csr.n + csr.indices
-        best_key = csr.min_neigh(key, self._edge_true, _NO_KEY)
-        best_d = best_key // csr.n
-        best_v = best_key % csr.n
-        want = np.minimum(best_d + 1, self.n_base)
-        return best_d, best_v, want
+    # The BFS layer's neighbor argmin: lexicographic min (dist_v, v) over
+    # N(u) via one reduction of the composite key dist_v · N + v (v < N,
+    # so key order is exactly pair order).
+    best_key = min_over_neighbors(
+        neigh(tdist) * nprocs() + neigh_index(), default=_NO_KEY
+    )
+    best_d = best_key // nprocs()
+    best_v = best_key % nprocs()
+    want = minimum(best_d + 1, n_base)
 
-    def _gather_parent(self, column: np.ndarray, parent: np.ndarray) -> np.ndarray:
-        """``column[parent]`` with ``-1`` (⊥) rows gathered harmlessly."""
-        return column[np.maximum(parent, 0)]
+    parent_is_neighbor = any_neighbors(neigh_index() == own(parent))
+    coherent = where(
+        is_root,
+        (tdist == 0) & ~has_parent,
+        (tdist == want)
+        & has_parent
+        & parent_is_neighbor
+        & (gather(parent, tdist) == best_d),
+    )
 
-    # ------------------------------------------------------------------
-    def guard_masks(self, cols) -> dict[str, np.ndarray]:
-        csr = self.csr
-        mode, tdist, parent = cols[MODE], cols[DIST_VAR], cols[PARENT_VAR]
-        is_root = self._is_root
+    reset_action = tuple(input_rule_set.reset_action)
+    rules = [
+        Rule("rule_req", ~is_root & idle & needs_reset,
+             [Assign(MODE, _REQ)]),
+        Rule("rule_reset_root", is_root & idle_or_req & needs_reset,
+             [Assign(MODE, _RESET), *reset_action]),
+        Rule("rule_reset_down",
+             ~is_root & idle_or_req & has_parent & (parent_mode == _RESET),
+             [Assign(MODE, _RESET), *reset_action]),
+        Rule("rule_ack",
+             ~is_root & (mode == _RESET) & children_all_ack,
+             [Assign(MODE, _ACK)]),
+        Rule("rule_idle",
+             where(is_root,
+                   (mode == _RESET) & children_all_ack,
+                   (mode == _ACK) & has_parent & (parent_mode == _IDLE)),
+             [Assign(MODE, _IDLE)]),
+        Rule("rule_tree", ~coherent,
+             [Assign(DIST_VAR, where(is_root, 0, want)),
+              Assign(PARENT_VAR, where(is_root, -1, best_v))]),
+    ]
+    for rule in input_rule_set.rules:
+        guard = clean & rule.guard if rule.clean_gated else rule.guard
+        rules.append(Rule(rule.label, guard, rule.action))
 
-        idle = mode == _IDLE
-        edge_mode = csr.pull(mode)
-        # P_Clean(u): every member of N[u] (u included) is wave-idle.
-        clean = idle & csr.all_neigh(edge_mode == _IDLE)
-        icorrect, _, input_masks = self.input.host_masks(cols, clean)
+    return RuleSet(
+        f"mono-reset({input_rule_set.name})",
+        network,
+        Schema(Var.enum(MODE, MODES), Var.int(DIST_VAR),
+               Var.opt_index(PARENT_VAR), *input_rule_set.schema.vars),
+        rules,
+        # Per-process conjunct of ``MonoReset.is_normal``: its
+        # all-processes conjunction is exactly the baseline's normal
+        # configuration predicate, so fused runs and stabilization probes
+        # detect recovery without decoding.
+        predicates={"normal": idle & icorrect},
+        tile_check=input_rule_set.tile_check,
+    )
 
-        # children(u) = {v ∈ N(u) | parent_v = u}, as an edge mask.
-        child_edge = csr.pull(parent) == csr.edge_src
-        child_requests = csr.any_neigh(child_edge & (edge_mode == _REQ))
-        needs_reset = ~icorrect | child_requests
-        children_all_ack = csr.all_neigh(~child_edge | (edge_mode == _ACK))
 
-        has_parent = parent >= 0
-        parent_mode = self._gather_parent(mode, parent)
-        idle_or_req = idle | (mode == _REQ)
+class MonoResetKernelProgram(IRKernelProgram):
+    """Generated ``I ∘ MonoReset`` program for an IR-ported input."""
 
-        # Tree coherence (the BFS layer's single rule).
-        best_d, _, want = self._tree_best(tdist)
-        parent_is_neighbor = csr.any_neigh(csr.indices == csr.own(parent))
-        coherent = np.where(
-            is_root,
-            (tdist == 0) & ~has_parent,
-            (tdist == want)
-            & has_parent
-            & parent_is_neighbor
-            & (self._gather_parent(tdist, parent) == best_d),
-        )
-
-        masks = {
-            "rule_req": ~is_root & idle & needs_reset,
-            "rule_reset_root": is_root & idle_or_req & needs_reset,
-            "rule_reset_down": (
-                ~is_root & idle_or_req & has_parent & (parent_mode == _RESET)
-            ),
-            "rule_ack": ~is_root & (mode == _RESET) & children_all_ack,
-            "rule_idle": np.where(
-                is_root,
-                (mode == _RESET) & children_all_ack,
-                (mode == _ACK) & has_parent & (parent_mode == _IDLE),
-            ),
-            "rule_tree": ~coherent,
-        }
-        masks.update(input_masks)
-        return masks
-
-    # ------------------------------------------------------------------
-    def normal_mask(self, cols) -> np.ndarray:
-        """Per-process conjunct of ``MonoReset.is_normal``.
-
-        ``mode = IDLE ∧ P_ICorrect`` — its all-processes conjunction is
-        exactly the baseline's normal-configuration predicate, so fused
-        runs and stabilization probes detect recovery without decoding.
-        """
-        return (cols[MODE] == _IDLE) & self.input.icorrect_mask(cols)
-
-    # ------------------------------------------------------------------
-    def apply(self, rule, idx, read, write) -> None:
-        if rule == "rule_req":
-            write[MODE][idx] = _REQ
-        elif rule in ("rule_reset_root", "rule_reset_down"):
-            write[MODE][idx] = _RESET
-            self.input.apply_reset(idx, read, write)
-        elif rule == "rule_ack":
-            write[MODE][idx] = _ACK
-        elif rule == "rule_idle":
-            write[MODE][idx] = _IDLE
-        elif rule == "rule_tree":
-            _, best_v, want = self._tree_best(read[DIST_VAR])
-            root_rows = self._is_root[idx]
-            write[DIST_VAR][idx] = np.where(root_rows, 0, want[idx])
-            write[PARENT_VAR][idx] = np.where(root_rows, -1, best_v[idx])
-        else:
-            self.input.apply(rule, idx, read, write)
+    def __init__(self, algorithm, input_program):
+        super().__init__(mono_rule_set(algorithm, input_program.rule_set))
 
 
 assert tuple(WAVE_RULES) == (

@@ -99,16 +99,32 @@ class Algorithm(abc.ABC):
     def random_state(self, u: int, rng: Random) -> dict[str, Any]:
         """An arbitrary state of ``u``, uniform-ish over variable domains."""
 
+    def rule_set(self):
+        """Declarative IR definition of this algorithm, or ``None``.
+
+        Algorithms ported to the rule language return a
+        :class:`repro.ir.rules.RuleSet` stating their guards and actions
+        once as expression trees; both execution backends are *compiled*
+        from it (``compile_dict()`` for the per-process contract,
+        ``compile_kernel()`` for the array kernel).  The default is
+        ``None``: dict methods only, no kernel backend.
+        """
+        return None
+
     def kernel_program(self):
         """Array-backed execution program for :mod:`repro.core.kernel`.
 
-        Algorithms that declare a typed variable schema return a
-        :class:`~repro.core.kernel.programs.KernelProgram` whose guards and
-        actions operate on flat per-variable columns; the simulator then
-        offers ``backend="kernel"`` (and ``backend="auto"`` prefers it).
-        The default is ``None``: no schema, dict backend only.
+        The default routes through :meth:`rule_set`: algorithms that
+        declare one get a generated
+        :class:`~repro.core.kernel.programs.KernelProgram` whose guards
+        and actions operate on flat per-variable columns; the simulator
+        then offers ``backend="kernel"`` (and ``backend="auto"`` prefers
+        it).  ``None`` means no rule set (or numpy missing): dict backend
+        only.  Overriding this with a handwritten program still works but
+        is deprecated — the simulator warns once per algorithm.
         """
-        return None
+        rs = self.rule_set()
+        return None if rs is None else rs.compile_kernel()
 
     def initial_configuration(self) -> Configuration:
         """``γ_init``: every process in its pre-defined initial state."""

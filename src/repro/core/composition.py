@@ -93,6 +93,25 @@ class Composition(Algorithm):
             state.update(comp.random_state(u, rng))
         return state
 
+    def rule_set(self):
+        """Merged IR definition, when *every* component declares one.
+
+        Component rule sets concatenate with labels namespaced
+        ``"<component-name>:<rule>"`` — the same labels the dict methods
+        use — so the generated kernel program is trace-compatible with
+        the dict backend.  Any unported component keeps the whole
+        composition on the dict backend.
+        """
+        from ..ir import merge_rule_sets
+
+        parts = []
+        for comp in self.components:
+            rs = comp.rule_set()
+            if rs is None:
+                return None
+            parts.append((comp.name, rs))
+        return merge_rule_sets(self.name, self.network, parts)
+
     def component(self, name: str) -> Algorithm:
         """Look up a component by its algorithm name."""
         for comp in self.components:

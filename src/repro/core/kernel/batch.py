@@ -211,6 +211,13 @@ def run_batch(
                 for t in range(trials)
             ]
 
+    #: ``opt_index`` columns hold *globalized* indices in a tiled layout;
+    #: block views re-localize them so probes see trial-local process
+    #: indices, exactly as in a single run.
+    opt_index_cols = tuple(
+        var.name for var in schema.vars if var.kind == "opt_index"
+    )
+
     def observe(t: int, phase: str, chosen_local, chosen_kinds=None) -> bool:
         """Show trial ``t``'s block to its probes; ``True`` = freeze it."""
         view = views[t]
@@ -219,7 +226,12 @@ def run_batch(
         lo = t * n
         hi = lo + n
         view.phase = phase
-        view.cols = {name: col[lo:hi] for name, col in read.items()}
+        cols = {name: col[lo:hi] for name, col in read.items()}
+        if lo:
+            for name in opt_index_cols:
+                block = cols[name]
+                cols[name] = np.where(block >= 0, block - lo, block)
+        view.cols = cols
         view.chosen = chosen_local
         view.enabled_mask = enabled_mask[lo:hi]
         view.chosen_rules = chosen_kinds

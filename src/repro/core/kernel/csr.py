@@ -141,14 +141,38 @@ class CSRAdjacency:
     def min_neigh(
         self, edge_values: np.ndarray, edge_mask: np.ndarray, default
     ) -> np.ndarray:
-        """``min{value(v) | v ∈ N(u), mask}`` with ``default`` when empty."""
-        masked = np.where(edge_mask, edge_values, default)
+        """``min{value(v) | v ∈ N(u), mask}`` with ``default`` when empty.
+
+        ``default`` applies exactly where no neighbor passes the mask —
+        it never competes with real candidates, so it may lie *below*
+        them (matching ``min(candidates, default=...)``).
+        """
+        return self._fold_neigh(np.minimum, edge_values, edge_mask, default)
+
+    def max_neigh(
+        self, edge_values: np.ndarray, edge_mask: np.ndarray, default
+    ) -> np.ndarray:
+        """``max{value(v) | v ∈ N(u), mask}`` with ``default`` when empty.
+
+        Like :meth:`min_neigh`, ``default`` never competes with real
+        candidates and may lie above them.
+        """
+        return self._fold_neigh(np.maximum, edge_values, edge_mask, default)
+
+    def _fold_neigh(self, fold, edge_values, edge_mask, default):
+        # Fold with the dtype's identity element, then substitute the
+        # caller's default where the mask admitted no neighbor at all.
+        values = np.asarray(edge_values)
+        dtype = values.dtype if values.dtype != np.bool_ else np.dtype(np.int64)
+        bound = np.iinfo(dtype)
+        identity = bound.max if fold is np.minimum else bound.min
+        masked = np.where(edge_mask, values, identity)
         d = self._stride
         if d:
-            out = np.minimum(masked[0::d], masked[1::d])
+            out = fold(masked[0::d], masked[1::d])
             for lane in range(2, d):
-                np.minimum(out, masked[lane::d], out=out)
-            return out
-        out = np.full(self.n, default, dtype=masked.dtype)
-        np.minimum.at(out, self.edge_src, masked)
-        return out
+                fold(out, masked[lane::d], out=out)
+        else:
+            out = np.full(self.n, identity, dtype=masked.dtype)
+            fold.at(out, self.edge_src, masked)
+        return np.where(self.any_neigh(edge_mask), out, default)

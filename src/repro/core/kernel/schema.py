@@ -95,6 +95,30 @@ class Var:
             )
         return np.fromiter((s[name] for s in states), dtype=np.int64, count=n)
 
+    def encode_value(self, value: Any) -> int:
+        """One state value → its machine integer (see :meth:`encode_column`)."""
+        if self.kind == "enum":
+            try:
+                return self._code_of[value]
+            except KeyError:
+                raise AlgorithmError(
+                    f"value {value!r} of variable {self.name!r} is outside "
+                    f"the declared enum domain {self.values}"
+                ) from None
+        if self.kind == "opt_index":
+            return -1 if value is None else value
+        return value
+
+    def decode_value(self, code) -> Any:
+        """One machine integer → the state value (inverse of :meth:`encode_value`)."""
+        if self.kind == "enum":
+            return self.values[code]
+        if self.kind == "opt_index":
+            return None if code < 0 else int(code)
+        if self.kind == "bool":
+            return bool(code)
+        return int(code)
+
     def decode_column(self, column: np.ndarray) -> list:
         raw = column.tolist()  # python ints/bools
         if self.kind == "enum":

@@ -71,9 +71,25 @@ def _warn_auto_fallback(name: str) -> None:
         _FALLBACK_WARNED.add(name)
         _logger.warning(
             "algorithm %r provides no kernel program (or numpy is missing); "
-            "backend='auto' is falling back to the dict engine — port it to "
-            "a typed schema (see repro/unison/kernelized.py) to use the "
+            "backend='auto' is falling back to the dict engine — declare a "
+            "repro.ir rule set (see repro/unison/kernelized.py) to use the "
             "array kernel",
+            name,
+        )
+
+
+#: Algorithm names already warned about handwritten kernel programs.
+_HANDWRITTEN_WARNED: set[str] = set()
+
+
+def _warn_handwritten_program(name: str) -> None:
+    if name not in _HANDWRITTEN_WARNED:
+        _HANDWRITTEN_WARNED.add(name)
+        _logger.warning(
+            "algorithm %r supplies a handwritten kernel program; handwritten "
+            "numpy twins are deprecated — declare a repro.ir rule set and "
+            "let rule_set().compile_kernel() generate the program (see "
+            "repro/unison/kernelized.py)",
             name,
         )
 
@@ -301,6 +317,9 @@ class Simulator:
             return "dict"
         self._program = self.algorithm.kernel_program()
         if self._program is not None:
+            inner = getattr(self._program, "inner", self._program)
+            if not getattr(inner, "ir_generated", False):
+                _warn_handwritten_program(self.algorithm.name)
             return "kernel"
         if requested == "kernel":
             raise AlgorithmError(

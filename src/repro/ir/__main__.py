@@ -1,0 +1,8 @@
+"""``python -m repro.ir check`` — lint every registered rule set."""
+
+import sys
+
+from .check import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,167 @@
+"""The ``python -m repro.ir check`` lint.
+
+For every registered algorithm (:mod:`repro.ir.registry`) the lint
+
+* compiles the declared rule set to *both* backends;
+* checks rule-label parity and variable parity with the algorithm's
+  native dict contract;
+* evaluates every guard and action of the compiled dict program against
+  the handwritten ``guard``/``execute`` on the initial and several
+  random configurations, value for value;
+* evaluates the generated kernel's guard masks on the same
+  configurations and checks them against the dict guards (mask
+  coverage: an omitted mask key must mean an everywhere-false guard);
+* for input rule sets, checks the ``icorrect``/``reset`` predicates
+  (both compilations) against ``p_icorrect``/``p_reset``.
+
+Exit status 0 when every rule set passes; 1 otherwise, with one line per
+problem.  CI runs this as a build step, so an IR definition that drifts
+from its dict twin fails the pipeline before any simulation runs.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from .registry import registered_algorithms
+from .rules import InputRuleSet
+
+__all__ = ["check_algorithm", "run_check", "main"]
+
+#: Random configurations probed per algorithm (plus the initial one).
+_SEEDS = (0, 1, 2)
+
+
+def _configurations(algorithm):
+    cfgs = [algorithm.initial_configuration()]
+    cfgs += [algorithm.random_configuration(Random(s)) for s in _SEEDS]
+    return cfgs
+
+
+def check_algorithm(label: str, algorithm) -> list[str]:
+    """All lint findings for one registered algorithm (empty = pass)."""
+    problems: list[str] = []
+    rule_set = algorithm.rule_set()
+    if rule_set is None:
+        return [f"{label}: rule_set() is None — no IR definition"]
+
+    if rule_set.rule_labels != tuple(algorithm.rule_names()):
+        problems.append(
+            f"{label}: rule labels {list(rule_set.rule_labels)} != "
+            f"algorithm rules {list(algorithm.rule_names())}"
+        )
+        return problems
+    if set(rule_set.schema.names) != set(algorithm.variables()):
+        problems.append(
+            f"{label}: schema variables {sorted(rule_set.schema.names)} != "
+            f"algorithm variables {sorted(algorithm.variables())}"
+        )
+        return problems
+
+    dict_program = rule_set.compile_dict()
+    try:
+        import numpy  # noqa: F401
+
+        kernel_program = rule_set.compile_kernel()
+    except ModuleNotFoundError:
+        kernel_program = None
+    if kernel_program is None:
+        problems.append(f"{label}: compile_kernel() returned None")
+
+    is_input = isinstance(rule_set, InputRuleSet)
+    processes = algorithm.network.processes()
+    for c, cfg in enumerate(_configurations(algorithm)):
+        masks = None
+        if kernel_program is not None:
+            cols = kernel_program.schema.encode(cfg)
+            masks = kernel_program.guard_masks(cols)
+            stray = set(masks) - set(rule_set.rule_labels)
+            if stray:
+                problems.append(f"{label}: masks for unknown rules {stray}")
+
+        for rule in rule_set.rule_labels:
+            mask = None if masks is None else masks.get(rule)
+            for u in processes:
+                want = algorithm.guard(rule, cfg, u)
+                got = dict_program.guard(rule, cfg, u)
+                if got != want:
+                    problems.append(
+                        f"{label}: dict guard {rule!r} at {u} (cfg {c}): "
+                        f"IR={got} native={want}"
+                    )
+                    continue
+                if masks is not None:
+                    kernel_enabled = bool(mask[u]) if mask is not None else False
+                    if kernel_enabled != want:
+                        problems.append(
+                            f"{label}: kernel mask {rule!r} at {u} (cfg {c}): "
+                            f"IR={kernel_enabled} native={want}"
+                        )
+                if want:
+                    got_upd = dict_program.execute(rule, cfg, u)
+                    want_upd = algorithm.execute(rule, cfg, u)
+                    if got_upd != want_upd:
+                        problems.append(
+                            f"{label}: action {rule!r} at {u} (cfg {c}): "
+                            f"IR={got_upd!r} native={want_upd!r}"
+                        )
+
+        if is_input:
+            for name, native in (
+                ("icorrect", algorithm.p_icorrect),
+                ("reset", algorithm.p_reset),
+            ):
+                if name not in rule_set.predicates:
+                    problems.append(f"{label}: missing predicate {name!r}")
+                    break
+                kmask = (
+                    None
+                    if kernel_program is None
+                    else getattr(kernel_program, f"{name}_mask")(cols)
+                )
+                for u in processes:
+                    want = native(cfg, u)
+                    if dict_program.predicate(name, cfg, u) != want:
+                        problems.append(
+                            f"{label}: dict predicate {name!r} at {u} (cfg {c})"
+                        )
+                    if kmask is not None and bool(kmask[u]) != want:
+                        problems.append(
+                            f"{label}: kernel predicate {name!r} at {u} (cfg {c})"
+                        )
+        if problems:
+            break  # one configuration's findings are enough detail
+    return problems
+
+
+def run_check(out=print) -> int:
+    """Lint every registered rule set; return a process exit status."""
+    failures = 0
+    for label, factory in registered_algorithms():
+        algorithm = factory()
+        problems = check_algorithm(label, algorithm)
+        if problems:
+            failures += 1
+            for problem in problems:
+                out(f"FAIL {problem}")
+        else:
+            rule_set = algorithm.rule_set()
+            out(f"ok   {label} ({len(rule_set.rule_labels)} rules)")
+    if failures:
+        out(f"{failures} rule set(s) failed the IR lint")
+        return 1
+    out("all registered rule sets compile and agree with their dict twins")
+    return 0
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.ir",
+        description="Lint the declarative rule sets (compile both backends "
+        "and machine-check them against the native dict implementations).",
+    )
+    parser.add_argument("command", choices=["check"], help="subcommand")
+    parser.parse_args(argv)
+    return run_check()

@@ -1,0 +1,490 @@
+"""Kernel compiler: generate vectorized numpy programs from a rule set.
+
+This is a source generator, not a tree-walking interpreter: each rule
+set compiles once into straight-line numpy code (one ``guard_masks``
+function, one ``apply`` function per rule, one function per declared
+predicate), which is then ``exec``'d and cached.  Per-step cost is
+therefore identical in shape to the handwritten kernel programs this
+replaces — a fixed sequence of array ops with shared temporaries — and
+the generated source is kept on the code object for inspection
+(``rule_set.kernel_code().source``).
+
+Lowering rules:
+
+* process-space expressions become full-length column vectors; inside
+  actions they are evaluated in *idx space* (only at the selected
+  processes), except neighborhood reductions and gathers, which need the
+  full columns and are indexed down afterwards — exactly the handwritten
+  idiom;
+* ``Neigh``/``Own`` become gathers through the CSR ``indices`` /
+  ``edge_src`` arrays, ``Reduce`` becomes the matching segmented
+  reduction (:class:`~repro.core.kernel.csr.CSRAdjacency`);
+* common subexpressions are shared by node identity — build an
+  expression once, reference it from every guard, and the generated
+  function computes it once;
+* a :class:`~repro.ir.rules.FastPath` compiles to a cheap whole-system
+  test guarding a reduced mask dict (omitted masks are all-false by the
+  :class:`~repro.core.kernel.programs.KernelProgram` contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.exceptions import AlgorithmError
+from ..core.kernel.csr import CSRAdjacency
+from ..core.kernel.programs import InputKernelProgram, KernelProgram
+from . import exprs as E
+
+__all__ = ["compile_rule_set", "IRKernelProgram", "IRInputKernelProgram"]
+
+
+_BIN_FMT = {
+    "+": "({} + {})",
+    "-": "({} - {})",
+    "*": "({} * {})",
+    "//": "({} // {})",
+    "%": "({} % {})",
+    "==": "({} == {})",
+    "!=": "({} != {})",
+    "<": "({} < {})",
+    "<=": "({} <= {})",
+    ">": "({} > {})",
+    ">=": "({} >= {})",
+    "&": "({} & {})",
+    "|": "({} | {})",
+    "min2": "np.minimum({}, {})",
+    "max2": "np.maximum({}, {})",
+}
+
+_UN_FMT = {
+    "~": "(~{})",
+    "-": "(-{})",
+    "sign": "np.sign({})",
+    "abs": "np.abs({})",
+}
+
+#: Prologue names, in emission order, with their definitions.
+_PROLOGUE = (
+    ("_CSR", "C.csr"),
+    ("_N", "_CSR.n"),
+    ("_IX", "_CSR.indices"),
+    ("_SRC", "_CSR.edge_src"),
+    ("_AR", "C.arange"),
+    ("_ET", "C.edge_true"),
+)
+_NEEDS_CSR = frozenset({"_N", "_IX", "_SRC"})
+
+
+class _Fn:
+    """One generated function: lines, prologue needs, and CSE memos."""
+
+    def __init__(self, compiler: "_Compiler", name: str, args: tuple,
+                 colsrc: str):
+        self.compiler = compiler
+        self.name = name
+        self.args = args
+        self.colsrc = colsrc
+        self.lines: list[tuple[int, str]] = []
+        self.indent = 0
+        self._pro: set[str] = set()
+        self._fmemo: dict[int, str] = {}
+        self._lmemo: dict[int, str] = {}
+        self._saved = None
+
+    # -- emission helpers ----------------------------------------------
+    def use(self, name: str) -> str:
+        self._pro.add(name)
+        return name
+
+    def line(self, src: str) -> None:
+        self.lines.append((self.indent, src))
+
+    def temp(self, src: str) -> str:
+        name = self.compiler.next_temp()
+        self.line(f"{name} = {src}")
+        return name
+
+    def begin_block(self) -> None:
+        """Enter the fast-path ``if`` body: temps emitted inside are
+        forgotten on exit (they don't exist on the general path)."""
+        self._saved = (dict(self._fmemo), dict(self._lmemo))
+        self.indent += 1
+
+    def end_block(self) -> None:
+        self._fmemo, self._lmemo = self._saved
+        self._saved = None
+        self.indent -= 1
+
+    # -- full (column-vector) lowering ---------------------------------
+    def full(self, node: E.Expr) -> str:
+        key = id(node)
+        got = self._fmemo.get(key)
+        if got is None:
+            got = self._full(node)
+            self._fmemo[key] = got
+        return got
+
+    def _full(self, node: E.Expr) -> str:
+        if isinstance(node, E.Const):
+            return repr(node.value)
+        if isinstance(node, E.NProcs):
+            return self.use("_N")
+        if isinstance(node, E.ProcIndex):
+            return self.use("_AR")
+        if isinstance(node, E.Col):
+            return f"{self.colsrc}[{node.name!r}]"
+        if isinstance(node, E.Param):
+            return f"C._params[{self.compiler.param_slot(node)!r}]"
+        if isinstance(node, E.Neigh):
+            if isinstance(node.arg, E.ProcIndex):
+                return self.use("_IX")
+            if isinstance(node.arg, E.Const):
+                return repr(node.arg.value)  # scalars broadcast per edge
+            inner = self.full(node.arg)
+            return self.temp(f"{inner}[{self.use('_IX')}]")
+        if isinstance(node, E.Own):
+            if isinstance(node.arg, E.ProcIndex):
+                return self.use("_SRC")
+            if isinstance(node.arg, E.Const):
+                return repr(node.arg.value)
+            inner = self.full(node.arg)
+            return self.temp(f"{inner}[{self.use('_SRC')}]")
+        if isinstance(node, E.BinOp):
+            a, b = self.full(node.a), self.full(node.b)
+            return self.temp(_BIN_FMT[node.op].format(a, b))
+        if isinstance(node, E.UnOp):
+            return self.temp(_UN_FMT[node.op].format(self.full(node.a)))
+        if isinstance(node, E.Where):
+            c, a, b = self.full(node.cond), self.full(node.a), self.full(node.b)
+            return self.temp(f"np.where({c}, {a}, {b})")
+        if isinstance(node, E.Gather):
+            value, index = self.full(node.value), self.full(node.index)
+            return self.temp(f"{value}[np.maximum({index}, 0)]")
+        if isinstance(node, E.Reduce):
+            csr = self.use("_CSR")
+            value = self.full(node.value)
+            if node.kind in ("all", "any", "count"):
+                return self.temp(f"{csr}.{node.kind}_neigh({value})")
+            mask = (self.full(node.where) if node.where is not None
+                    else self.use("_ET"))
+            fn = "min_neigh" if node.kind == "min" else "max_neigh"
+            return self.temp(f"{csr}.{fn}({value}, {mask}, {node.default})")
+        raise AlgorithmError(f"cannot lower {node!r} to a column vector")
+
+    # -- local (idx-space) lowering ------------------------------------
+    def local(self, node: E.Expr) -> str:
+        key = id(node)
+        got = self._lmemo.get(key)
+        if got is None:
+            got = self._local(node)
+            self._lmemo[key] = got
+        return got
+
+    def _local(self, node: E.Expr) -> str:
+        if isinstance(node, E.Const):
+            return repr(node.value)
+        if isinstance(node, E.NProcs):
+            return self.use("_N")
+        if isinstance(node, E.ProcIndex):
+            return "idx"
+        if isinstance(node, E.Col):
+            return self.temp(f"{self.colsrc}[{node.name!r}][idx]")
+        if isinstance(node, E.Param):
+            slot = self.compiler.param_slot(node)
+            return self.temp(f"C._params[{slot!r}][idx]")
+        if isinstance(node, E.BinOp):
+            a, b = self.local(node.a), self.local(node.b)
+            return self.temp(_BIN_FMT[node.op].format(a, b))
+        if isinstance(node, E.UnOp):
+            return self.temp(_UN_FMT[node.op].format(self.local(node.a)))
+        if isinstance(node, E.Where):
+            c = self.local(node.cond)
+            a, b = self.local(node.a), self.local(node.b)
+            return self.temp(f"np.where({c}, {a}, {b})")
+        if isinstance(node, E.Gather):
+            # The pointer is only needed at idx, but the gathered column
+            # must be full-length (pointers reach any process).
+            value = self.full(node.value)
+            index = self.local(node.index)
+            return self.temp(f"{value}[np.maximum({index}, 0)]")
+        if isinstance(node, E.Reduce):
+            return self.temp(f"{self.full(node)}[idx]")
+        raise AlgorithmError(f"cannot lower {node!r} at selected processes")
+
+    # -- statements ----------------------------------------------------
+    def emit_assign(self, assign) -> None:
+        target = f"write[{assign.var!r}]"
+        if assign.where is None:
+            self.line(f"{target}[idx] = {self.local(assign.value)}")
+            return
+        if assign.where.space == E.SCALAR:
+            raise AlgorithmError(
+                f"Assign({assign.var!r}): condition must be per-process"
+            )
+        cond = self.local(assign.where)
+        sub = self.temp(f"idx[{cond}]")
+        if assign.value.space == E.SCALAR:
+            self.line(f"{target}[{sub}] = {self.local(assign.value)}")
+        else:
+            self.line(f"{target}[{sub}] = {self.local(assign.value)}[{cond}]")
+
+    def emit_mask_return(self, mask_srcs: dict) -> None:
+        body = ", ".join(f"{label!r}: {src}" for label, src in mask_srcs.items())
+        self.line("return {" + body + "}")
+
+    # -- rendering -----------------------------------------------------
+    def render(self) -> str:
+        needs = set(self._pro)
+        if needs & _NEEDS_CSR:
+            needs.add("_CSR")
+        out = [f"def {self.name}({', '.join(self.args)}):"]
+        for name, definition in _PROLOGUE:
+            if name in needs:
+                out.append(f"    {name} = {definition}")
+        for indent, src in self.lines:
+            out.append("    " * (indent + 1) + src)
+        return "\n".join(out)
+
+
+class _Compiler:
+    def __init__(self, rule_set):
+        self.rule_set = rule_set
+        self.fns: list[_Fn] = []
+        self._temp = 0
+        self._param_slots: dict[int, str] = {}
+        self.params: list[tuple[str, np.ndarray]] = []
+
+    def next_temp(self) -> str:
+        name = f"_t{self._temp}"
+        self._temp += 1
+        return name
+
+    def param_slot(self, node: E.Param) -> str:
+        slot = self._param_slots.get(id(node))
+        if slot is None:
+            slot = f"p{len(self.params)}"
+            self._param_slots[id(node)] = slot
+            arr = np.asarray(node.values)
+            if arr.dtype != np.bool_:
+                arr = arr.astype(np.int64, copy=False)
+            arr.setflags(write=False)
+            self.params.append((slot, arr))
+        return slot
+
+
+def _trigger_test(fn: _Fn, trigger: E.Expr) -> str:
+    """Whole-system fast-path test.  ``Col == 0`` specializes to the
+    allocation-free ``not col.any()``; anything else materializes the
+    per-process trigger and ``.all()``s it."""
+    if (
+        isinstance(trigger, E.BinOp)
+        and trigger.op == "=="
+        and isinstance(trigger.a, E.Col)
+        and isinstance(trigger.b, E.Const)
+        and trigger.b.value == 0
+    ):
+        return f"not {fn.colsrc}[{trigger.a.name!r}].any()"
+    return f"bool({fn.full(trigger)}.all())"
+
+
+class _KernelCode:
+    """The exec'd output of :func:`compile_rule_set`, shared by every
+    program instance (base and tiled) of one rule set."""
+
+    __slots__ = (
+        "guard_fn", "apply_fns", "pred_fns", "reset_fn", "params",
+        "clean_gated", "source",
+    )
+
+    def __init__(self, guard_fn, apply_fns, pred_fns, reset_fn, params,
+                 clean_gated, source):
+        self.guard_fn = guard_fn
+        self.apply_fns = apply_fns
+        self.pred_fns = pred_fns
+        self.reset_fn = reset_fn
+        self.params = params
+        self.clean_gated = clean_gated
+        self.source = source
+
+
+#: source → exec'd namespace.  Generation is deterministic, parameters
+#: live outside the source (on the program), so identical rule structure
+#: compiles exactly once per process lifetime.
+_NS_CACHE: dict[str, dict] = {}
+
+
+def _exec_cached(source: str, name: str) -> dict:
+    ns = _NS_CACHE.get(source)
+    if ns is None:
+        ns = {"np": np}
+        exec(compile(source, f"<repro.ir:{name}>", "exec"), ns)
+        _NS_CACHE[source] = ns
+    return ns
+
+
+def compile_rule_set(rule_set) -> _KernelCode:
+    """Generate and exec the numpy functions for one rule set."""
+    comp = _Compiler(rule_set)
+
+    guard = _Fn(comp, "guard_masks", ("cols", "C"), "cols")
+    fast = rule_set.fast_path
+    if fast is not None:
+        guard.line(f"if {_trigger_test(guard, fast.trigger)}:")
+        guard.begin_block()
+        guard.emit_mask_return(
+            {label: guard.full(g) for label, g in fast.guards.items()}
+        )
+        guard.end_block()
+    guard.emit_mask_return(
+        {rule.label: guard.full(rule.guard) for rule in rule_set.rules}
+    )
+    comp.fns.append(guard)
+
+    pred_names = {}
+    for i, (name, expr) in enumerate(rule_set.predicates.items()):
+        fn = _Fn(comp, f"pred_{i}", ("cols", "C"), "cols")
+        fn.line(f"return {fn.full(expr)}")
+        comp.fns.append(fn)
+        pred_names[name] = fn.name
+
+    apply_names = {}
+    for i, rule in enumerate(rule_set.rules):
+        fn = _Fn(comp, f"apply_{i}", ("idx", "read", "write", "C"), "read")
+        for assign in rule.action:
+            fn.emit_assign(assign)
+        comp.fns.append(fn)
+        apply_names[rule.label] = fn.name
+
+    reset_name = None
+    reset_action = getattr(rule_set, "reset_action", ())
+    if reset_action:
+        fn = _Fn(comp, "apply_reset", ("idx", "read", "write", "C"), "read")
+        for assign in reset_action:
+            fn.emit_assign(assign)
+        comp.fns.append(fn)
+        reset_name = fn.name
+
+    source = "\n\n".join(fn.render() for fn in comp.fns)
+    ns = _exec_cached(source, rule_set.name)
+    return _KernelCode(
+        guard_fn=ns["guard_masks"],
+        apply_fns={label: ns[fname] for label, fname in apply_names.items()},
+        pred_fns={name: ns[fname] for name, fname in pred_names.items()},
+        reset_fn=ns[reset_name] if reset_name else None,
+        params=tuple(comp.params),
+        clean_gated=tuple(r.label for r in rule_set.rules if r.clean_gated),
+        source=source,
+    )
+
+
+class IRKernelProgram(KernelProgram):
+    """A :class:`~repro.core.kernel.programs.KernelProgram` generated from
+    a rule set.  Declared predicates are served as ``<name>_mask``
+    methods (``normal_mask``, ``legitimate_mask``, …) for the probes."""
+
+    #: Marks programs produced by the IR compilers — the simulator's
+    #: legacy-authoring deprecation check keys on this.
+    ir_generated = True
+
+    def __init__(self, rule_set):
+        self._init_from(
+            rule_set,
+            rule_set.kernel_code(),
+            CSRAdjacency(rule_set.network),
+            None,
+            1,
+        )
+
+    def _init_from(self, rule_set, code, csr, params, copies) -> None:
+        self.rule_set = rule_set
+        self._code = code
+        self.csr = csr
+        self.schema = rule_set.schema
+        self.rules = rule_set.rule_labels
+        if params is None:
+            params = dict(code.params)
+        self._params = params
+        self._copies = copies
+        self._arange = None
+        self._edge_true = None
+
+    # -- generated-code services ---------------------------------------
+    @property
+    def arange(self) -> np.ndarray:
+        if self._arange is None:
+            self._arange = np.arange(self.csr.n, dtype=np.int64)
+        return self._arange
+
+    @property
+    def edge_true(self) -> np.ndarray:
+        if self._edge_true is None:
+            self._edge_true = np.ones(self.csr.indices.shape[0], dtype=np.bool_)
+        return self._edge_true
+
+    # -- KernelProgram contract ----------------------------------------
+    def guard_masks(self, cols):
+        return self._code.guard_fn(cols, self)
+
+    def apply(self, rule, idx, read, write):
+        try:
+            fn = self._code.apply_fns[rule]
+        except KeyError:
+            raise AlgorithmError(
+                f"{self.rule_set.name}: unknown rule {rule!r}"
+            ) from None
+        fn(idx, read, write, self)
+
+    def tiled(self, copies):
+        check = self.rule_set.tile_check
+        total = self._copies * copies
+        if check is not None and not check(total):
+            return None
+        prog = type(self).__new__(type(self))
+        prog._init_from(
+            self.rule_set,
+            self._code,
+            self.csr.tile(copies),
+            {slot: np.tile(arr, copies) for slot, arr in self._params.items()},
+            total,
+        )
+        return prog
+
+    def __getattr__(self, name):
+        if name.endswith("_mask"):
+            code = self.__dict__.get("_code")
+            if code is not None:
+                fn = code.pred_fns.get(name[: -len("_mask")])
+                if fn is not None:
+                    def mask(cols, _fn=fn, _program=self):
+                        return _fn(cols, _program)
+
+                    return mask
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+
+class IRInputKernelProgram(IRKernelProgram, InputKernelProgram):
+    """Generated program additionally implementing the SDR input contract
+    (from an :class:`~repro.ir.rules.InputRuleSet`)."""
+
+    def guard_masks(self, cols, clean=None):
+        masks = self._code.guard_fn(cols, self)
+        if clean is not None:
+            for label in self._code.clean_gated:
+                mask = masks.get(label)
+                if mask is not None:
+                    masks[label] = mask & clean
+        return masks
+
+    def icorrect_mask(self, cols):
+        return self._code.pred_fns["icorrect"](cols, self)
+
+    def reset_mask(self, cols):
+        return self._code.pred_fns["reset"](cols, self)
+
+    def apply_reset(self, idx, read, write):
+        fn = self._code.reset_fn
+        if fn is not None:
+            fn(idx, read, write, self)

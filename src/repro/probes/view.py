@@ -26,9 +26,10 @@ class ColumnView:
         columns are being observed.  In batched runs this is the *base*
         (untiled) program: the view's columns are one trial's block, so
         base-program masks evaluate per trial exactly as in a single
-        run.  (Caveat: ``opt_index`` columns in a tiled layout hold
-        *globalized* indices — probes comparing them against local
-        process ids must subtract ``trial * n`` themselves.)
+        run.  ``opt_index`` columns are re-localized by the batch driver
+        (the tiled layout's globalized indices have ``trial * n``
+        subtracted), so pointer values compare directly against local
+        process ids.
     trial:
         Trial index in a batched run, ``None`` in a single execution.
     phase:

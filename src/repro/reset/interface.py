@@ -108,16 +108,36 @@ class InputAlgorithm(Algorithm):
     # ------------------------------------------------------------------
     # Array-backed kernel support
     # ------------------------------------------------------------------
+    def input_rule_set(self):
+        """Declarative IR definition of this input algorithm, or ``None``.
+
+        Returns a :class:`repro.ir.rules.InputRuleSet` carrying, besides
+        the rules, the ``P_ICorrect``/``P_reset`` predicate expressions
+        and the ``reset(u)`` action — everything a reset host needs to
+        compose with at the IR level.
+        """
+        return None
+
+    def rule_set(self):
+        """Standalone view: the input rule set itself (trivial host).
+
+        Rules marked ``clean_gated`` run ungated when compiled from here,
+        which is exactly the trivial host's ``P_Clean ≡ true``.
+        """
+        return self.input_rule_set()
+
     def kernel_input_program(self):
         """Schema-typed kernel port of this input algorithm, or ``None``.
 
-        Returns a :class:`~repro.core.kernel.programs.InputKernelProgram`
-        exposing vectorized ``P_ICorrect`` / ``P_reset`` masks and
-        ``reset(u)`` column updates, which SDR's own kernel program
-        composes with.  ``None`` means the algorithm has not been ported
-        to schema form (the simulator falls back to the dict backend).
+        The default compiles :meth:`input_rule_set` into an
+        :class:`~repro.core.kernel.programs.InputKernelProgram` exposing
+        vectorized ``P_ICorrect`` / ``P_reset`` masks and ``reset(u)``
+        column updates, which a reset host's kernel program composes
+        with.  ``None`` means no rule set (or numpy missing): the
+        simulator falls back to the dict backend.
         """
-        return None
+        rs = self.input_rule_set()
+        return None if rs is None else rs.compile_input_kernel()
 
     def kernel_program(self):
         """Standalone kernel program (host ``P_Clean ≡ true``).

@@ -1,28 +1,42 @@
-"""Kernel (struct-of-arrays) port of Algorithm SDR.
+"""IR definition of Algorithm SDR (composed with its input algorithm).
 
-SDR's per-process state flattens to two columns — ``st`` as an int8 enum
-over ``(C, RB, RF)`` and ``d`` as int64 — joined with the columns of the
-ported input algorithm.  Every predicate of Algorithm 1 is a per-edge
-comparison followed by a segmented all/any reduction over CSR, evaluated
-for all processes at once; the input algorithm contributes its own
-vectorized ``P_ICorrect``/``P_reset`` masks and rule guards (gated here
-by SDR's ``P_Clean`` mask, mirroring the host wiring of the dict path).
+The former handwritten numpy program is replaced by
+:func:`sdr_rule_set`, which *composes at the IR level*: the input
+algorithm's :class:`~repro.ir.rules.InputRuleSet` contributes its
+``P_ICorrect``/``P_reset`` expressions and its rules (gated by SDR's
+``P_Clean`` where the input declared ``clean_gated``), and SDR's four
+rules of Algorithm 1 are stated over the joint schema.  One generated
+kernel then evaluates the whole ``I ∘ SDR`` system — the guards of host
+and input share subexpressions through the compiler's CSE instead of a
+host/input call boundary.
 
-Composite atomicity: actions read the frozen pre-step columns (``read``)
-and write the double buffer (``write``); ``compute(u)``'s minimum over
-broadcasting neighbors is one masked segmented min.
+The normal-configuration fast path (Theorem 1's attractor) survives as a
+declarative :class:`~repro.ir.rules.FastPath`: when every status is C,
+``P_Clean ≡ true`` and the only live guards are ``¬P_ICorrect``
+(rule R) and the input's own rules, ungated.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..core.kernel.csr import CSRAdjacency
-from ..core.kernel.programs import InputKernelProgram, KernelProgram
 from ..core.kernel.schema import Schema, Var
+from ..ir import (
+    Assign,
+    FastPath,
+    Rule,
+    RuleSet,
+    all_neighbors,
+    any_neighbors,
+    col,
+    min_over_neighbors,
+    neigh,
+    own,
+)
+from ..ir.kernelc import IRKernelProgram
 from .sdr import DIST, SDR_RULES, ST, STATUSES
 
-__all__ = ["SDRKernelProgram"]
+__all__ = ["sdr_rule_set", "SDRKernelProgram"]
 
 #: Integer codes of the ``st`` enum (indices into STATUSES = (C, RB, RF)).
 _C, _RB, _RF = 0, 1, 2
@@ -31,122 +45,85 @@ _C, _RB, _RF = 0, 1, 2
 _NO_DIST = np.iinfo(np.int64).max // 2
 
 
-class SDRKernelProgram(KernelProgram):
-    """Vectorized ``I ∘ SDR`` for a kernel-ported input algorithm ``I``."""
+def sdr_rule_set(sdr, input_rule_set) -> RuleSet:
+    """``I ∘ SDR`` as one composed rule set over the joint schema."""
+    st, d = col(ST), col(DIST)
+    st_is_c = st == _C
+    est = neigh(st)
+    est_c, est_rb, est_rf = est == _C, est == _RB, est == _RF
+    edge_d, own_d = neigh(d), own(d)
 
-    __slots__ = ("csr", "input", "schema", "rules", "_all_true")
+    # P_Clean(u): every member of N[u] (u included) has status C.
+    clean = st_is_c & all_neighbors(est_c)
+    icorrect = input_rule_set.icorrect
+    reset = input_rule_set.reset
+    edge_reset = neigh(reset)
 
-    def __init__(self, sdr, input_program: InputKernelProgram):
-        self.csr = CSRAdjacency(sdr.network)
-        self.input = input_program
-        self.schema = Schema(
-            Var.enum(ST, STATUSES), Var.int(DIST), *input_program.schema.vars
-        )
-        self.rules = sdr.rule_names()
-        n = sdr.network.n
-        # Shared constant for the all-C fast path (read-only by contract).
-        self._all_true = np.ones(n, dtype=np.bool_)
+    # P_Correct(u) ≡ st_u = C ⇒ P_ICorrect(u).
+    correct = ~st_is_c | icorrect
+    p_r1 = st_is_c & ~reset & any_neighbors(est_rf)
+    p_rb = st_is_c & any_neighbors(est_rb)
+    p_rf = (
+        (st == _RB)
+        & reset
+        & all_neighbors((est_rb & (edge_d <= own_d)) | (est_rf & edge_reset))
+    )
+    # P_C quantifies over N[u]; the own-process conjunct reduces to
+    # P_reset(u) once st_u = RF holds (d_u ≥ d_u is vacuous).
+    p_c = (
+        (st == _RF)
+        & reset
+        & all_neighbors(edge_reset & ((est_rf & (edge_d >= own_d)) | est_c))
+    )
+    p_r2 = ~st_is_c & ~reset
+    p_up = ~p_rb & (p_r1 | p_r2 | ~correct)
 
-    def tiled(self, copies: int) -> "SDRKernelProgram | None":
-        input_tiled = self.input.tiled(copies)
-        if input_tiled is None:
-            return None
-        prog = object.__new__(SDRKernelProgram)
-        prog.csr = self.csr.tile(copies)
-        prog.input = input_tiled
-        prog.schema = self.schema
-        prog.rules = self.rules
-        prog._all_true = np.ones(prog.csr.n, dtype=np.bool_)
-        return prog
+    # compute(u); reset(u): join the broadcast at min distance + 1.
+    dmin = min_over_neighbors(edge_d, where=est_rb, default=_NO_DIST)
+    reset_action = tuple(input_rule_set.reset_action)
+    rules = [
+        Rule("rule_RB", p_rb,
+             [Assign(ST, _RB), Assign(DIST, dmin + 1), *reset_action]),
+        Rule("rule_RF", p_rf, [Assign(ST, _RF)]),
+        Rule("rule_C", p_c, [Assign(ST, _C)]),
+        # beRoot(u); reset(u)
+        Rule("rule_R", p_up,
+             [Assign(ST, _RB), Assign(DIST, 0), *reset_action]),
+    ]
+    for rule in input_rule_set.rules:
+        guard = clean & rule.guard if rule.clean_gated else rule.guard
+        rules.append(Rule(rule.label, guard, rule.action))
 
-    # ------------------------------------------------------------------
-    def guard_masks(self, cols) -> dict[str, np.ndarray]:
-        csr = self.csr
-        st, dist = cols[ST], cols[DIST]
+    # Normal-configuration fast path (Theorem 1's attractor, where every
+    # stabilized execution lives): with all statuses C, P_Clean ≡ true,
+    # P_RB = P_RF = P_C = P_R1 = P_R2 ≡ false, and P_Up collapses to
+    # ¬P_Correct = ¬P_ICorrect.  The three everywhere-false reset rules
+    # are omitted (missing guard-mask keys read as all-false).
+    fast_guards = {"rule_R": ~icorrect}
+    fast_guards.update(
+        {rule.label: rule.guard for rule in input_rule_set.rules}
+    )
 
-        if not st.any():  # every status is C (code 0)
-            # Normal-configuration fast path (Theorem 1's attractor, where
-            # every stabilized execution lives): with all statuses C,
-            # P_Clean ≡ true, P_RB = P_RF = P_C = P_R1 = P_R2 ≡ false, and
-            # P_Up collapses to ¬P_Correct = ¬P_ICorrect.  The three
-            # everywhere-false reset rules are omitted (the guard-mask
-            # contract lets consumers treat missing keys as all-false).
-            icorrect, _, input_masks = self.input.host_masks(cols, self._all_true)
-            masks = {"rule_R": ~icorrect}
-            masks.update(input_masks)
-            return masks
+    return RuleSet(
+        f"sdr({input_rule_set.name})",
+        sdr.network,
+        Schema(Var.enum(ST, STATUSES), Var.int(DIST),
+               *input_rule_set.schema.vars),
+        rules,
+        # Per-process conjunct of ``SDR.is_normal``: st = C ∧ P_ICorrect.
+        # Its all-processes conjunction is exactly the normal configuration
+        # predicate, so the fused loop detects stabilization undecoded.
+        predicates={"normal": st_is_c & icorrect},
+        fast_path=FastPath(st == _C, fast_guards),
+        tile_check=input_rule_set.tile_check,
+    )
 
-        st_is_c = st == _C
-        edge_st = csr.pull(st)
-        edge_d = csr.pull(dist)
-        own_d = csr.own(dist)
-        est_c = edge_st == _C
-        est_rb = edge_st == _RB
-        est_rf = edge_st == _RF
 
-        # P_Clean(u): every member of N[u] (u included) has status C.
-        clean = st_is_c & csr.all_neigh(est_c)
-        icorrect, reset, input_masks = self.input.host_masks(cols, clean)
-        edge_reset = csr.pull(reset)
-        # P_Correct(u) ≡ st_u = C ⇒ P_ICorrect(u).
-        correct = ~st_is_c | icorrect
-        p_r1 = st_is_c & ~reset & csr.any_neigh(est_rf)
-        p_rb = st_is_c & csr.any_neigh(est_rb)
-        p_rf = (
-            (st == _RB)
-            & reset
-            & csr.all_neigh((est_rb & (edge_d <= own_d)) | (est_rf & edge_reset))
-        )
-        # P_C quantifies over N[u]; the own-process conjunct reduces to
-        # P_reset(u) once st_u = RF holds (d_u ≥ d_u is vacuous).
-        p_c = (
-            (st == _RF)
-            & reset
-            & csr.all_neigh(edge_reset & ((est_rf & (edge_d >= own_d)) | est_c))
-        )
-        p_r2 = ~st_is_c & ~reset
-        p_up = ~p_rb & (p_r1 | p_r2 | ~correct)
+class SDRKernelProgram(IRKernelProgram):
+    """Generated ``I ∘ SDR`` program for an IR-ported input algorithm."""
 
-        masks = {
-            "rule_RB": p_rb,
-            "rule_RF": p_rf,
-            "rule_C": p_c,
-            "rule_R": p_up,
-        }
-        masks.update(input_masks)
-        return masks
-
-    # ------------------------------------------------------------------
-    def normal_mask(self, cols) -> np.ndarray:
-        """Per-process conjunct of ``SDR.is_normal``: ``st = C ∧ P_ICorrect``.
-
-        The all-processes conjunction of this mask is exactly the normal
-        configuration predicate (Theorem 1's attractor), so the fused run
-        loop can detect stabilization without decoding.
-        """
-        return (cols[ST] == _C) & self.input.icorrect_mask(cols)
-
-    # ------------------------------------------------------------------
-    def apply(self, rule, idx, read, write) -> None:
-        if rule == "rule_RB":
-            # compute(u); reset(u): join the broadcast at min distance + 1.
-            csr = self.csr
-            edge_st = csr.pull(read[ST])
-            dmin = csr.min_neigh(csr.pull(read[DIST]), edge_st == _RB, _NO_DIST)
-            write[ST][idx] = _RB
-            write[DIST][idx] = dmin[idx] + 1
-            self.input.apply_reset(idx, read, write)
-        elif rule == "rule_RF":
-            write[ST][idx] = _RF
-        elif rule == "rule_C":
-            write[ST][idx] = _C
-        elif rule == "rule_R":
-            # beRoot(u); reset(u)
-            write[ST][idx] = _RB
-            write[DIST][idx] = 0
-            self.input.apply_reset(idx, read, write)
-        else:
-            self.input.apply(rule, idx, read, write)
+    def __init__(self, sdr, input_program):
+        super().__init__(sdr_rule_set(sdr, input_program.rule_set))
 
 
 assert tuple(SDR_RULES) == ("rule_RB", "rule_RF", "rule_C", "rule_R")

@@ -285,18 +285,18 @@ class SDR(Algorithm):
         state.update(self.input.random_state(u, rng))
         return state
 
-    def kernel_program(self):
-        """Array-backend program: available when the input algorithm is ported."""
+    def rule_set(self):
+        """``I ∘ SDR`` composed at the IR level, when the input is ported."""
         try:
-            from .kernelized import SDRKernelProgram
+            from .kernelized import sdr_rule_set
         except ModuleNotFoundError as exc:
             if exc.name and exc.name.split(".")[0] == "numpy":
                 return None  # numpy missing: dict backend only
             raise
-        input_program = self.input.kernel_input_program()
-        if input_program is None:
+        input_rule_set = self.input.input_rule_set()
+        if input_rule_set is None:
             return None
-        return SDRKernelProgram(self, input_program)
+        return sdr_rule_set(self, input_rule_set)
 
     def sdr_moves_of(self, moves_per_rule: dict[str, int]) -> int:
         """Total SDR-rule moves in a per-rule move tally."""

@@ -177,15 +177,15 @@ class BoulinierUnison(Algorithm):
     def random_state(self, u: int, rng: Random) -> dict[str, Any]:
         return {RCLOCK: rng.randrange(-self.alpha, self.period)}
 
-    def kernel_program(self):
-        """Array-backend program (see :mod:`repro.unison.kernelized`)."""
+    def rule_set(self):
+        """IR definition (see :mod:`repro.unison.kernelized`)."""
         try:
-            from .kernelized import BoulinierKernelProgram
+            from .kernelized import boulinier_rule_set
         except ModuleNotFoundError as exc:
             if exc.name and exc.name.split(".")[0] == "numpy":
                 return None  # numpy missing: dict backend only
             raise
-        return BoulinierKernelProgram(self)
+        return boulinier_rule_set(self)
 
     # ------------------------------------------------------------------
     # Legitimacy

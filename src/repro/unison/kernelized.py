@@ -1,175 +1,126 @@
-"""Kernel (struct-of-arrays) ports of the unison algorithms.
+"""IR definitions of the unison algorithms.
 
-:class:`UnisonKernelProgram` is Algorithm U.  One int64 column holds
-every clock; all of Algorithm 2's predicates are congruence windows on
-the per-edge clock difference ``(c_v − c_u) mod K``:
+The handwritten numpy twins that used to live here are gone: each
+algorithm now states its rules once, as :mod:`repro.ir` expressions, and
+the kernel programs are *generated* (:mod:`repro.ir.kernelc`).  All of
+Algorithm 2's predicates are congruence windows on the per-edge clock
+difference ``(c_v − c_u) mod K``:
 
 * ``P_Ok``   ⇔ difference ∈ {0, 1, K−1};
 * ``P_Up``   ⇔ difference ∈ {0, 1} for every neighbor;
 * ``P_reset``⇔ ``c_u = 0``.
 
-:class:`BoulinierKernelProgram` is the reset-tail baseline
-(:class:`~repro.unison.boulinier.BoulinierUnison`).  Its extended clock
-``r ∈ {−α..−1} ∪ {0..K−1}`` stays one int64 column; the guards become
-per-edge window tests (normal advance, tail climb, tail exit) plus the
-vectorized local-comparability predicate — circular within one increment
-when both endpoints are normal, linear otherwise — whose negation drives
-the reset rule.
+:func:`boulinier_rule_set` is the reset-tail baseline
+(:class:`~repro.unison.boulinier.BoulinierUnison`): the extended clock
+``r ∈ {−α..−1} ∪ {0..K−1}`` stays one int64 column, and the guards are
+per-edge window tests plus the local-comparability predicate — circular
+within one increment when both endpoints are normal, linear otherwise.
 
 Equivalence with the dict implementations is cross-checked by the
-simulator's paranoid lockstep mode and the backend-equivalence property
-suite.
+simulator's paranoid lockstep mode, the backend-equivalence property
+suite, and ``python -m repro.ir check``.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..core.exceptions import AlgorithmError
-from ..core.kernel.csr import CSRAdjacency
-from ..core.kernel.programs import InputKernelProgram, KernelProgram
 from ..core.kernel.schema import Schema, Var
+from ..ir import (
+    Assign,
+    InputRuleSet,
+    Rule,
+    RuleSet,
+    absval,
+    all_neighbors,
+    any_neighbors,
+    col,
+    neigh,
+    own,
+    where,
+)
+from ..ir.kernelc import IRInputKernelProgram, IRKernelProgram
 from .boulinier import RCLOCK
 from .unison import CLOCK
 
-__all__ = ["UnisonKernelProgram", "BoulinierKernelProgram"]
+__all__ = [
+    "unison_rule_set",
+    "boulinier_rule_set",
+    "UnisonKernelProgram",
+    "BoulinierKernelProgram",
+]
 
 
-class UnisonKernelProgram(InputKernelProgram):
-    """Vectorized guards/actions of the paper's Algorithm U."""
+def unison_rule_set(algorithm) -> InputRuleSet:
+    """Algorithm U as an :class:`~repro.ir.rules.InputRuleSet`."""
+    period = algorithm.period
+    clock = col(CLOCK)
+    # (c_v − c_u) mod K per edge slot (owner u, neighbor v); diff ∈ [0, K),
+    # so the window {0, 1} collapses to one comparison.
+    diff = (neigh(clock) - own(clock)) % period
+    near = diff <= 1
+    return InputRuleSet(
+        "unison",
+        algorithm.network,
+        Schema(Var.int(CLOCK)),
+        [
+            Rule(
+                algorithm.rule_names()[0],
+                all_neighbors(near),
+                [Assign(CLOCK, (clock + 1) % period)],
+                clean_gated=True,
+            )
+        ],
+        icorrect=all_neighbors(near | (diff == period - 1)),
+        reset=clock == 0,
+        reset_action=[Assign(CLOCK, 0)],
+    )
 
-    __slots__ = ("csr", "period", "schema", "rules")
+
+def boulinier_rule_set(algorithm) -> RuleSet:
+    """The reset-tail unison baseline as a :class:`~repro.ir.rules.RuleSet`."""
+    period, alpha = algorithm.period, algorithm.alpha
+    r = col(RCLOCK)
+    ru, rv = own(r), neigh(r)
+
+    # Local comparability per edge: circular within one increment when
+    # both endpoints are normal, linear otherwise.
+    diff = ru - rv
+    circular = ((diff % period) <= 1) | (((-diff) % period) <= 1)
+    comparable = where((ru >= 0) & (rv >= 0), circular, absval(diff) <= 1)
+
+    normal = r >= 0
+    # RA: a normal process seeing an incomparable neighbor (priority).
+    ra = normal & any_neighbors(~comparable)
+    # NA: all neighbors on time or one ahead — and RA takes priority.
+    ahead = (ru + 1) % period
+    na = normal & all_neighbors((rv == ru) | (rv == ahead)) & ~ra
+    # TA: deep-tail process with no neighbor strictly below it.
+    ta = (r <= -2) & all_neighbors(rv >= ru)
+    # TO: at −1 with the whole neighborhood in {−1, 0, 1}.
+    to = (r == -1) & all_neighbors((rv >= -1) & (rv <= 1))
+
+    return RuleSet(
+        "boulinier",
+        algorithm.network,
+        Schema(Var.int(RCLOCK)),
+        [
+            Rule("rule_NA", na, [Assign(RCLOCK, (r + 1) % period)]),
+            Rule("rule_TA", ta, [Assign(RCLOCK, r + 1)]),
+            Rule("rule_TO", to, [Assign(RCLOCK, 0)]),
+            Rule("rule_RA", ra, [Assign(RCLOCK, -alpha)]),
+        ],
+        predicates={"legitimate": normal & all_neighbors(comparable)},
+    )
+
+
+class UnisonKernelProgram(IRInputKernelProgram):
+    """Generated kernel program of the paper's Algorithm U."""
 
     def __init__(self, algorithm):
-        self.csr = CSRAdjacency(algorithm.network)
-        self.period = algorithm.period
-        self.schema = Schema(Var.int(CLOCK))
-        self.rules = algorithm.rule_names()
-
-    def tiled(self, copies: int) -> "UnisonKernelProgram":
-        prog = object.__new__(UnisonKernelProgram)
-        prog.csr = self.csr.tile(copies)
-        prog.period = self.period
-        prog.schema = self.schema
-        prog.rules = self.rules
-        return prog
-
-    # ------------------------------------------------------------------
-    def _edge_diffs(self, cols) -> np.ndarray:
-        """``(c_v − c_u) mod K`` per edge slot (owner u, neighbor v)."""
-        clock = cols[CLOCK]
-        return (self.csr.pull(clock) - self.csr.own(clock)) % self.period
-
-    # ------------------------------------------------------------------
-    # SDR input interface
-    # ------------------------------------------------------------------
-    def icorrect_mask(self, cols) -> np.ndarray:
-        # diff ∈ [0, K), so {0, 1} collapses to one comparison.
-        diff = self._edge_diffs(cols)
-        ok = (diff <= 1) | (diff == self.period - 1)
-        return self.csr.all_neigh(ok)
-
-    def reset_mask(self, cols) -> np.ndarray:
-        return cols[CLOCK] == 0
-
-    def apply_reset(self, idx, read, write) -> None:
-        write[CLOCK][idx] = 0
-
-    # ------------------------------------------------------------------
-    # Guards and actions
-    # ------------------------------------------------------------------
-    def guard_masks(self, cols, clean=None) -> dict[str, np.ndarray]:
-        diff = self._edge_diffs(cols)
-        up = self.csr.all_neigh(diff <= 1)
-        if clean is not None:
-            up &= clean
-        return {self.rules[0]: up}
-
-    def host_masks(self, cols, clean):
-        # One pass over the edge differences serves all three masks.
-        diff = self._edge_diffs(cols)
-        near = diff <= 1
-        icorrect = self.csr.all_neigh(near | (diff == self.period - 1))
-        up = self.csr.all_neigh(near) & clean
-        return icorrect, self.reset_mask(cols), {self.rules[0]: up}
-
-    def apply(self, rule, idx, read, write) -> None:
-        write[CLOCK][idx] = (read[CLOCK][idx] + 1) % self.period
+        super().__init__(unison_rule_set(algorithm))
 
 
-class BoulinierKernelProgram(KernelProgram):
-    """Vectorized guards/actions of the reset-tail unison baseline."""
-
-    __slots__ = ("csr", "period", "alpha", "schema", "rules")
+class BoulinierKernelProgram(IRKernelProgram):
+    """Generated kernel program of the reset-tail unison baseline."""
 
     def __init__(self, algorithm):
-        self.csr = CSRAdjacency(algorithm.network)
-        self.period = algorithm.period
-        self.alpha = algorithm.alpha
-        self.schema = Schema(Var.int(RCLOCK))
-        self.rules = algorithm.rule_names()
-
-    def tiled(self, copies: int) -> "BoulinierKernelProgram":
-        prog = object.__new__(BoulinierKernelProgram)
-        prog.csr = self.csr.tile(copies)
-        prog.period = self.period
-        prog.alpha = self.alpha
-        prog.schema = self.schema
-        prog.rules = self.rules
-        return prog
-
-    # ------------------------------------------------------------------
-    def _comparable_edges(self, ru, rv) -> np.ndarray:
-        """Local comparability per edge slot (owner value ``ru``)."""
-        k = self.period
-        both_normal = (ru >= 0) & (rv >= 0)
-        diff = ru - rv
-        circular = ((diff % k) <= 1) | ((-diff % k) <= 1)
-        linear = np.abs(diff) <= 1
-        return np.where(both_normal, circular, linear)
-
-    # ------------------------------------------------------------------
-    def guard_masks(self, cols) -> dict[str, np.ndarray]:
-        csr = self.csr
-        r = cols[RCLOCK]
-        ru = csr.own(r)
-        rv = csr.pull(r)
-        normal = r >= 0
-
-        # RA: a normal process seeing an incomparable neighbor.
-        ra = normal & csr.any_neigh(~self._comparable_edges(ru, rv))
-        # NA: all neighbors on time or one ahead — and RA takes priority.
-        ahead = (ru + 1) % self.period
-        na = normal & csr.all_neigh((rv == ru) | (rv == ahead)) & ~ra
-        # TA: deep-tail process with no neighbor strictly below it.
-        ta = (r <= -2) & csr.all_neigh(rv >= ru)
-        # TO: at −1 with the whole neighborhood in {−1, 0, 1}.
-        to = (r == -1) & csr.all_neigh((rv >= -1) & (rv <= 1))
-
-        return {
-            "rule_NA": na,
-            "rule_TA": ta,
-            "rule_TO": to,
-            "rule_RA": ra,
-        }
-
-    def apply(self, rule, idx, read, write) -> None:
-        r = read[RCLOCK]
-        if rule == "rule_NA":
-            write[RCLOCK][idx] = (r[idx] + 1) % self.period
-        elif rule == "rule_TA":
-            write[RCLOCK][idx] = r[idx] + 1
-        elif rule == "rule_TO":
-            write[RCLOCK][idx] = 0
-        elif rule == "rule_RA":
-            write[RCLOCK][idx] = -self.alpha
-        else:
-            raise AlgorithmError(f"boulinier kernel program: unknown rule {rule!r}")
-
-    # ------------------------------------------------------------------
-    def legitimate_mask(self, cols) -> np.ndarray:
-        """Per-process conjunct of ``is_legitimate``: no tail, edges comparable."""
-        csr = self.csr
-        r = cols[RCLOCK]
-        comparable = self._comparable_edges(csr.own(r), csr.pull(r))
-        return (r >= 0) & csr.all_neigh(comparable)
+        super().__init__(boulinier_rule_set(algorithm))

@@ -101,14 +101,14 @@ class Unison(InputAlgorithm):
     def reset_updates(self, cfg: Configuration, u: int) -> dict[str, Any]:
         return {CLOCK: 0}
 
-    def kernel_input_program(self):
+    def input_rule_set(self):
         try:
-            from .kernelized import UnisonKernelProgram
+            from .kernelized import unison_rule_set
         except ModuleNotFoundError as exc:
             if exc.name and exc.name.split(".")[0] == "numpy":
                 return None  # numpy missing: dict backend only
             raise
-        return UnisonKernelProgram(self)
+        return unison_rule_set(self)
 
     def initial_state(self, u: int) -> dict[str, Any]:
         return {CLOCK: 0}

@@ -144,7 +144,13 @@ class TestBackendSelection:
     def test_kernel_refused_without_program(self):
         from repro.baselines.bfs_tree import BfsTree
 
-        algo = BfsTree(ring(4))
+        class Unported(BfsTree):
+            name = "bfs-tree-unported"
+
+            def rule_set(self):
+                return None  # no IR definition: dict backend only
+
+        algo = Unported(ring(4))
         with pytest.raises(AlgorithmError):
             Simulator(algo, SynchronousDaemon(), seed=0, backend="kernel")
         # auto falls back (with a one-time logged warning)
@@ -161,7 +167,13 @@ class TestBackendSelection:
         from repro.baselines.bfs_tree import BfsTree
         from repro.core import simulator as sim_module
 
-        algo = BfsTree(ring(4))
+        class Unported(BfsTree):
+            name = "bfs-tree-unported"
+
+            def rule_set(self):
+                return None  # no IR definition: dict backend only
+
+        algo = Unported(ring(4))
         sim_module._FALLBACK_WARNED.discard(algo.name)
         with caplog.at_level(logging.WARNING, logger="repro.core.simulator"):
             Simulator(algo, SynchronousDaemon(), seed=0, backend="auto")

@@ -1,0 +1,282 @@
+"""Unit tests: every IR node lowers identically under both compilers.
+
+Each test builds a one-rule :class:`~repro.ir.RuleSet` whose action
+stores the expression under test, evaluates it per process with the dict
+interpreter, with the generated kernel, and with the kernel's
+``tiled()`` form (several identical trials), and asserts the lowerings
+agree value for value.  Tile-variant nodes (``proc_index``, ``nprocs``,
+neighbor indices, composite-key argmin indices) state their expected
+per-trial offset explicitly — that offset *is* the globalization
+contract the batched engine relies on.
+"""
+
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.kernel.schema import Schema, Var
+from repro.ir import (
+    Assign,
+    Rule,
+    RuleSet,
+    absval,
+    all_neighbors,
+    any_neighbors,
+    argmax_over_neighbors,
+    argmin_over_neighbors,
+    col,
+    const,
+    count_neighbors,
+    gather,
+    max_over_neighbors,
+    maximum,
+    min_over_neighbors,
+    minimum,
+    neigh,
+    neigh_index,
+    nprocs,
+    own,
+    param,
+    proc_index,
+    sign,
+    where,
+)
+from repro.topology import random_connected
+
+X, Y, PTR, OUT = "x", "y", "ptr", "out"
+COPIES = 3
+
+
+def network():
+    # Irregular degrees exercise the CSR reductions harder than a ring.
+    return random_connected(9, p=0.4, seed=3)
+
+
+def configuration(net, seed=0):
+    rng = Random(seed)
+    n = net.n
+    states = [
+        {
+            X: rng.randrange(-6, 12),
+            Y: rng.random() < 0.5,
+            PTR: rng.choice([None] + list(range(n))),
+            OUT: 0,
+        }
+        for _ in range(n)
+    ]
+    states[0][PTR] = None  # at least one ⊥ pointer, whatever the seed
+    return Configuration(states)
+
+
+def lowerings(expr, *, seed=0, tiled_block=None):
+    """Evaluate ``expr`` per process under all three lowerings.
+
+    Returns the dict interpreter's values after asserting the flat
+    kernel agrees exactly and every tiled block matches ``tiled_block``
+    (a ``(base_vals, trial, n) -> expected`` map; identity by default).
+    """
+    net = network()
+    cfg = configuration(net, seed)
+    n = net.n
+    schema = Schema(Var.int(X), Var.bool(Y), Var.opt_index(PTR), Var.int(OUT))
+    rule_set = RuleSet(
+        "node-test", net, schema,
+        [Rule("r", col(X) == col(X), [Assign(OUT, expr)])],
+    )
+
+    dict_program = rule_set.compile_dict()
+    dict_vals = [
+        int(dict_program.execute("r", cfg, u)[OUT]) for u in net.processes()
+    ]
+
+    kernel = rule_set.compile_kernel()
+    cols = kernel.schema.encode(cfg)
+    write = {name: column.copy() for name, column in cols.items()}
+    kernel.apply("r", np.arange(n), cols, write)
+    kernel_vals = [int(v) for v in write[OUT]]
+    assert kernel_vals == dict_vals, "kernel lowering diverges from dict"
+
+    tiled = kernel.tiled(COPIES)
+    tcols = kernel.schema.encode_tiled([cfg] * COPIES)
+    twrite = {name: column.copy() for name, column in tcols.items()}
+    tiled.apply("r", np.arange(n * COPIES), tcols, twrite)
+    for t in range(COPIES):
+        block = [int(v) for v in twrite[OUT][t * n:(t + 1) * n]]
+        expected = (
+            dict_vals if tiled_block is None else tiled_block(dict_vals, t, n)
+        )
+        assert block == expected, f"tiled block {t} diverges"
+    return dict_vals
+
+
+# ----------------------------------------------------------------------
+# Process-space scalars
+# ----------------------------------------------------------------------
+
+def test_const_col_arithmetic():
+    vals = lowerings(col(X) * 2 + const(7) - col(X) // 4)
+    assert len(set(vals)) > 1  # the sample config actually varies
+
+
+def test_mod_floordiv_match_numpy_on_negatives():
+    # python // and % agree with numpy int64 on negative operands; the
+    # dict interpreter leans on that (unison's congruence windows).
+    lowerings(col(X) % 5)
+    lowerings(col(X) // 3)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: col(X) == const(2),
+        lambda: col(X) != const(2),
+        lambda: col(X) < const(3),
+        lambda: col(X) <= const(3),
+        lambda: col(X) > const(3),
+        lambda: col(X) >= const(3),
+    ],
+    ids=["eq", "ne", "lt", "le", "gt", "ge"],
+)
+def test_comparisons(make):
+    vals = lowerings(where(make(), 1, 0))
+    assert set(vals) <= {0, 1}
+
+
+def test_boolean_connectives():
+    flag = (col(X) > 0) & ~col(Y) | (col(X) % 2 == 0)
+    lowerings(where(flag, 1, 0))
+
+
+def test_unary_ops():
+    lowerings(-col(X))
+    lowerings(absval(col(X)))
+    lowerings(sign(col(X)))
+
+
+def test_min2_max2():
+    lowerings(minimum(col(X), const(4)))
+    lowerings(maximum(col(X), -col(X)))
+
+
+def test_where_selects_per_process():
+    vals = lowerings(where(col(Y), col(X), -col(X)))
+    assert any(v < 0 for v in vals) and any(v > 0 for v in vals)
+
+
+def test_param_is_per_process_and_tiles():
+    net = network()
+    values = tuple(range(10, 10 + net.n))
+    lowerings(param(values, "ids") + col(X))
+
+
+def test_proc_index_and_nprocs_are_global_under_tiling():
+    # In a tiled layout process w of trial t occupies slot t·n + w and
+    # nprocs() is the *runtime* total — exactly what composite keys and
+    # globalized opt_index columns need.
+    lowerings(
+        proc_index() + nprocs(),
+        tiled_block=lambda base, t, n: [
+            v + t * n + (COPIES - 1) * n for v in base
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Edge space: neigh/own lifts and reductions
+# ----------------------------------------------------------------------
+
+def test_all_any_count_neighbors():
+    lowerings(where(all_neighbors(neigh(col(X)) <= own(col(X))), 1, 0))
+    lowerings(where(any_neighbors(neigh(col(Y)) & ~own(col(Y))), 1, 0))
+    vals = lowerings(count_neighbors(neigh(col(Y))))
+    assert max(vals) >= 1
+
+
+def test_min_max_over_neighbors_with_filter_and_default():
+    lowerings(min_over_neighbors(neigh(col(X)), where=neigh(col(Y)), default=99))
+    lowerings(max_over_neighbors(neigh(col(X)) - own(col(X)), default=-99))
+
+
+def test_neigh_index_is_global_under_tiling():
+    vals = lowerings(
+        min_over_neighbors(neigh_index(), default=-1),
+        tiled_block=lambda base, t, n: [v + t * n for v in base],
+    )
+    assert all(v >= 0 for v in vals)
+
+
+def test_gather_follows_pointers():
+    vals = lowerings(where(col(PTR) >= 0, gather(col(PTR), col(X)), const(-77)))
+    assert -77 in vals  # the sample config has at least one ⊥ pointer
+
+
+def test_argmin_key_and_index():
+    choice = argmin_over_neighbors(neigh(col(X)), sentinel=10**9)
+    lowerings(choice.key)
+    lowerings(where(choice.found, 1, 0))
+    lowerings(
+        choice.index,
+        tiled_block=lambda base, t, n: [
+            v if v < 0 else v + t * n for v in base
+        ],
+    )
+
+
+def test_argmin_breaks_ties_toward_smallest_index():
+    # Constant key → every neighbor ties → winner is the smallest index.
+    choice = argmin_over_neighbors(neigh(const(5)), sentinel=10**9)
+    net = network()
+    vals = lowerings(
+        choice.index,
+        tiled_block=lambda base, t, n: [v + t * n for v in base],
+    )
+    assert vals == [min(net.neighbors(u)) for u in net.processes()]
+
+
+def test_argmax_with_filter_reports_not_found():
+    choice = argmax_over_neighbors(
+        neigh(col(X)), where=neigh(col(Y)), sentinel=-1
+    )
+    vals = lowerings(
+        choice.index,
+        tiled_block=lambda base, t, n: [
+            v if v < 0 else v + t * n for v in base
+        ],
+    )
+    net = network()
+    cfg = configuration(net)
+    for u, got in zip(net.processes(), vals):
+        candidates = [v for v in net.neighbors(u) if cfg[v][Y]]
+        if not candidates:
+            assert got == -1
+        else:
+            best = max(candidates, key=lambda v: (cfg[v][X], v))
+            assert got == best
+
+
+# ----------------------------------------------------------------------
+# Guards: the mask path (not just actions) agrees per node too
+# ----------------------------------------------------------------------
+
+def test_guard_masks_match_dict_guards():
+    net = network()
+    cfg = configuration(net)
+    schema = Schema(Var.int(X), Var.bool(Y), Var.opt_index(PTR), Var.int(OUT))
+    guard = (col(X) % 3 == 0) | (col(Y) & any_neighbors(neigh(col(X)) > 5))
+    rule_set = RuleSet(
+        "guard-test", net, schema, [Rule("r", guard, [Assign(OUT, 1)])]
+    )
+    dict_program = rule_set.compile_dict()
+    expected = [dict_program.guard("r", cfg, u) for u in net.processes()]
+
+    kernel = rule_set.compile_kernel()
+    cols = kernel.schema.encode(cfg)
+    assert list(kernel.guard_masks(cols)["r"]) == expected
+
+    n = net.n
+    tiled = kernel.tiled(COPIES)
+    tmask = tiled.guard_masks(kernel.schema.encode_tiled([cfg] * COPIES))["r"]
+    for t in range(COPIES):
+        assert list(tmask[t * n:(t + 1) * n]) == expected
