@@ -22,8 +22,13 @@ emits ``BENCH_core.json`` at the repo root:
   :mod:`repro.telemetry.phases` tracing enabled (stride-sampled phase
   timers in the hot loop).  The report carries its phase breakdown, and
   ``--check`` bounds its overhead against plain ``fused``.
+* ``fused+faults`` — the fused loop with a *never-firing*
+  :class:`repro.faults.schedule.FaultSchedule` attached (one event at an
+  unreachable step).  The schedule machinery's per-step cost — the
+  due-occurrence check inside the loop — must stay within the same 2%
+  budget as telemetry; ``--check`` bounds ``faults_vs_fused``.
 
-All five produce identical executions (equal seeds ⇒ equal traces); the
+All six produce identical executions (equal seeds ⇒ equal traces); the
 report records steps/sec, moves/sec, per-size wall time, and the pairwise
 speedups.  The tracked baseline keeps the perf trajectory honest; CI runs
 a small-size smoke (``--check`` asserts fused ≥ fused+probe ≥ kernel ≥
@@ -68,6 +73,11 @@ CONFIGS = (
     ("fused", {"backend": "kernel"}, False, False),
     ("fused+probe", {"backend": "kernel"}, True, False),
     ("fused+telemetry", {"backend": "kernel"}, False, True),
+    # A schedule whose single event sits at an unreachable step: the
+    # fused loop pays the per-step due-check but never injects, so the
+    # execution is identical to plain ``fused``.
+    ("fused+faults", {"backend": "kernel", "faults": "at=1000000000"},
+     False, False),
 )
 
 
@@ -152,14 +162,16 @@ def run_benchmark(sizes: list[int], steps: int, seed: int, repeats: int) -> dict
                     f"{row['moves_per_s']:14,.0f} moves/s "
                     f"{row['wall_s'] * 1000:9.1f} ms"
                 )
-            # Telemetry is write-only observation: the traced run must
-            # be the same execution, not merely a similar one.
-            for field in ("steps", "moves", "rounds"):
-                if cell["fused+telemetry"][field] != cell["fused"][field]:
-                    raise SystemExit(
-                        f"FAIL: telemetry changed the execution — {field} "
-                        f"{cell['fused+telemetry'][field]} != {cell['fused'][field]}"
-                    )
+            # Telemetry is write-only observation, and a never-firing
+            # fault schedule never touches state: both runs must be the
+            # same execution, not merely a similar one.
+            for variant in ("fused+telemetry", "fused+faults"):
+                for field in ("steps", "moves", "rounds"):
+                    if cell[variant][field] != cell["fused"][field]:
+                        raise SystemExit(
+                            f"FAIL: {variant} changed the execution — {field} "
+                            f"{cell[variant][field]} != {cell['fused'][field]}"
+                        )
             ratios = {
                 "kernel_vs_dict": cell["kernel"]["steps_per_s"] / cell["dict"]["steps_per_s"],
                 "fused_vs_kernel": cell["fused"]["steps_per_s"] / cell["kernel"]["steps_per_s"],
@@ -177,6 +189,12 @@ def run_benchmark(sizes: list[int], steps: int, seed: int, repeats: int) -> dict
                     cell["fused+telemetry"]["steps_per_s"]
                     / cell["fused"]["steps_per_s"]
                 ),
+                # Throughput retained with a (never-firing) fault
+                # schedule attached — same 2% budget + noise floor.
+                "faults_vs_fused": (
+                    cell["fused+faults"]["steps_per_s"]
+                    / cell["fused"]["steps_per_s"]
+                ),
             }
             speedups[f"{daemon}/n={n}"] = {
                 key: round(value, 2) for key, value in ratios.items()
@@ -187,7 +205,8 @@ def run_benchmark(sizes: list[int], steps: int, seed: int, repeats: int) -> dict
                 f"fused/kernel {ratios['fused_vs_kernel']:.2f}x  "
                 f"fused/dict {ratios['fused_vs_dict']:.2f}x  "
                 f"fused+probe/kernel {ratios['fused_probe_vs_kernel']:.2f}x  "
-                f"telemetry/fused {ratios['telemetry_vs_fused']:.2f}x"
+                f"telemetry/fused {ratios['telemetry_vs_fused']:.2f}x  "
+                f"faults/fused {ratios['faults_vs_fused']:.2f}x"
             )
     return {
         "benchmark": "F1/F2 ring unison sweep (U o SDR, random initial configs)",
@@ -278,9 +297,21 @@ def main(argv: list[str] | None = None) -> int:
             print("FAIL: phase telemetry slowed the fused loop beyond its "
                   f"2% budget (plus noise allowance) at {heavy}")
             return 1
+        # An attached-but-idle fault schedule gets the same budget: the
+        # per-step due-check must not kick the loop off its fast path.
+        dragging = {
+            cell: ratios["faults_vs_fused"]
+            for cell, ratios in report["speedup_steps_per_s"].items()
+            if ratios["faults_vs_fused"] < 0.93
+        }
+        if dragging:
+            print("FAIL: the fault-schedule due-check slowed the fused loop "
+                  f"beyond its 2% budget (plus noise allowance) at {dragging}")
+            return 1
         print("OK: fused >= fused+probe >= kernel >= dict throughput at "
               "every size (stabilization measurement stays on the fused "
-              "loop; phase telemetry within its 2% budget)")
+              "loop; phase telemetry and the fault-schedule due-check "
+              "within their 2% budgets)")
     return 0
 
 

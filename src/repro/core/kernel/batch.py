@@ -87,6 +87,7 @@ def run_batch(
     until: UntilFn | None = None,
     exclusion_name: str | None = None,
     probes: Sequence[Sequence] | None = None,
+    faults: Sequence | None = None,
 ) -> BatchResult:
     """Run ``len(cfgs)`` trials of one cell as a single tiled simulation.
 
@@ -103,6 +104,14 @@ def run_batch(
     columns, so per-trial semantics match a single run) once at the
     start and after every step the trial executes, and a probe's
     ``done()`` freezes its trial with ``stop_reason="probe"``.
+    ``faults`` (optional) carries one bound
+    :class:`~repro.faults.schedule.BoundFaultSchedule` (or ``None``) per
+    trial: at the top of every iteration, a trial's due occurrences
+    corrupt its block in place (``opt_index`` values globalized by the
+    block offset, exactly like :meth:`Schema.encode_tiled`), guards are
+    recomputed, the trial's round bookkeeping is rebased, and its probes
+    get ``on_fault`` — byte-identical to the same schedule on a single
+    run.  Bound schedules are stateful: pass a fresh binding per trial.
     Raises :class:`~repro.core.exceptions.UnbatchableError` when the
     program or a daemon cannot be vectorized — callers catch exactly
     that and fall back to serial trials.
@@ -218,6 +227,41 @@ def run_batch(
         var.name for var in schema.vars if var.kind == "opt_index"
     )
 
+    scheds = None
+    if faults is not None and any(sched is not None for sched in faults):
+        if len(faults) != trials:
+            raise ValueError(
+                f"faults must align with cfgs: {len(faults)} != {trials}"
+            )
+        scheds = list(faults)
+    schema_vars = {var.name: var for var in schema.vars}
+
+    def inject(t: int, due) -> None:
+        """Apply trial ``t``'s fired occurrences to its block in place."""
+        lo = int(block_bounds[t])
+        for occ in due:
+            for u, name, value in occ.assignments:
+                code = schema_vars[name].encode_value(value)
+                if lo and name in opt_index_cols and code >= 0:
+                    code += lo
+                read[name][lo + u] = code
+
+    def rebase_rounds(t: int) -> None:
+        """Per-block twin of :meth:`ArrayRoundCounter.rebase`."""
+        lo, hi = block_bounds[t], block_bounds[t + 1]
+        block = enabled_mask[lo:hi]
+        pend_block = pending[lo:hi]
+        if not round_open[t]:
+            pend_block[:] = block
+            round_open[t] = bool(block.any())
+            return
+        pend_block &= block
+        if pend_block.any():
+            return
+        completed[t] += 1
+        pend_block[:] = block
+        round_open[t] = bool(block.any())
+
     def observe(t: int, phase: str, chosen_local, chosen_kinds=None) -> bool:
         """Show trial ``t``'s block to its probes; ``True`` = freeze it."""
         view = views[t]
@@ -281,6 +325,31 @@ def run_batch(
 
         while active:
             enabled_any = np.logical_or.reduceat(enabled_mask, block_starts)
+            if scheds is not None:
+                injected: list[tuple[int, list]] = []
+                for t in active:
+                    sched = scheds[t]
+                    if sched is None or sched.exhausted:
+                        continue
+                    due = sched.pop_due(steps[t], idle=not enabled_any[t])
+                    if due:
+                        inject(t, due)
+                        injected.append((t, due))
+                if injected:
+                    enabled_mask = compute_enabled()
+                    enabled_any = np.logical_or.reduceat(
+                        enabled_mask, block_starts
+                    )
+                    for t, due in injected:
+                        rebase_rounds(t)
+                        if probes is not None and probes[t]:
+                            for occ in due:
+                                info = scheds[t].info(
+                                    occ, step=steps[t], moves=moves[t],
+                                    rounds=completed[t],
+                                )
+                                for probe in probes[t]:
+                                    probe.on_fault(info)
             for t in list(active):
                 if not enabled_any[t]:
                     freeze(t, "terminal")

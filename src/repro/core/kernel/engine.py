@@ -290,6 +290,22 @@ class KernelRuntime:
         self.read, self.write = write, read
         self._masks = None
 
+    def inject(self, assignments) -> None:
+        """Corrupt registers in place: ``(process, variable, value)`` triples.
+
+        Values are *decoded* (the same plain-Python values the dict
+        backend writes via ``Configuration.set``); each is encoded
+        through the schema's declared domain, so a fault can never
+        smuggle an out-of-domain value into a column.  Invalidates the
+        guard-mask and enabled-map caches — the next ``enabled_map`` /
+        ``guard_masks`` call sees the corrupted configuration.
+        """
+        schema_vars = {var.name: var for var in self.program.schema.vars}
+        for u, name, value in assignments:
+            self.read[name][u] = schema_vars[name].encode_value(value)
+        self._masks = None
+        self._prev_valid = False
+
     # ------------------------------------------------------------------
     # Fused driving loop
     # ------------------------------------------------------------------
@@ -304,6 +320,7 @@ class KernelRuntime:
         exclusion_name: str | None = None,
         probes=(),
         view=None,
+        faults=None,
     ) -> FusedResult:
         """Drive guard-eval → daemon-mask → apply entirely over columns.
 
@@ -331,6 +348,16 @@ class KernelRuntime:
         ``stop_reason="probe"``.  The caller decodes at the boundary;
         nothing here builds a dict or a
         :class:`~repro.core.configuration.Configuration`.
+
+        ``faults`` is an optional bound
+        :class:`~repro.faults.schedule.BoundFaultSchedule`: at the top of
+        every iteration, due occurrences corrupt the read columns in
+        place (no step, no move), guards are recomputed, the round
+        counter is rebased, and probes get ``on_fault``.  A terminal
+        configuration with occurrences still pending pulls the next one
+        forward (self-stabilization is recovery from faults striking
+        legitimate configurations); if even that enables nothing, the
+        run ends terminal.
         """
         program, rules = self.program, self.rules
         nrules = len(rules)
@@ -424,9 +451,56 @@ class KernelRuntime:
                 return FusedResult(0, 0, acc.counts,
                                    self._rule_totals(moves_per_rule),
                                    "predicate", True)
+            fault_sched = faults if faults is not None and not faults.exhausted else None
+            # The hot loop compares the step counter against the next
+            # pending nominal step — one int comparison per iteration —
+            # and only calls into the schedule when something is due (or
+            # the configuration went terminal with occurrences pending).
+            fault_next = (
+                fault_sched.peek_next() if fault_sched is not None else None
+            )
+
+            def inject_due(due) -> "np.ndarray":
+                """Apply popped occurrences; return the new enabled mask."""
+                for occ in due:
+                    self.inject(occ.assignments)
+                mask = compute_enabled()
+                if rounds is not None:
+                    rounds.rebase(mask)
+                if probes:
+                    for occ in due:
+                        info = fault_sched.info(
+                            occ, step=steps0 + steps,
+                            moves=moves0 + moves,
+                            rounds=rounds.completed if rounds is not None else 0,
+                        )
+                        for probe in probes:
+                            probe.on_fault(info)
+                return mask
+
             while True:
+                if fault_next is not None and steps0 + steps >= fault_next:
+                    due = fault_sched.pop_due(steps0 + steps)
+                    if due:
+                        enabled_mask = inject_due(due)
+                    fault_next = fault_sched.peek_next()
+                    if fault_next is None:
+                        fault_sched = None
                 enabled_idx = enabled_mask.nonzero()[0]
                 if enabled_idx.shape[0] == 0:
+                    if fault_sched is not None:
+                        # Terminal with occurrences pending: pop anything
+                        # due, else pull exactly one forward — recovery
+                        # from faults is the workload, so the run only
+                        # ends when the schedule cannot disturb it again.
+                        due = fault_sched.pop_due(steps0 + steps, idle=True)
+                        if due:
+                            enabled_mask = inject_due(due)
+                        fault_next = fault_sched.peek_next()
+                        if fault_next is None:
+                            fault_sched = None
+                        if due and enabled_mask.any():
+                            continue
                     stop_reason = "terminal"
                     break
                 if steps >= max_steps:

@@ -103,6 +103,32 @@ class RoundCounter:
         self._pending = set(pending)
         self._started = True
 
+    def rebase(self, enabled_now: Iterable[int]) -> int:
+        """Re-anchor the pending set after an in-place configuration change.
+
+        Fault injection rewrites the configuration *between* steps: no
+        process moves, but guards flip arbitrarily.  Pending processes the
+        fault disabled are neutralized (resolved); faults add no new
+        debt to the current round.  If that resolves the whole pending
+        set, the round closes at the injected configuration and the next
+        round starts from its enabled set — mirroring
+        :meth:`observe_step`'s boundary rule.  Returns rounds completed.
+        """
+        if not self._started:
+            raise RuntimeError("RoundCounter.start() was not called")
+        enabled_now = set(enabled_now)
+        if not self._pending:
+            # Terminal suffix (or fresh boundary) woken by the fault: a new
+            # round starts at the injected configuration, nothing completes.
+            self._pending = enabled_now
+            return 0
+        self._pending &= enabled_now
+        if self._pending:
+            return 0
+        self.completed += 1
+        self._pending = enabled_now
+        return 1
+
 
 class ArrayRoundCounter:
     """:class:`RoundCounter` over per-process boolean columns.
@@ -169,4 +195,21 @@ class ArrayRoundCounter:
         self.completed += 1
         pending[:] = enabled_after
         self._has_pending = bool(enabled_after.any())
+        return 1
+
+    def rebase(self, enabled_now) -> int:
+        """Vectorized twin of :meth:`RoundCounter.rebase` (fault injection)."""
+        if not self._started:
+            raise RuntimeError("ArrayRoundCounter.start() was not called")
+        pending = self._pending
+        if not self._has_pending:
+            pending[:] = enabled_now
+            self._has_pending = bool(enabled_now.any())
+            return 0
+        pending &= enabled_now
+        if pending.any():
+            return 0
+        self.completed += 1
+        pending[:] = enabled_now
+        self._has_pending = bool(enabled_now.any())
         return 1

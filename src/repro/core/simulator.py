@@ -210,6 +210,17 @@ class Simulator:
         measurement does not cost the fast path; any probe wanting
         decoded records keeps the step-by-step loop (its ``on_step``
         hook — today's observer contract).
+    faults:
+        Optional mid-run fault schedule: a
+        :class:`repro.faults.schedule.FaultSchedule`, an already-bound
+        schedule, or a spec string (see :mod:`repro.faults.schedule`).
+        Unbound schedules without an explicit seed bind to this
+        simulator's ``seed`` (0 when constructed from ``rng``), so dict
+        and kernel executions with equal seeds inject byte-identical
+        corruption.  Occurrences fire inside :meth:`run`'s driving loops
+        (all of them — dict, kernel step-by-step, fused) between steps:
+        they add no steps/moves, rebase the round counter, and notify
+        probes via ``on_fault``.
 
     Notes
     -----
@@ -235,6 +246,7 @@ class Simulator:
         trace: Trace | None = None,
         observers: Sequence[Callable[["Simulator", StepRecord], Any]] = (),
         probes: Sequence[Any] = (),
+        faults: Any = None,
     ):
         if seed is not None and rng is not None:
             raise ValueError("provide either seed or rng, not both")
@@ -249,6 +261,7 @@ class Simulator:
         self.observers = list(observers)
         self.probes = list(probes)
         self._vec_daemon: Any = _VEC_UNRESOLVED
+        self.faults = self._resolve_faults(faults, seed)
 
         cfg = config.copy() if config is not None else algorithm.initial_configuration()
         if len(cfg) != self.network.n:
@@ -415,6 +428,76 @@ class Simulator:
                 f"{self.algorithm.name}: rules {offender[1]} simultaneously enabled "
                 f"at process {offender[0]}, but the algorithm declares mutual exclusion"
             )
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def _resolve_faults(self, faults: Any, seed: int | None):
+        """Coerce the ``faults`` argument into a bound schedule (or None)."""
+        if faults is None:
+            return None
+        from ..faults.schedule import BoundFaultSchedule, FaultSchedule, parse_schedule
+
+        if isinstance(faults, BoundFaultSchedule):
+            return faults
+        if isinstance(faults, str):
+            faults = parse_schedule(faults)
+        if not isinstance(faults, FaultSchedule):
+            raise TypeError(
+                f"faults must be a FaultSchedule, a bound schedule, or a "
+                f"spec string, not {type(faults).__name__}"
+            )
+        return faults.bind(self.algorithm, default_seed=seed if seed is not None else 0)
+
+    def _inject_occurrences(self, due) -> None:
+        """Apply fired occurrences to the live configuration, no step."""
+        if self.backend == "kernel":
+            for occ in due:
+                self._kernel.inject(occ.assignments)
+            self._cfg_dirty = True
+            if self._shadow is not None:
+                for occ in due:
+                    for u, var, value in occ.assignments:
+                        self._shadow.set(u, var, value)
+            self._enabled = self._kernel.enabled_map()
+            self._check_exclusion_kernel()
+            if self._shadow is not None:
+                self._compare_shadow_enabled()
+        else:
+            victims: set[int] = set()
+            for occ in due:
+                for u, var, value in occ.assignments:
+                    self.cfg.set(u, var, value)
+                victims.update(occ.victims)
+            self._update_enabled(victims)
+        self._enabled_snapshot = tuple(self._enabled)
+        self.rounds.rebase(self._enabled)
+        if self.probes:
+            for occ in due:
+                info = self.faults.info(
+                    occ, step=self.step_count, moves=self.move_count,
+                    rounds=self.rounds.completed,
+                )
+                for probe in self.probes:
+                    probe.on_fault(info)
+
+    def _poll_faults(self) -> bool:
+        """Fire due fault occurrences; ``False`` = stay terminal and stop.
+
+        Mirrors the fused loop's injection block exactly: due occurrences
+        (nominal step reached, or one pulled forward at a terminal
+        configuration) corrupt the state between steps; a pull-forward
+        that enables nothing ends the run terminal.
+        """
+        sched = self.faults
+        if sched is None or sched.exhausted:
+            return True
+        idle = not self._enabled
+        due = sched.pop_due(self.step_count, idle=idle)
+        if not due:
+            return True
+        self._inject_occurrences(due)
+        return not (idle and not self._enabled)
 
     # ------------------------------------------------------------------
     # Queries
@@ -630,7 +713,9 @@ class Simulator:
         rounds = ArrayRoundCounter.from_counter(self.rounds, self.network.n)
         check = self.strict and self.algorithm.mutually_exclusive_rules
         view = None
-        if self.probes:
+        if self.probes or self.faults is not None:
+            # Faults need the view too: its steps preset anchors the
+            # schedule's absolute step clock on resumed executions.
             from ..probes.view import ColumnView
 
             view = ColumnView(self._program)
@@ -645,9 +730,12 @@ class Simulator:
             exclusion_name=self.algorithm.name if check else None,
             probes=self.probes,
             view=view,
+            faults=self.faults,
         )
         vec.store_state(self.daemon)
         rounds.into_counter(self.rounds)
+        if self.faults is not None and self.faults.fired:
+            self._cfg_dirty = True  # zero-step runs can still have injected
         if result.steps:
             self.step_count += result.steps
             self.move_count += result.moves
@@ -720,24 +808,32 @@ class Simulator:
             stop_reason = "predicate"
         elif probes and any(probe.done() for probe in probes):
             stop_reason = "probe"
-        elif self.is_terminal():
-            stop_reason = "terminal"
         else:
             stepper = (
                 self._step_fast
                 if self.trace is None and not self.observers and not probes
                 else self.step
             )
-            for _ in range(max_steps):
+            executed = 0
+            # Loop order mirrors the fused driver exactly: fault poll,
+            # terminal check, budget check, step, stop checks.
+            while True:
+                if not self._poll_faults():
+                    stop_reason = "terminal"
+                    break
+                if self.is_terminal():
+                    stop_reason = "terminal"
+                    break
+                if executed >= max_steps:
+                    stop_reason = "budget"
+                    break
                 stepper()
+                executed += 1
                 if stop_when is not None and stop_when(self):
                     stop_reason = "predicate"
                     break
                 if probes and any(probe.done() for probe in probes):
                     stop_reason = "probe"
-                    break
-                if self.is_terminal():
-                    stop_reason = "terminal"
                     break
         return RunResult(
             steps=self.step_count,

@@ -12,7 +12,10 @@ at full hardware speed without giving up reproducibility:
   campaign master seed with the trial key, so results are identical for
   any execution order or worker count;
 * :mod:`~repro.engine.pool` — a ``multiprocessing`` executor with chunked
-  fan-out, progress callbacks, and an in-process serial fallback;
+  fan-out, progress callbacks, an in-process serial fallback, and — under
+  a :class:`FailurePolicy` — a supervised mode with per-trial deadlines,
+  bounded retries, a batch → serial → dict degradation ladder, and
+  poison-trial quarantine;
 * :mod:`~repro.engine.store` — an append-only JSONL store with atomic
   writes, schema versioning, and query helpers;
 * :mod:`~repro.engine.resume` — diff a grid against the store and run only
@@ -37,7 +40,7 @@ functions (``runner``).
 """
 
 from .campaign import KNOWN_ALGORITHMS, Campaign, TrialSpec
-from .pool import default_chunksize, execute_trial, run_specs
+from .pool import FailurePolicy, default_chunksize, execute_trial, run_specs
 from .reports import (
     aggregate,
     scaling_figure,
@@ -62,6 +65,7 @@ __all__ = [
     "spread_seed",
     "execute_trial",
     "run_specs",
+    "FailurePolicy",
     "default_chunksize",
     "SCHEMA_VERSION",
     "ResultStore",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Iterable, Sequence
 
 from ..telemetry import phases as telemetry
@@ -29,7 +30,13 @@ from .campaign import TrialSpec
 from .seeds import derive_seed
 from .store import SCHEMA_VERSION, ResultStore, trial_to_dict
 
-__all__ = ["execute_trial", "execute_batch", "run_specs", "default_chunksize"]
+__all__ = [
+    "execute_trial",
+    "execute_batch",
+    "run_specs",
+    "default_chunksize",
+    "FailurePolicy",
+]
 
 #: ``progress(done, total, record)`` — invoked in the parent exactly once
 #: per landed trial (and per skipped/streamed record on resume paths).
@@ -38,6 +45,50 @@ ProgressFn = Callable[[int, int, dict], None]
 #: Seconds between ``heartbeat`` events on an event sink (wall-clock
 #: throttle; the check itself runs once per landed record).
 HEARTBEAT_EVERY = 10.0
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """Graceful degradation for campaign execution.
+
+    Without a policy, ``run_specs`` keeps its historical contract: the
+    first failing unit re-raises mid-sweep.  With one, execution moves
+    to a *supervised* executor — one short-lived OS process per
+    in-flight unit, results returned over a pipe — which survives what
+    a ``multiprocessing.Pool`` cannot: a worker dying (``kill -9``,
+    OOM, segfault) or hanging past its deadline.  A failing unit is
+
+    1. **retried** on the same tier up to ``max_retries`` times with
+       exponential backoff (``backoff * 2**attempt`` seconds), then
+    2. **degraded** one rung down the ladder *batch → serial →
+       dict* — a failing batch splits into single trials, a failing
+       single trial re-runs on the dict reference engine (an execution
+       option, so its key and record bytes are unchanged), then
+    3. **quarantined**: a ``trial_failed`` event carrying ``reason``
+       (``crash``/``timeout``/``error``/``budget``) and ``retries``
+       is emitted, the failure is reported to the caller, and the rest
+       of the grid keeps running.  Siblings of a failed replicate land
+       exactly once.
+
+    ``trial_timeout`` is a per-trial wall-clock deadline in seconds
+    (a batch unit's deadline scales with its replicate count); ``None``
+    disables deadlines.  Budget exhaustion (``NotStabilized``) is
+    deterministic, so it quarantines immediately — retrying cannot
+    change a seeded trial's outcome.
+    """
+
+    trial_timeout: float | None = None
+    max_retries: int = 2
+    backoff: float = 0.5
+    degrade: bool = True
+
+    def __post_init__(self):
+        if self.trial_timeout is not None and self.trial_timeout <= 0:
+            raise ValueError("trial_timeout must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
 
 
 def execute_trial(spec: TrialSpec, campaign_seed: int, campaign: str = "") -> dict:
@@ -239,6 +290,208 @@ def _unit_keys(kind: str, item: Any) -> list[str]:
     return [item.key()]
 
 
+# ----------------------------------------------------------------------
+# Supervised execution (FailurePolicy)
+# ----------------------------------------------------------------------
+@dataclass
+class _WorkItem:
+    """One schedulable unit in the supervised executor's queue."""
+
+    kind: str                     # "batch" | "single"
+    payload: Any                  # tuple[TrialSpec] | TrialSpec
+    tier: str                     # "batch" | "single" | "dict"
+    retries: int = 0
+    not_before: float = 0.0
+
+    @property
+    def keys(self) -> list[str]:
+        return _unit_keys(self.kind, self.payload)
+
+
+def _supervised_worker(conn, args) -> None:
+    """Child side of the supervised executor: run one unit, send result.
+
+    Never raises into the sweep: a genuine defect (poison trial) is
+    reported over the pipe as an ``error`` failure so the parent can
+    retry/degrade/quarantine it.  The chaos hook fires *before* any
+    trial executes (see :mod:`repro.engine.chaos`), so a tripped worker
+    cannot have landed partial results.
+    """
+    kind, payload, campaign_seed, campaign = args
+    keys = _unit_keys(kind, payload)
+    from . import chaos
+
+    chaos.trip(keys)
+    try:
+        from ..core.exceptions import NotStabilized
+
+        records, error, meta = _worker(args)
+        info = None
+        if error is not None:
+            reason = "budget" if isinstance(error, NotStabilized) else "error"
+            info = {"reason": reason, "message": str(error)}
+        conn.send((records, info, meta))
+    except BaseException as exc:
+        conn.send((
+            [],
+            {"reason": "error", "message": f"{type(exc).__name__}: {exc}"},
+            {"kind": kind, "fallback": False, "keys": keys, "phases": None},
+        ))
+    finally:
+        conn.close()
+
+
+def _dict_fallback(spec: TrialSpec) -> TrialSpec:
+    """The same trial pinned to the dict reference engine.
+
+    ``backend`` is an execution option: excluded from the trial key, so
+    the degraded record is byte-identical to what the kernel tier would
+    have produced.  The decoded measurement tier rides along implicitly
+    (the dict engine never fuses).
+    """
+    params = tuple(
+        (k, v) for k, v in spec.params if k != "backend"
+    ) + (("backend", "dict"),)
+    return replace(spec, params=params)
+
+
+def _is_dict_tier(spec: TrialSpec) -> bool:
+    return dict(spec.params).get("backend") == "dict"
+
+
+def _run_supervised(
+    units: Sequence[tuple[str, Any]],
+    campaign_seed: int,
+    campaign: str,
+    *,
+    workers: int,
+    policy: FailurePolicy,
+    land_records: Callable[[list[dict], dict], None],
+    quarantine: Callable[[str, str, int, str], None],
+    landed: Callable[[str], bool],
+    absorb: Callable[[dict], None],
+) -> None:
+    """Drive all units to completion under a :class:`FailurePolicy`.
+
+    One OS process per in-flight unit (at most ``max(1, workers)``),
+    each with its own result pipe — a worker killed mid-write can
+    corrupt only its own channel, never a shared queue.  The parent is
+    the only writer of the store, exactly as on the pool path.
+    """
+    ctx = multiprocessing.get_context()
+    capacity = max(1, workers)
+    pending: list[_WorkItem] = [
+        _WorkItem(
+            kind,
+            payload,
+            tier=(
+                "batch" if kind == "batch"
+                else "dict" if _is_dict_tier(payload)
+                else "single"
+            ),
+        )
+        for kind, payload in units
+    ]
+    live: list[dict] = []
+
+    def unlanded(item: _WorkItem) -> list[str]:
+        return [key for key in item.keys if not landed(key)]
+
+    def fail(item: _WorkItem, reason: str, message: str) -> None:
+        now = time.monotonic()
+        if item.retries < policy.max_retries:
+            item.retries += 1
+            item.not_before = now + policy.backoff * (2 ** (item.retries - 1))
+            pending.append(item)
+            return
+        if policy.degrade and item.kind == "batch":
+            # One rung down: the cell's replicates as single trials.
+            pending.extend(
+                _WorkItem("single", spec, tier="single")
+                for spec in item.payload
+                if not landed(spec.key())
+            )
+            return
+        if policy.degrade and item.tier == "single":
+            pending.append(
+                _WorkItem("single", _dict_fallback(item.payload), tier="dict")
+            )
+            return
+        for key in unlanded(item):
+            quarantine(key, reason, item.retries, message)
+
+    def launch(item: _WorkItem) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        args = (item.kind, item.payload, campaign_seed, campaign)
+        proc = ctx.Process(
+            target=_supervised_worker, args=(child_conn, args), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        deadline = None
+        if policy.trial_timeout is not None:
+            deadline = time.monotonic() + policy.trial_timeout * len(item.keys)
+        live.append(
+            {"proc": proc, "conn": parent_conn, "item": item, "deadline": deadline}
+        )
+
+    def finish(entry: dict) -> None:
+        live.remove(entry)
+        entry["conn"].close()
+        entry["proc"].join()
+
+    while pending or live:
+        now = time.monotonic()
+        while len(live) < capacity:
+            idx = next(
+                (i for i, it in enumerate(pending) if it.not_before <= now),
+                None,
+            )
+            if idx is None:
+                break
+            launch(pending.pop(idx))
+
+        progressed = False
+        for entry in list(live):
+            proc, conn, item = entry["proc"], entry["conn"], entry["item"]
+            if conn.poll(0):
+                try:
+                    records, info, meta = conn.recv()
+                except EOFError:
+                    finish(entry)
+                    fail(item, "crash",
+                         f"worker died (exit {proc.exitcode}) before reporting")
+                    progressed = True
+                    continue
+                finish(entry)
+                absorb(meta.get("phases"))
+                land_records(records, meta)
+                if info is not None:
+                    if info["reason"] == "budget":
+                        # Deterministic: a seeded trial cannot stabilize
+                        # on retry.  Siblings already landed above.
+                        for key in unlanded(item):
+                            quarantine(key, "budget", item.retries,
+                                       info["message"])
+                    else:
+                        fail(item, info["reason"], info["message"])
+                progressed = True
+            elif not proc.is_alive():
+                finish(entry)
+                fail(item, "crash", f"worker died (exit {proc.exitcode})")
+                progressed = True
+            elif entry["deadline"] is not None and now > entry["deadline"]:
+                proc.kill()
+                finish(entry)
+                fail(item, "timeout",
+                     f"unit exceeded its deadline "
+                     f"({policy.trial_timeout:g}s per trial)")
+                progressed = True
+
+        if not progressed:
+            time.sleep(0.02)
+
+
 def run_specs(
     specs: Sequence[TrialSpec] | Iterable[TrialSpec],
     campaign_seed: int,
@@ -251,6 +504,8 @@ def run_specs(
     batch: bool = True,
     events=None,
     heartbeat_every: float = HEARTBEAT_EVERY,
+    policy: FailurePolicy | None = None,
+    failures: list | None = None,
 ) -> list[dict]:
     """Execute all ``specs``; return their records in spec order.
 
@@ -277,6 +532,15 @@ def run_specs(
     worker's hot-path phase timings are folded back into the parent's
     telemetry collector, so a sweep's phase breakdown covers the
     children's work too.
+
+    ``policy`` (a :class:`FailurePolicy`) switches to the *supervised*
+    executor: per-trial deadlines, bounded retries with backoff for
+    crashed workers, a batch → serial → dict degradation ladder, and
+    poison-trial quarantine.  With a policy, a failing trial no longer
+    aborts the sweep: the rest of the grid completes, quarantined
+    trials are appended to ``failures`` (a caller-supplied list of
+    ``{key, reason, retries, error}`` dicts) and the returned list
+    covers only the trials that landed.
     """
     specs = list(specs)
     total = len(specs)
@@ -350,10 +614,47 @@ def run_specs(
             land(record, meta)
         if error is not None:
             if events is not None:
+                from ..core.exceptions import NotStabilized
+
+                reason = "budget" if isinstance(error, NotStabilized) else "error"
                 for key in meta.get("keys", ()):
                     if key not in records_by_key:
-                        events.emit("trial_failed", key=key, error=str(error))
+                        events.emit(
+                            "trial_failed", key=key, error=str(error),
+                            reason=reason, retries=0,
+                        )
             raise error
+
+    if policy is not None:
+        def quarantine(key: str, reason: str, retries: int, message: str) -> None:
+            if failures is not None:
+                failures.append(
+                    {"key": key, "reason": reason, "retries": retries,
+                     "error": message}
+                )
+            if events is not None:
+                events.emit(
+                    "trial_failed", key=key, error=message,
+                    reason=reason, retries=retries,
+                )
+
+        def land_records(records: list[dict], meta: dict) -> None:
+            for record in records:
+                land(record, meta)
+
+        _run_supervised(
+            units, campaign_seed, campaign,
+            workers=workers, policy=policy,
+            land_records=land_records,
+            quarantine=quarantine,
+            landed=lambda key: key in records_by_key,
+            absorb=(stats.absorb if stats is not None else lambda delta: None),
+        )
+        return [
+            records_by_key[spec.key()]
+            for spec in specs
+            if spec.key() in records_by_key
+        ]
 
     if workers <= 1 or total <= 1:
         for args in payload:

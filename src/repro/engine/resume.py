@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .campaign import Campaign, TrialSpec
-from .pool import ProgressFn, run_specs
+from .pool import FailurePolicy, ProgressFn, run_specs
 from .store import ResultStore
 
 __all__ = ["CampaignOutcome", "completed_records", "missing_specs", "run_campaign"]
@@ -24,13 +24,17 @@ class CampaignOutcome:
     """What a (possibly resumed) campaign run produced.
 
     ``records`` always covers the *whole* grid, in grid order — stored
-    records for skipped trials, fresh records for executed ones.
+    records for skipped trials, fresh records for executed ones.  Under a
+    :class:`~repro.engine.pool.FailurePolicy`, quarantined trials are
+    listed in ``failures`` (``{key, reason, retries, error}`` dicts) and
+    omitted from ``records``; without a policy ``failures`` is empty.
     """
 
     campaign: Campaign
     records: list[dict] = field(default_factory=list)
     ran: int = 0
     skipped: int = 0
+    failures: list[dict] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -71,6 +75,7 @@ def run_campaign(
     progress: ProgressFn | None = None,
     batch: bool = True,
     events=None,
+    policy: FailurePolicy | None = None,
 ) -> CampaignOutcome:
     """Execute a campaign, optionally resuming from a partial store.
 
@@ -87,6 +92,13 @@ def run_campaign(
     process's telemetry phase breakdown when phase tracing is enabled.
     A crashed run leaves the log without a finish event, which is how
     the ``status`` reader distinguishes running/crashed from done.
+
+    ``policy`` (a :class:`~repro.engine.pool.FailurePolicy`) switches
+    execution to the supervised, crash-tolerant path: a failing trial is
+    retried, degraded down the batch → serial → dict ladder, and finally
+    quarantined into ``outcome.failures`` instead of aborting the sweep
+    — the rest of the grid always completes, and the returned records
+    cover every trial that landed.
     """
     import time
 
@@ -108,6 +120,7 @@ def run_campaign(
             store=str(store.path) if store is not None else None,
         )
     started = time.monotonic()
+    failures: list[dict] = []
     fresh = run_specs(
         todo,
         campaign.seed,
@@ -118,6 +131,8 @@ def run_campaign(
         store=store,
         batch=batch,
         events=events,
+        policy=policy,
+        failures=failures,
     )
     if events is not None:
         elapsed = time.monotonic() - started
@@ -133,7 +148,8 @@ def run_campaign(
     by_key.update((record["key"], record) for record in fresh)
     return CampaignOutcome(
         campaign=campaign,
-        records=[by_key[spec.key()] for spec in specs],
+        records=[by_key[s.key()] for s in specs if s.key() in by_key],
         ran=len(todo),
         skipped=len(specs) - len(todo),
+        failures=failures,
     )

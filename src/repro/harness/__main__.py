@@ -32,6 +32,15 @@ the per-step decoded observer path) or attaches a named auxiliary probe
 (``accounting:100``, ``trace:50``, ``sdr-moves``).  Measured
 moves/rounds/steps are independent of all of these; only wall time
 differs.
+
+``--faults SPEC`` attaches a deterministic fault schedule (see
+:mod:`repro.faults.schedule`) to every trial — unlike backend/probe it
+*changes* what is measured, so it is part of each trial's key.
+``--trial-timeout`` / ``--max-retries`` enable the supervised
+crash-tolerant executor (:class:`repro.engine.pool.FailurePolicy`):
+failing trials are retried, degraded batch → serial → dict, and finally
+quarantined — the sweep completes the rest of the grid and exits
+nonzero, printing the quarantine report.
 """
 
 from __future__ import annotations
@@ -110,6 +119,15 @@ def _build_campaign(args):
         params["backend"] = args.backend
     if getattr(args, "probe", None):
         params["probe"] = args.probe
+    if getattr(args, "faults", None):
+        # Validate the schedule grammar before any trial runs.  The spec
+        # is stored verbatim (not canonicalized): it changes measured
+        # results, so it is part of every trial key, and the key must
+        # match what the user typed / what a resume re-types.
+        from ..faults.schedule import parse_schedule
+
+        parse_schedule(args.faults)
+        params["faults"] = args.faults
     return Campaign(
         name=args.name,
         seed=args.seed,
@@ -194,6 +212,19 @@ def run_sweep(argv: list[str]) -> int:
                              "observer path) or a named auxiliary probe, "
                              "e.g. accounting:100, trace:50, sdr-moves "
                              "(stored results are identical for all of them)")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="fault schedule injected mid-run into every "
+                             "trial, e.g. 'burst=50,count=3,gap=100,k=2,"
+                             "scope=input'; part of the trial key (it "
+                             "changes measured results)")
+    parser.add_argument("--trial-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-trial wall-clock deadline; enables the "
+                             "supervised crash-tolerant executor")
+    parser.add_argument("--max-retries", type=int, default=None, metavar="N",
+                        help="retries per failing unit before degrading "
+                             "batch -> serial -> dict and quarantining "
+                             "(default 2); enables the supervised executor")
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes; 0 or 1 runs serially in-process")
     parser.add_argument("--no-batch", action="store_true",
@@ -208,12 +239,19 @@ def run_sweep(argv: list[str]) -> int:
                         help="suppress per-trial progress lines")
     args = parser.parse_args(argv)
 
-    from ..engine import ResultStore, run_campaign, summary_table
+    from ..engine import FailurePolicy, ResultStore, run_campaign, summary_table
 
     try:
         if args.probe is not None:
             _check_probe_selection(args.probe)
         campaign = _build_campaign(args)
+        policy = None
+        if args.trial_timeout is not None or args.max_retries is not None:
+            policy = FailurePolicy(
+                trial_timeout=args.trial_timeout,
+                max_retries=args.max_retries if args.max_retries is not None
+                else FailurePolicy.max_retries,
+            )
     except (ValueError, TypeError) as exc:
         print(f"error: {exc}")
         return 2
@@ -251,7 +289,7 @@ def run_sweep(argv: list[str]) -> int:
         outcome = run_campaign(
             campaign, store=store, workers=args.workers,
             resume=args.resume, progress=progress,
-            batch=not args.no_batch, events=events,
+            batch=not args.no_batch, events=events, policy=policy,
         )
     except (ReproError, ValueError) as exc:
         # Completed trials are already in --out; rerun with --resume to
@@ -292,6 +330,14 @@ def run_sweep(argv: list[str]) -> int:
     ran, skipped = outcome.ran, outcome.skipped
     where = f" -> {args.out}" if args.out else ""
     print(f"\n{ran} trial(s) run, {skipped} already stored{where}")
+    if outcome.failures:
+        # The rest of the grid completed; report the quarantine and exit
+        # nonzero so CI notices without losing the landed records.
+        print(f"\n{len(outcome.failures)} trial(s) quarantined:")
+        for failure in outcome.failures:
+            print(f"  {failure['key']} [{failure['reason']}, "
+                  f"{failure['retries']} retries]: {failure['error']}")
+        return 1
     return 0
 
 

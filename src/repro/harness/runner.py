@@ -29,7 +29,8 @@ from ..core.graph import Network
 from ..core.simulator import Simulator
 from ..faults.injector import corrupt_processes
 from ..faults.scenarios import clock_gradient, clock_split, fake_reset_wave, hollow_alliance
-from ..probes import StabilizationProbe
+from ..faults.schedule import parse_schedule
+from ..probes import RecoveryProbe, SdrWaveProbe, StabilizationProbe
 from ..probes.stabilization import resolve_mask
 from ..reset.sdr import SDR
 from ..topology import by_name
@@ -143,6 +144,106 @@ def _stabilization(
     return measure.step, measure.rounds, measure.moves
 
 
+def _fault_probes(sched, *, mask_attr=None, predicate=None, terminal=False,
+                  probe: str = "auto", waves: bool = True):
+    """Fresh ``(RecoveryProbe, SdrWaveProbe | None)`` for one fault trial.
+
+    Finite schedules stop the run once every burst recovered (the
+    stabilization predicate must *not* stop a fault trial — the workload
+    is recovery, not first convergence); silent compositions instead
+    stop at the natural re-termination after the last burst, so their
+    probe never requests a stop.
+    """
+    finite = sched.finite
+    recovery = RecoveryProbe(
+        None if terminal else predicate,
+        mask=mask_attr if (mask_attr is not None and probe != "decode") else None,
+        terminal=terminal,
+        expected=sched.total_occurrences if finite else None,
+        stop=finite and not terminal,
+    )
+    return recovery, (SdrWaveProbe() if waves else None)
+
+
+def _require_recovered(sched, bound, recovery, result) -> None:
+    """Finite schedules must fully recover; unbounded ones run to budget."""
+    if not sched.finite or recovery.all_recovered:
+        return
+    if result.stop_reason == "terminal" and bound.exhausted:
+        # A pulled-forward burst can leave a terminal configuration
+        # terminal (the drawn junk matched the current registers); no
+        # observation follows the break, so that burst stays open.
+        return
+    open_bursts = len(recovery.bursts) - recovery.recovered_count
+    pending = (sched.total_occurrences or 0) - len(recovery.bursts)
+    raise NotStabilized(
+        f"fault schedule not absorbed within {result.steps} steps "
+        f"({open_bursts} bursts unrecovered, {pending} not yet fired)",
+        steps=result.steps,
+    )
+
+
+def _serial_fault_trial(
+    algorithm_label: str,
+    algo,
+    network: Network,
+    cfg,
+    daemon: str | Daemon,
+    scenario: str,
+    seed: int,
+    faults,
+    *,
+    max_steps: int,
+    backend: str,
+    probe: str,
+    mask_attr: str | None = None,
+    predicate=None,
+    terminal: bool = False,
+    waves: bool = True,
+    extra_fn=None,
+) -> Trial:
+    """One trial whose measured workload is recovery from a fault schedule.
+
+    The schedule binds to the trial seed (unless it pins its own
+    ``seed=`` clause), injects mid-run on whichever backend executes,
+    and the per-burst recovery series lands in ``Trial.extra`` —
+    byte-identical across dict, fused, and batched execution.
+    """
+    sched = parse_schedule(faults)
+    bound = sched.bind(algo, default_seed=seed)
+    recovery, wave = _fault_probes(
+        sched, mask_attr=mask_attr, predicate=predicate, terminal=terminal,
+        probe=probe, waves=waves,
+    )
+    probes = [recovery] + ([wave] if wave is not None else [])
+    probes += _named_probes(probe, network.n)
+    sim = Simulator(algo, _make_daemon(daemon, network), config=cfg, seed=seed,
+                    backend=backend, fuse=probe != "decode",
+                    probes=probes, faults=bound)
+    result = sim.run(max_steps=max_steps)
+    _require_recovered(sched, bound, recovery, result)
+    extra = dict(extra_fn(sim)) if extra_fn is not None else {}
+    extra["faults"] = sched.canonical()
+    extra["recovery"] = recovery.summary()
+    if wave is not None:
+        extra["sdr_waves"] = wave.summary()
+    return Trial(
+        algorithm=algorithm_label,
+        scenario=scenario,
+        daemon=sim.daemon.name,
+        seed=seed,
+        n=network.n,
+        m=network.m,
+        diameter=network.diameter,
+        max_degree=network.max_degree,
+        rounds=result.rounds,
+        moves=result.moves,
+        steps=result.steps,
+        metrics=collect_metrics(sim),
+        extra=extra,
+    )
+
+
 def _unison_start(sdr: SDR, scenario: str, rng: Random):
     if scenario == "random":
         return sdr.random_configuration(rng)
@@ -203,6 +304,7 @@ def run_unison_trial(
     max_steps: int = UNISON_MAX_STEPS,
     backend: str = "auto",
     probe: str = "auto",
+    faults=None,
 ) -> Trial:
     """Run ``U ∘ SDR`` to its first normal configuration.
 
@@ -210,12 +312,22 @@ def run_unison_trial(
     the array kernel when available); ``probe`` selects the measurement
     tier (``"auto"`` rides the fused loop on a vectorized legitimacy
     mask, ``"decode"`` forces the per-step decoded path); results are
-    independent of both.
+    independent of both.  ``faults`` (a schedule spec or
+    :class:`~repro.faults.FaultSchedule`) switches the trial to the
+    recovery workload: the schedule injects mid-run, the per-burst
+    recovery series and SDR wave counters land in ``Trial.extra``, and
+    a finite schedule must be fully absorbed within ``max_steps``.
     """
     _check_probe_mode(probe)
     rng = Random(seed)
     sdr = SDR(Unison(network, period=period))
     cfg = _unison_start(sdr, scenario, rng)
+    if faults is not None:
+        return _serial_fault_trial(
+            "U o SDR", sdr, network, cfg, daemon, scenario, seed, faults,
+            max_steps=max_steps, backend=backend, probe=probe,
+            mask_attr="normal_mask", predicate=sdr.is_normal,
+        )
     sim = Simulator(sdr, _make_daemon(daemon, network), config=cfg, seed=seed,
                     backend=backend, fuse=probe != "decode",
                     probes=_named_probes(probe, network.n))
@@ -247,17 +359,27 @@ def run_boulinier_trial(
     max_steps: int = BOULINIER_MAX_STEPS,
     backend: str = "auto",
     probe: str = "auto",
+    faults=None,
 ) -> Trial:
     """Run the reset-tail baseline to its first legitimate configuration.
 
     The ``gradient``/``split`` scenarios mirror the ``U ∘ SDR`` ones on the
     shared clock variable so head-to-head comparisons start from the same
-    amount of clock disorder.
+    amount of clock disorder.  ``faults`` switches to the recovery
+    workload (no SDR wave counters — the baseline has no reset layer).
     """
     _check_probe_mode(probe)
     rng = Random(seed)
     algo = BoulinierUnison(network, period=period, alpha=alpha)
     cfg = _boulinier_start(algo, scenario, rng)
+    if faults is not None:
+        return _serial_fault_trial(
+            "boulinier", algo, network, cfg, daemon, scenario, seed, faults,
+            max_steps=max_steps, backend=backend, probe=probe,
+            mask_attr="legitimate_mask", predicate=algo.is_legitimate,
+            waves=False,
+            extra_fn=lambda sim: {"period": algo.period, "alpha": algo.alpha},
+        )
     sim = Simulator(algo, _make_daemon(daemon, network), config=cfg, seed=seed,
                     backend=backend, fuse=probe != "decode",
                     probes=_named_probes(probe, network.n))
@@ -291,17 +413,32 @@ def run_fga_trial(
     max_steps: int = FGA_MAX_STEPS,
     backend: str = "auto",
     probe: str = "auto",
+    faults=None,
 ) -> Trial:
     """Run ``FGA ∘ SDR`` to termination (the composition is silent).
 
     The composition terminates rather than hitting a predicate, so
     ``probe="decode"`` here simply forces the step-by-step loop
     (``fuse=False``) — the measurement itself needs no probe.
+    ``faults`` switches to the recovery workload: recovery means the
+    configuration is terminal again, and a finite schedule's last burst
+    ends the run at the natural re-termination.
     """
     _check_probe_mode(probe)
     rng = Random(seed)
     sdr = SDR(FGA(network, f, g))
     cfg = _fga_start(sdr, scenario, rng)
+    if faults is not None:
+        def fga_extra(sim):
+            alliance = sdr.input.alliance(sim.cfg)
+            return {"alliance_size": len(alliance),
+                    "alliance": frozenset(alliance)}
+
+        return _serial_fault_trial(
+            "FGA o SDR", sdr, network, cfg, daemon, scenario, seed, faults,
+            max_steps=max_steps, backend=backend, probe=probe,
+            terminal=True, extra_fn=fga_extra,
+        )
     sim = Simulator(sdr, _make_daemon(daemon, network), config=cfg, seed=seed,
                     backend=backend, fuse=probe != "decode",
                     probes=_named_probes(probe, network.n))
@@ -446,6 +583,8 @@ def run_trial_batch(
                 for t, existing in enumerate(probes)
             ]
     daemons = [make_daemon(spec.daemon, network) for _ in specs]
+    faults_spec = params.pop("faults", None)
+    fault_sched = parse_schedule(faults_spec) if faults_spec is not None else None
 
     if spec.algorithm == "unison":
         sdr = SDR(Unison(network, period=params.pop("period", None)))
@@ -453,17 +592,30 @@ def run_trial_batch(
         _reject_params(spec, params)
         cfgs = [_unison_start(sdr, spec.scenario, Random(seed)) for seed in seeds]
         program = _require_program(sdr)
+        until = _batch_until("normal_mask")
+        ok = lambda t, outcome: outcome.hit
+        failure = f"predicate 'legitimate' not reached within {max_steps} steps"
+        extra_fn = None
+        bounds = None
+        if fault_sched is not None:
+            bounds, recoveries, wave_probes, probes = _batch_fault_kit(
+                fault_sched, sdr, seeds, probes, mask_attr="normal_mask",
+            )
+            until = None
+            ok = _batch_fault_ok(fault_sched, bounds, recoveries)
+            failure = f"fault schedule not absorbed within {max_steps} steps"
+            extra_fn = _batch_fault_extra(fault_sched, recoveries, wave_probes)
         result = run_batch(
             program, cfgs, daemons, [Random(seed) for seed in seeds], network,
             max_steps=max_steps,
-            until=_batch_until("normal_mask"),
+            until=until,
             exclusion_name=sdr.name if sdr.mutually_exclusive_rules else None,
             probes=probes,
+            faults=bounds,
         )
         return _batch_trials(
             "U o SDR", spec, seeds, network, daemons, result.outcomes,
-            ok=lambda outcome: outcome.hit,
-            failure=f"predicate 'legitimate' not reached within {max_steps} steps",
+            ok=ok, failure=failure, extra_fn=extra_fn,
         )
 
     if spec.algorithm == "boulinier":
@@ -478,19 +630,34 @@ def run_trial_batch(
             _boulinier_start(algo, spec.scenario, Random(seed)) for seed in seeds
         ]
         program = _require_program(algo)
+        extra = {"period": algo.period, "alpha": algo.alpha}
+        until = _batch_until("legitimate_mask")
+        ok = lambda t, outcome: outcome.hit
+        failure = f"predicate 'legitimate' not reached within {max_steps} steps"
+        extra_fn = lambda t: dict(extra)
+        bounds = None
+        if fault_sched is not None:
+            bounds, recoveries, wave_probes, probes = _batch_fault_kit(
+                fault_sched, algo, seeds, probes, mask_attr="legitimate_mask",
+                waves=False,
+            )
+            until = None
+            ok = _batch_fault_ok(fault_sched, bounds, recoveries)
+            failure = f"fault schedule not absorbed within {max_steps} steps"
+            extra_fn = _batch_fault_extra(
+                fault_sched, recoveries, wave_probes, base_fn=extra_fn,
+            )
         result = run_batch(
             program, cfgs, daemons, [Random(seed) for seed in seeds], network,
             max_steps=max_steps,
-            until=_batch_until("legitimate_mask"),
+            until=until,
             exclusion_name=algo.name if algo.mutually_exclusive_rules else None,
             probes=probes,
+            faults=bounds,
         )
-        extra = {"period": algo.period, "alpha": algo.alpha}
         return _batch_trials(
             "boulinier", spec, seeds, network, daemons, result.outcomes,
-            ok=lambda outcome: outcome.hit,
-            failure=f"predicate 'legitimate' not reached within {max_steps} steps",
-            extra_fn=lambda t: dict(extra),
+            ok=ok, failure=failure, extra_fn=extra_fn,
         )
 
     if spec.algorithm == "fga":
@@ -501,11 +668,21 @@ def run_trial_batch(
         sdr = SDR(FGA(network, f, g))
         cfgs = [_fga_start(sdr, spec.scenario, Random(seed)) for seed in seeds]
         program = _require_program(sdr)
+        ok = lambda t, outcome: outcome.stop_reason == "terminal"
+        failure = f"no terminal configuration within {max_steps} steps"
+        bounds = None
+        if fault_sched is not None:
+            bounds, recoveries, wave_probes, probes = _batch_fault_kit(
+                fault_sched, sdr, seeds, probes, terminal=True,
+            )
+            ok = _batch_fault_ok(fault_sched, bounds, recoveries)
+            failure = f"fault schedule not absorbed within {max_steps} steps"
         result = run_batch(
             program, cfgs, daemons, [Random(seed) for seed in seeds], network,
             max_steps=max_steps,
             exclusion_name=sdr.name if sdr.mutually_exclusive_rules else None,
             probes=probes,
+            faults=bounds,
         )
 
         def fga_extra(t: int) -> dict:
@@ -513,11 +690,14 @@ def run_trial_batch(
             return {"alliance_size": len(alliance),
                     "alliance": frozenset(alliance)}
 
+        extra_fn = fga_extra
+        if fault_sched is not None:
+            extra_fn = _batch_fault_extra(
+                fault_sched, recoveries, wave_probes, base_fn=fga_extra,
+            )
         return _batch_trials(
             "FGA o SDR", spec, seeds, network, daemons, result.outcomes,
-            ok=lambda outcome: outcome.stop_reason == "terminal",
-            failure=f"no terminal configuration within {max_steps} steps",
-            extra_fn=fga_extra,
+            ok=ok, failure=failure, extra_fn=extra_fn,
         )
 
     raise ValueError(f"algorithm {spec.algorithm!r} cannot run batched")
@@ -540,6 +720,58 @@ def _reject_params(spec: "TrialSpec", params: dict) -> None:
             f"unexpected params {sorted(params)} for batched "
             f"{spec.algorithm!r} trials"
         )
+
+
+def _batch_fault_kit(sched, algo, seeds, probes, *, mask_attr=None,
+                     terminal=False, waves=True):
+    """Per-trial fault bindings and probes for one batched cell.
+
+    Bound schedules and probes are stateful, so every replicate gets a
+    fresh binding (seeded by its own trial seed) and fresh probe
+    instances, exactly as the serial path does.  Returns ``(bounds,
+    recoveries, wave_probes, probes)`` with the fault probes prepended
+    to any caller-provided per-trial probe lists (serial order:
+    recovery, waves, then named selections).
+    """
+    bounds = [sched.bind(algo, default_seed=seed) for seed in seeds]
+    recoveries, wave_probes, fault_lists = [], [], []
+    for _ in seeds:
+        recovery, wave = _fault_probes(
+            sched, mask_attr=mask_attr, terminal=terminal, waves=waves,
+        )
+        recoveries.append(recovery)
+        wave_probes.append(wave)
+        fault_lists.append([recovery] + ([wave] if wave is not None else []))
+    if probes is None:
+        merged = fault_lists
+    else:
+        merged = [
+            fault_lists[t] + list(existing) for t, existing in enumerate(probes)
+        ]
+    return bounds, recoveries, wave_probes, merged
+
+
+def _batch_fault_ok(sched, bounds, recoveries):
+    """Success notion for fault cells — mirrors :func:`_require_recovered`."""
+
+    def ok(t, outcome) -> bool:
+        if not sched.finite or recoveries[t].all_recovered:
+            return True
+        return outcome.stop_reason == "terminal" and bounds[t].exhausted
+
+    return ok
+
+
+def _batch_fault_extra(sched, recoveries, wave_probes, base_fn=None):
+    def extra(t: int) -> dict:
+        out = dict(base_fn(t)) if base_fn is not None else {}
+        out["faults"] = sched.canonical()
+        out["recovery"] = recoveries[t].summary()
+        if wave_probes[t] is not None:
+            out["sdr_waves"] = wave_probes[t].summary()
+        return out
+
+    return extra
 
 
 def _batch_until(mask_attr: str):
@@ -586,7 +818,7 @@ def _batch_trials(
     finished: list[tuple[int, Trial]] = []
     first_bad = None
     for t, (seed, daemon, outcome) in enumerate(zip(seeds, daemons, outcomes)):
-        if ok(outcome):
+        if ok(t, outcome):
             finished.append((t, _batch_trial(
                 algorithm, spec, seed, network, daemon, outcome,
                 extra=extra_fn(t) if extra_fn is not None else None,

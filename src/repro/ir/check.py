@@ -12,7 +12,13 @@ For every registered algorithm (:mod:`repro.ir.registry`) the lint
   configurations and checks them against the dict guards (mask
   coverage: an omitted mask key must mean an everywhere-false guard);
 * for input rule sets, checks the ``icorrect``/``reset`` predicates
-  (both compilations) against ``p_icorrect``/``p_reset``.
+  (both compilations) against ``p_icorrect``/``p_reset``;
+* domain soundness: every value ``algorithm.random_state`` can draw must
+  encode within its schema column's declared dtype and the tiled batch
+  layout (:func:`check_domains`) — the fault injector corrupts registers
+  by drawing from exactly this distribution and writing the encoded
+  value straight into (possibly tiled) columns, so an out-of-domain draw
+  here would mean vectorized corruption could overflow a tile.
 
 Exit status 0 when every rule set passes; 1 otherwise, with one line per
 problem.  CI runs this as a build step, so an IR definition that drifts
@@ -26,10 +32,13 @@ from random import Random
 from .registry import registered_algorithms
 from .rules import InputRuleSet
 
-__all__ = ["check_algorithm", "run_check", "main"]
+__all__ = ["check_algorithm", "check_domains", "run_check", "main"]
 
 #: Random configurations probed per algorithm (plus the initial one).
 _SEEDS = (0, 1, 2)
+
+#: Random-state draws per process for the domain-soundness lint.
+_DOMAIN_DRAWS = 8
 
 
 def _configurations(algorithm):
@@ -134,12 +143,88 @@ def check_algorithm(label: str, algorithm) -> list[str]:
     return problems
 
 
+def check_domains(label: str, algorithm) -> list[str]:
+    """Domain-soundness findings: ``random_state`` draws vs the schema.
+
+    The fault subsystem (:mod:`repro.faults.schedule`) corrupts a victim
+    register by drawing a fresh value from ``algorithm.random_state`` and
+    writing its *encoded* form directly into the kernel columns — on the
+    batched path, into a ``(T, n)``-tiled column slice addressed as
+    ``t*n + u``.  That is only safe if every drawable value
+
+    * encodes without raising (enum values inside the declared domain),
+    * fits the column dtype exactly (``int8`` for enum codes, ``int64``
+      for ints — a draw outside int64 would wrap silently), and
+    * for ``opt_index`` variables stays in ``{None} ∪ [0, n)``: the
+      tiled layout stores process *indices* plus a block offset, so a
+      local index ≥ n would alias a neighbouring trial's tile.
+    """
+    rule_set = algorithm.rule_set()
+    if rule_set is None:
+        return []  # no IR definition: reported by check_algorithm already
+    problems: list[str] = []
+    n = algorithm.network.n
+    schema = rule_set.schema
+    int64_info = (-(2**63), 2**63 - 1)
+    for seed in _SEEDS:
+        rng = Random(seed)
+        for u in algorithm.network.processes():
+            for _ in range(_DOMAIN_DRAWS):
+                state = algorithm.random_state(u, rng)
+                for var in schema.vars:
+                    if var.name not in state:
+                        problems.append(
+                            f"{label}: random_state({u}) omits "
+                            f"variable {var.name!r}"
+                        )
+                        continue
+                    value = state[var.name]
+                    try:
+                        code = var.encode_value(value)
+                    except Exception as exc:
+                        problems.append(
+                            f"{label}: random_state({u}) drew "
+                            f"{var.name}={value!r} which does not encode: "
+                            f"{exc}"
+                        )
+                        continue
+                    if var.kind == "bool" and not isinstance(value, bool):
+                        problems.append(
+                            f"{label}: random_state({u}) drew non-bool "
+                            f"{var.name}={value!r}"
+                        )
+                    elif var.kind == "enum" and not (
+                        0 <= code < len(var.values)
+                    ):
+                        problems.append(
+                            f"{label}: random_state({u}) drew "
+                            f"{var.name}={value!r} outside the enum domain"
+                        )
+                    elif var.kind == "opt_index" and not (-1 <= code < n):
+                        problems.append(
+                            f"{label}: random_state({u}) drew "
+                            f"{var.name}={value!r} — opt_index code {code} "
+                            f"outside [-1, {n}) breaks the tiled layout"
+                        )
+                    elif var.kind == "int" and not (
+                        int64_info[0] <= code <= int64_info[1]
+                    ):
+                        problems.append(
+                            f"{label}: random_state({u}) drew "
+                            f"{var.name}={value!r} outside int64"
+                        )
+                if problems:
+                    return problems  # one draw's findings are enough
+    return problems
+
+
 def run_check(out=print) -> int:
     """Lint every registered rule set; return a process exit status."""
     failures = 0
     for label, factory in registered_algorithms():
         algorithm = factory()
         problems = check_algorithm(label, algorithm)
+        problems += check_domains(label, algorithm)
         if problems:
             failures += 1
             for problem in problems:

@@ -17,6 +17,9 @@ exposes to instrumentation):
   over vectorized legitimacy masks.
 * :class:`AccountingProbe` / :class:`TraceProbe` — periodic accounting
   snapshots and every-k-steps configuration sampling.
+* :class:`RecoveryProbe` / :class:`SdrWaveProbe` — per-fault-burst
+  recovery stopwatches and SDR reset-wave counters, armed by the
+  drivers' ``on_fault`` notification (see :mod:`repro.faults.schedule`).
 * :class:`LegacyObserverProbe` / :func:`as_probe` — the deprecation
   shim wrapping legacy observer callables.
 
@@ -33,6 +36,7 @@ Migration from the legacy API::
 """
 
 from .base import LegacyObserverProbe, Probe, as_probe
+from .recovery import RecoveryProbe, SdrWaveProbe
 from .registry import PROBE_NAMES, is_named_probe, make_probe
 from .sampling import AccountingProbe, TraceProbe
 from .stabilization import StabilizationProbe, StopProbe
@@ -47,6 +51,8 @@ __all__ = [
     "StopProbe",
     "AccountingProbe",
     "TraceProbe",
+    "RecoveryProbe",
+    "SdrWaveProbe",
     "PROBE_NAMES",
     "is_named_probe",
     "make_probe",

@@ -107,6 +107,20 @@ class Probe:
         """
 
     # ------------------------------------------------------------------
+    # Fault notifications (tier-agnostic)
+    # ------------------------------------------------------------------
+    def on_fault(self, info) -> None:
+        """Observe one mid-run fault injection (a ``FaultInfo``).
+
+        Invoked by every driver — dict, kernel, fused, batched —
+        immediately after a :class:`~repro.faults.schedule.FaultSchedule`
+        occurrence corrupts the configuration, on both capability tiers.
+        Injection adds no steps/moves/rounds; ``info`` carries the totals
+        at the corrupted configuration plus the victims and variables
+        hit.  Default: no-op.
+        """
+
+    # ------------------------------------------------------------------
     # Stop requests
     # ------------------------------------------------------------------
     def done(self) -> bool:

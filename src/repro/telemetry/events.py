@@ -25,7 +25,9 @@ Event types and their payloads:
     ``key``, ``status``, ``steps``, ``unit`` ("batch"/"serial"),
     ``fallback`` (bool: a batch cell that fell back to serial).
 ``trial_failed``
-    ``key``, ``error`` (message string).
+    ``key``, ``error`` (message string), ``reason``
+    (``crash``/``timeout``/``error``/``budget``), ``retries`` (attempts
+    beyond the first on the tier that finally failed).
 ``heartbeat``
     ``done``, ``total``, ``elapsed_s``, ``trials_per_s``, ``eta_s``
     (null until estimable), ``utilization`` (done workers' share of
@@ -67,7 +69,7 @@ EVENT_TYPES = {
     "campaign_started": ("total", "pending", "workers", "batch", "store"),
     "cell_composed": ("cell", "trials", "kind"),
     "trial_finished": ("key", "status", "steps", "unit", "fallback"),
-    "trial_failed": ("key", "error"),
+    "trial_failed": ("key", "error", "reason", "retries"),
     "heartbeat": ("done", "total", "elapsed_s", "trials_per_s", "eta_s"),
     "campaign_finished": ("done", "total", "elapsed_s", "trials_per_s"),
 }

@@ -30,7 +30,8 @@ def summarize_status(store_path: str | os.PathLike) -> dict:
 
     Returned fields: ``store`` (path), ``records`` (landed trials),
     ``total`` (campaign size from events, else null), ``by_algorithm``
-    and ``by_daemon`` tallies, ``failures`` (list of ``{key, error}``),
+    and ``by_daemon`` tallies, ``failures`` (list of ``{key, error,
+    reason, retries}``),
     ``last_event`` (type + age of the newest event), ``throughput``
     (latest heartbeat/finish metrics), ``running`` (best-effort: events
     exist and no ``campaign_finished`` yet), and ``manifest`` (the
@@ -67,7 +68,14 @@ def summarize_status(store_path: str | os.PathLike) -> dict:
             total = event["total"]
             finished = False
         elif etype == "trial_failed":
-            failures.append({"key": event["key"], "error": event["error"]})
+            failures.append(
+                {
+                    "key": event["key"],
+                    "error": event["error"],
+                    "reason": event.get("reason", "error"),
+                    "retries": event.get("retries", 0),
+                }
+            )
         elif etype in ("heartbeat", "campaign_finished"):
             throughput = {
                 "done": event["done"],
@@ -136,7 +144,12 @@ def render_status(summary: dict) -> str:
         lines.append(line)
 
     for failure in summary["failures"]:
-        lines.append(f"FAILED {failure['key']}: {failure['error']}")
+        reason = failure.get("reason", "error")
+        retries = failure.get("retries", 0)
+        lines.append(
+            f"FAILED {failure['key']} [{reason}, {retries} retries]: "
+            f"{failure['error']}"
+        )
 
     manifest = summary["manifest"]
     if manifest:

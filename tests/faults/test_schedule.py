@@ -1,0 +1,167 @@
+"""FaultSchedule: parsing, canonical forms, and committed determinism."""
+
+import pytest
+
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultSchedule,
+    parse_schedule,
+)
+from repro.reset import SDR
+from repro.topology import ring
+from repro.unison import Unison
+
+
+def unison_sdr(n=8):
+    return SDR(Unison(ring(n)))
+
+
+class TestParsing:
+    def test_roundtrip_is_fixed_point(self):
+        specs = [
+            "at=100,k=3,vars=c",
+            "every=250",
+            "every=100,start=40,count=5,k=2",
+            "storm=1000-2000,cadence=50,k=2",
+            "burst=500,count=3,gap=100,k=2,scope=input",
+            "at=0,procs=1|4;at=64,k=2,clustered",
+            "burst=10,count=2,gap=5;every=7,count=3,seed=9",
+        ]
+        for spec in specs:
+            canonical = parse_schedule(spec).canonical()
+            assert parse_schedule(canonical).canonical() == canonical, spec
+
+    def test_surface_forms_normalize_to_start_gap_count(self):
+        storm = parse_schedule("storm=100-300,cadence=50").events[0]
+        assert (storm.start, storm.gap, storm.count) == (100, 50, 5)
+        burst = parse_schedule("burst=100,count=5,gap=50").events[0]
+        assert (burst.start, burst.gap, burst.count) == (100, 50, 5)
+        assert list(storm.occurrence_steps()) == list(burst.occurrence_steps())
+        at = parse_schedule("at=7").events[0]
+        assert (at.start, at.gap, at.count) == (7, 0, 1)
+
+    def test_every_is_unbounded(self):
+        sched = parse_schedule("every=250")
+        assert not sched.finite
+        assert sched.total_occurrences is None
+        assert parse_schedule("every=250,count=4").total_occurrences == 4
+
+    def test_total_occurrences_sums_events(self):
+        sched = parse_schedule("burst=10,count=3,gap=5;at=99")
+        assert sched.finite and sched.total_occurrences == 4
+
+    def test_explicit_seed_lands_in_canonical_and_equality(self):
+        pinned = parse_schedule("at=10,seed=5")
+        assert "seed=5" in pinned.canonical()
+        assert pinned != parse_schedule("at=10")
+        assert pinned == parse_schedule("at=10,seed=5")
+
+    @pytest.mark.parametrize("spec", [
+        "bogus=10",
+        "at=10,scope=nowhere",
+        "at=10,vars=c,scope=input",
+        "at=10,procs=1|2,clustered",
+        "every=0",
+        "burst=10,count=0,gap=5",
+        "",
+    ])
+    def test_invalid_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            parse_schedule(spec)
+
+    def test_repeating_event_requires_gap(self):
+        with pytest.raises(ValueError):
+            FaultEvent("burst", 10, gap=0, count=3)
+
+
+class TestBoundDeterminism:
+    SPEC = "burst=20,count=3,gap=30,k=2"
+
+    def drain(self, bound, max_step=400):
+        occurrences = []
+        step = 0
+        while not bound.exhausted and step <= max_step:
+            occurrences += bound.pop_due(step)
+            step += 1
+        return occurrences
+
+    def test_same_seed_same_assignments(self):
+        algo = unison_sdr()
+        a = self.drain(parse_schedule(self.SPEC).bind(algo, default_seed=7))
+        b = self.drain(parse_schedule(self.SPEC).bind(algo, default_seed=7))
+        assert [o.assignments for o in a] == [o.assignments for o in b]
+        assert [o.victims for o in a] == [o.victims for o in b]
+
+    def test_different_seed_different_assignments(self):
+        algo = unison_sdr()
+        a = self.drain(parse_schedule(self.SPEC).bind(algo, default_seed=7))
+        b = self.drain(parse_schedule(self.SPEC).bind(algo, default_seed=8))
+        assert [o.assignments for o in a] != [o.assignments for o in b]
+
+    def test_pull_forward_keeps_nominal_draws(self):
+        """An occurrence pulled forward injects the same corruption."""
+        algo = unison_sdr()
+        nominal = self.drain(parse_schedule(self.SPEC).bind(algo, 7))
+        pulled_bound = parse_schedule(self.SPEC).bind(algo, 7)
+        pulled = []
+        while not pulled_bound.exhausted:
+            pulled += pulled_bound.pop_due(0, idle=True)  # terminal at step 0
+        assert [o.assignments for o in pulled] == [
+            o.assignments for o in nominal
+        ]
+        # Nominal steps are preserved for reporting even when pulled.
+        assert [o.step for o in pulled] == [20, 50, 80]
+
+    def test_pop_due_with_nothing_due_mutates_nothing(self):
+        bound = parse_schedule(self.SPEC).bind(unison_sdr(), 7)
+        assert bound.pop_due(5) == []
+        assert bound.peek_next() == 20
+        assert bound.pop_due(19) == []
+        assert len(bound.pop_due(20)) == 1
+        assert bound.peek_next() == 50
+
+    def test_overlapping_events_fire_in_step_then_declaration_order(self):
+        bound = parse_schedule("at=10,procs=1;at=10,procs=2;at=5,procs=3").bind(
+            unison_sdr(), 0
+        )
+        due = bound.pop_due(10)
+        assert [o.step for o in due] == [5, 10, 10]
+        assert [o.event for o in due] == [2, 0, 1]
+        assert [o.burst for o in due] == [0, 1, 2]
+
+    def test_assignments_stay_inside_declared_domains(self):
+        algo = unison_sdr()
+        schema = algo.rule_set().schema
+        n = algo.network.n
+        for spec in ("burst=5,count=4,gap=10,k=3",
+                     "at=0,k=2,scope=input",
+                     "at=0,k=2,scope=reset",
+                     "at=0,k=2,vars=st|d"):
+            for occ in self.drain(parse_schedule(spec).bind(algo, 3)):
+                assert occ.victims
+                for proc, var, value in occ.assignments:
+                    assert 0 <= proc < n
+                    assert var in algo.variables()
+                    for candidate in schema.vars:
+                        if candidate.name == var:
+                            candidate.encode_value(value)  # must not raise
+                            break
+                    else:  # pragma: no cover - schema always has the var
+                        raise AssertionError(var)
+
+    def test_scope_partitions_the_composition_seam(self):
+        algo = unison_sdr()
+        reset_vars = {"st", "d"}
+        for occ in self.drain(parse_schedule("every=10,count=4,k=2,scope=input")
+                              .bind(algo, 1)):
+            assert {v for _, v, _ in occ.assignments}.isdisjoint(reset_vars)
+        for occ in self.drain(parse_schedule("every=10,count=4,k=2,scope=reset")
+                              .bind(algo, 1)):
+            assert {v for _, v, _ in occ.assignments} <= reset_vars
+
+    def test_named_procs_and_vars_are_honoured(self):
+        bound = parse_schedule("at=3,procs=2|5,vars=c").bind(unison_sdr(), 0)
+        (occ,) = bound.pop_due(3)
+        assert occ.victims == (2, 5)
+        assert {v for _, v, _ in occ.assignments} == {"c"}
+        assert {p for p, _, _ in occ.assignments} == {2, 5}

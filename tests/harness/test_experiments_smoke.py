@@ -69,9 +69,16 @@ class TestSmallExperiments:
         result = experiments.experiment_p1(sizes=(6,), topologies=("ring",), trials=1)
         assert result.ok
 
+    def test_t11(self):
+        result = experiments.experiment_t11(
+            n=8, trials=1, fault_counts=(1,), cadences=(30,), bursts=2
+        )
+        assert result.ok
+        assert result.table.rows
+
     def test_registry_complete(self):
         assert set(experiments.REGISTRY) == {
-            "T1/T2", "T3/T4", "T5", "T6/T7", "T8", "T9", "T10",
+            "T1/T2", "T3/T4", "T5", "T6/T7", "T8", "T9", "T10", "T11",
             "F1/F2", "F3", "F4", "F5", "F6", "P1", "A1",
         }
 

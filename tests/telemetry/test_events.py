@@ -36,7 +36,7 @@ class TestValidation:
 
     def test_envelope_is_stamped(self):
         sink = MemoryEventSink()
-        sink.emit("trial_failed", key="k", error="boom")
+        sink.emit("trial_failed", key="k", error="boom", reason="error", retries=0)
         event = sink.events[0]
         assert event["v"] == EVENT_SCHEMA_VERSION
         assert isinstance(event["ts"], float)
@@ -44,7 +44,8 @@ class TestValidation:
 
     def test_validate_rejects_bad_envelope(self):
         with pytest.raises(EventError):
-            validate_event({"event": "trial_failed", "key": "k", "error": "x"})
+            validate_event({"event": "trial_failed", "key": "k", "error": "x",
+                            "reason": "error", "retries": 0})
         with pytest.raises(EventError):
             validate_event({"v": EVENT_SCHEMA_VERSION, "ts": 1.0})
 
@@ -74,8 +75,8 @@ class TestJsonlRoundTrip:
     def test_truncated_tail_is_tolerated(self, tmp_path):
         path = tmp_path / "r.events.jsonl"
         sink = JsonlEventSink(path)
-        sink.emit("trial_failed", key="a", error="x")
-        sink.emit("trial_failed", key="b", error="y")
+        sink.emit("trial_failed", key="a", error="x", reason="error", retries=0)
+        sink.emit("trial_failed", key="b", error="y", reason="error", retries=0)
         sink.close()
         # Simulate a crash mid-write: a partial trailing line.
         with path.open("a", encoding="utf-8") as fh:
@@ -88,11 +89,12 @@ class TestJsonlRoundTrip:
     def test_mid_file_garbage_stops_the_read(self, tmp_path):
         path = tmp_path / "r.events.jsonl"
         sink = JsonlEventSink(path)
-        sink.emit("trial_failed", key="a", error="x")
+        sink.emit("trial_failed", key="a", error="x", reason="error", retries=0)
         sink.close()
         with path.open("a", encoding="utf-8") as fh:
             fh.write("not json\n")
             fh.write(json.dumps({"v": 1, "ts": 2.0, "event": "trial_failed",
-                                 "key": "b", "error": "y"}) + "\n")
+                                 "key": "b", "error": "y",
+                                 "reason": "error", "retries": 0}) + "\n")
         # Non-strict reads must not resynchronize past corruption.
         assert [e["key"] for e in read_events(path)] == ["a"]

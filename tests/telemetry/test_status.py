@@ -75,11 +75,14 @@ class TestPartialSweep:
         sink = JsonlEventSink(events_path_for(store_path))
         sink.emit("campaign_started", total=2, pending=2, workers=0,
                   batch=True, store=str(store_path))
-        sink.emit("trial_failed", key="some|trial", error="budget exhausted")
+        sink.emit("trial_failed", key="some|trial", error="budget exhausted",
+                  reason="budget", retries=1)
         sink.close()
         summary = summarize_status(store_path)
         assert summary["failures"] == [
-            {"key": "some|trial", "error": "budget exhausted"}
+            {"key": "some|trial", "error": "budget exhausted",
+             "reason": "budget", "retries": 1}
         ]
         assert summary["running"] is True
-        assert "FAILED some|trial: budget exhausted" in render_status(summary)
+        assert ("FAILED some|trial [budget, 1 retries]: budget exhausted"
+                in render_status(summary))
