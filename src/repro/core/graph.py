@@ -3,9 +3,16 @@
 The paper models the system as a simple undirected connected graph
 ``G = (V, E)`` where ``V`` is the set of processes and ``E`` the set of
 communication links (Section 2.1).  :class:`Network` freezes such a graph
-into an immutable, index-based adjacency structure optimised for the hot
-path of the simulator: guard evaluation repeatedly iterates over closed
-neighborhoods.
+into an index-based adjacency structure optimised for the hot path of the
+simulator: guard evaluation repeatedly iterates over closed neighborhoods.
+
+The structure is immutable under normal operation; the one sanctioned
+mutation surface is :meth:`Network.apply_delta`, used by topology churn
+(:mod:`repro.faults.churn`) to drop/add links mid-run.  The process set
+(and hence every index and identifier) never changes — a crashed process
+merely loses all of its links — and every derived view (adjacency
+tuples, degree vector, cached CSR, cached diameter) is rebuilt or
+invalidated atomically so no reader can observe a stale topology.
 
 Processes are identified *internally* by integers ``0 .. n-1``.  This does
 not contradict the anonymity assumption of the paper: anonymous algorithms
@@ -172,6 +179,55 @@ class Network:
 
     def are_neighbors(self, u: int, v: int) -> bool:
         return v in self._adj_sets[u]
+
+    # ------------------------------------------------------------------
+    # Topology churn (the only sanctioned mutation surface)
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        drops: Iterable[tuple[int, int]] = (),
+        adds: Iterable[tuple[int, int]] = (),
+    ) -> None:
+        """Mutate the link set in place: remove ``drops``, insert ``adds``.
+
+        Both arguments are iterables of undirected index pairs.  The
+        process set is fixed — churn silences processes by removing
+        their links, it never deletes them — so the result may be
+        disconnected; connectivity policy is the churn scheduler's job,
+        not this method's.  Dropping an absent link or adding a present
+        or degenerate one is a :class:`TopologyError`.  All derived
+        views (adjacency, degrees, CSR cache, diameter cache) are
+        rebuilt before returning.
+        """
+        drops = tuple(drops)
+        adds = tuple(adds)
+        for u, v in drops:
+            if v not in self._adj_sets[u]:
+                raise TopologyError(f"cannot drop absent link ({u}, {v})")
+        for u, v in adds:
+            if u == v:
+                raise TopologyError(f"self-loop ({u}, {u}) is not allowed")
+            if v in self._adj_sets[u]:
+                raise TopologyError(f"cannot add present link ({u}, {v})")
+        names = self._names
+        for u, v in drops:
+            self._graph.remove_edge(names[u], names[v])
+        for u, v in adds:
+            self._graph.add_edge(names[u], names[v])
+        self._rebuild_adjacency()
+
+    def _rebuild_adjacency(self) -> None:
+        """Re-derive every adjacency view from ``_graph`` and drop caches."""
+        adjacency = []
+        for name in self._names:
+            neigh = sorted(self._index_of[w] for w in self._graph.neighbors(name))
+            adjacency.append(tuple(neigh))
+        self._adj = tuple(adjacency)
+        self._closed_adj = tuple((u, *neigh) for u, neigh in enumerate(self._adj))
+        self._adj_sets = tuple(frozenset(a) for a in self._adj)
+        self._degrees = tuple(len(a) for a in self._adj)
+        self._csr = None
+        self._diameter = None
 
     def csr(self) -> tuple:
         """Adjacency in CSR form: ``(indptr, indices)`` numpy int64 arrays.

@@ -8,10 +8,13 @@ process at once becomes one gather over the edge array plus one segmented
 reduction — no python-level loop over processes or neighbors.
 
 The reductions use ``ufunc.reduceat`` over the edge array.  ``reduceat``
-mis-handles empty segments, but a :class:`~repro.core.graph.Network` is
-connected, so for ``n ≥ 2`` every process has degree ≥ 1 and every
-segment is non-empty; the single-process network (no edges at all) is
-special-cased to the vacuous value of each quantifier.
+mis-handles empty segments, so that fast path is reserved for layouts
+where every process has degree ≥ 1 (any connected network with
+``n ≥ 2``).  Layouts with isolated processes — the zero-edge network,
+or any graph after crash/drop-edge churn (:meth:`apply_delta`) — take a
+``ufunc.at`` scatter path instead, which hands every quantifier its
+vacuous value on empty neighborhoods (count 0, ∀ true, ∃ false, fold
+default).
 """
 
 from __future__ import annotations
@@ -37,7 +40,7 @@ class CSRAdjacency:
 
     __slots__ = (
         "n", "indptr", "indices", "edge_src", "deg", "_starts", "_no_edges",
-        "_stride",
+        "_has_empty", "_stride",
     )
 
     def __init__(self, network):
@@ -51,7 +54,11 @@ class CSRAdjacency:
         self.deg = np.diff(indptr)
         self.edge_src = np.repeat(np.arange(self.n, dtype=np.int64), self.deg)
         self._starts = indptr[:-1]
-        self._no_edges = indices.shape[0] == 0  # the single-process network
+        self._no_edges = indices.shape[0] == 0  # zero edges at all
+        #: Any degree-0 process present → ``reduceat`` is off the table
+        #: (it mis-handles empty segments); reductions scatter with
+        #: ``ufunc.at`` instead.
+        self._has_empty = bool(self._no_edges or not self.deg.all())
         #: Constant degree of a regular graph (0 = irregular).  For small
         #: constant degrees the segmented reductions specialize to strided
         #: element-wise chains (``flags[0::d] op flags[1::d] op …``), which
@@ -88,6 +95,36 @@ class CSRAdjacency:
         np.cumsum(np.tile(block, copies), out=indptr[1:])
         return CSRAdjacency.from_arrays(indptr, indices, copies * n)
 
+    def apply_delta(self, drops, adds) -> None:
+        """Patch the adjacency in place: remove ``drops``, insert ``adds``.
+
+        Both are iterables of undirected ``(u, v)`` index pairs; callers
+        (the churn scheduler) guarantee drops exist and adds don't.  The
+        edit stays in array space — edges are encoded as directed keys
+        ``u·n + v``, filtered/merged, and the CSR layout re-derived —
+        so the result is exactly a from-scratch rebuild of the mutated
+        edge set, including ``_stride`` and the empty-segment guards.
+        """
+        n = self.n
+        keys = self.edge_src * n + self.indices
+        if drops:
+            dead = np.fromiter(
+                (p * n + q for u, v in drops for p, q in ((u, v), (v, u))),
+                dtype=np.int64,
+            )
+            keys = keys[np.isin(keys, dead, invert=True)]
+        if adds:
+            born = np.fromiter(
+                (p * n + q for u, v in adds for p, q in ((u, v), (v, u))),
+                dtype=np.int64,
+            )
+            keys = np.concatenate((keys, born))
+            keys.sort()
+        src, dst = np.divmod(keys, n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+        self._init_from(indptr, dst, n)
+
     # ------------------------------------------------------------------
     # Gathers
     # ------------------------------------------------------------------
@@ -112,6 +149,10 @@ class CSRAdjacency:
             for lane in range(1, d):
                 out += edge_flags[lane::d]
             return out
+        if self._has_empty:
+            out = np.zeros(self.n, dtype=np.int64)
+            np.add.at(out, self.edge_src, edge_flags.astype(np.int64, copy=False))
+            return out
         return np.add.reduceat(edge_flags.astype(np.int64, copy=False), self._starts)
 
     def all_neigh(self, edge_flags: np.ndarray) -> np.ndarray:
@@ -124,6 +165,10 @@ class CSRAdjacency:
             for lane in range(2, d):
                 out &= edge_flags[lane::d]
             return out
+        if self._has_empty:
+            out = np.ones(self.n, dtype=np.bool_)
+            np.logical_and.at(out, self.edge_src, edge_flags)
+            return out
         return np.logical_and.reduceat(edge_flags, self._starts)
 
     def any_neigh(self, edge_flags: np.ndarray) -> np.ndarray:
@@ -135,6 +180,10 @@ class CSRAdjacency:
             out = edge_flags[0::d] | edge_flags[1::d]
             for lane in range(2, d):
                 out |= edge_flags[lane::d]
+            return out
+        if self._has_empty:
+            out = np.zeros(self.n, dtype=np.bool_)
+            np.logical_or.at(out, self.edge_src, edge_flags)
             return out
         return np.logical_or.reduceat(edge_flags, self._starts)
 

@@ -260,6 +260,12 @@ class VectorDaemon:
     def store_state(self, daemon: Daemon) -> None:
         """Export mutable scheduling state back into the dict daemon."""
 
+    def refresh_topology(self, csr) -> None:
+        """Adopt a churn-mutated adjacency (no-op for topology-blind
+        daemons).  The fused loop calls this after every applied churn
+        occurrence with the program's patched
+        :class:`~repro.core.kernel.csr.CSRAdjacency`."""
+
 
 class VectorSynchronous(VectorDaemon):
     """Everybody moves; no randomness."""
@@ -378,6 +384,12 @@ class VectorLocallyCentral(VectorDaemon):
             blocked[indices[indptr[u] : indptr[u + 1]]] = True
         chosen.sort()
         return np.asarray(chosen, dtype=np.int64)
+
+    def refresh_topology(self, csr) -> None:
+        """Track churn: the dict twin reads ``network.neighbors`` live,
+        so the snapshot must follow every topology mutation."""
+        self._indptr = csr.indptr
+        self._indices = csr.indices
 
 
 def vectorize(daemon: Daemon, network) -> VectorDaemon | None:

@@ -168,6 +168,7 @@ class KernelRuntime:
         "rules",
         "read",
         "write",
+        "live",
         "max_enabled_rules",
         "_masks",
         "_singles",
@@ -185,6 +186,11 @@ class KernelRuntime:
             name: col.copy() for name, col in self.read.items()
         }
         n = len(cfg)
+        #: Liveness column — ``None`` until topology churn crashes a
+        #: process (the common no-churn case pays nothing), then a bool
+        #: vector ANDed into every guard mask: a crashed process is never
+        #: enabled, never selected, never counted.
+        self.live: np.ndarray | None = None
         self._masks: dict[str, np.ndarray] | None = None
         self._singles = [(rule,) for rule in self.rules]
         #: Per process: index of its single enabled rule, -1 if disabled
@@ -202,7 +208,14 @@ class KernelRuntime:
     # ------------------------------------------------------------------
     def guard_masks(self) -> dict[str, np.ndarray]:
         if self._masks is None:
-            self._masks = self.program.guard_masks(self.read)
+            masks = self.program.guard_masks(self.read)
+            if self.live is not None:
+                masks = {
+                    rule: mask & self.live
+                    for rule, mask in masks.items()
+                    if mask is not None
+                }
+            self._masks = masks
         return self._masks
 
     def enabled_map(self) -> dict[int, tuple[str, ...]]:
@@ -306,6 +319,37 @@ class KernelRuntime:
         self._masks = None
         self._prev_valid = False
 
+    def apply_churn(self, occ) -> None:
+        """Mirror one churn occurrence into the columnar engine.
+
+        Patches the program's CSR adjacency in place
+        (:meth:`~repro.core.kernel.csr.CSRAdjacency.apply_delta`),
+        invalidates its edge-space caches, maintains the liveness
+        column, and injects join state through :meth:`inject` (schema
+        encoding, same as faults).  A crashed process's registers stay
+        frozen in the columns — neighbors can no longer read them
+        because its edges are gone, and the liveness mask keeps it out
+        of every enabled set.
+        """
+        if occ.drops or occ.adds:
+            program = self.program
+            program.csr.apply_delta(occ.drops, occ.adds)
+            # Edge-space caches (e.g. the IR programs' ``edge_true``)
+            # are sized by the edge count, which just changed.
+            if getattr(program, "_edge_true", None) is not None:
+                program._edge_true = None
+        if occ.victims:
+            if occ.action == "crash":
+                if self.live is None:
+                    self.live = np.ones(self._rule_idx.shape[0], dtype=np.bool_)
+                self.live[list(occ.victims)] = False
+            elif occ.action == "join" and self.live is not None:
+                self.live[list(occ.victims)] = True
+        if occ.assignments:
+            self.inject(occ.assignments)
+        self._masks = None
+        self._prev_valid = False
+
     # ------------------------------------------------------------------
     # Fused driving loop
     # ------------------------------------------------------------------
@@ -321,6 +365,7 @@ class KernelRuntime:
         probes=(),
         view=None,
         faults=None,
+        churn=None,
     ) -> FusedResult:
         """Drive guard-eval → daemon-mask → apply entirely over columns.
 
@@ -358,6 +403,15 @@ class KernelRuntime:
         forward (self-stabilization is recovery from faults striking
         legitimate configurations); if even that enables nothing, the
         run ends terminal.
+
+        ``churn`` is an optional bound
+        :class:`~repro.faults.churn.BoundChurnSchedule`, handled with
+        the same hoisted one-int-comparison hot path as ``faults``
+        (checked right after them, both at the loop top and in the
+        terminal pull-forward): due occurrences patch the CSR adjacency
+        and the liveness column via :meth:`apply_churn`, refresh the
+        vectorized daemon's topology snapshot, recompute guards, rebase
+        the round counter, and hand probes ``on_churn``.
         """
         program, rules = self.program, self.rules
         nrules = len(rules)
@@ -408,6 +462,7 @@ class KernelRuntime:
             # dispatch_rules only materializes rule_idx in the multi-rule
             # case; the single-rule fast path leaves it stale.
             view.rule_idx = rule_idx if only_rule[0] == -2 else None
+            view.live = self.live
             view.steps = steps0 + steps
             view.moves = moves0 + moves
             view.rounds = rounds.completed if rounds is not None else 0
@@ -459,6 +514,10 @@ class KernelRuntime:
             fault_next = (
                 fault_sched.peek_next() if fault_sched is not None else None
             )
+            churn_sched = churn if churn is not None and not churn.exhausted else None
+            churn_next = (
+                churn_sched.peek_next() if churn_sched is not None else None
+            )
 
             def inject_due(due) -> "np.ndarray":
                 """Apply popped occurrences; return the new enabled mask."""
@@ -478,6 +537,25 @@ class KernelRuntime:
                             probe.on_fault(info)
                 return mask
 
+            def churn_due(due) -> "np.ndarray":
+                """Apply popped churn occurrences; return the enabled mask."""
+                for occ in due:
+                    self.apply_churn(occ)
+                    daemon.refresh_topology(self.program.csr)
+                mask = compute_enabled()
+                if rounds is not None:
+                    rounds.rebase(mask)
+                if probes:
+                    for occ in due:
+                        info = churn_sched.info(
+                            occ, step=steps0 + steps,
+                            moves=moves0 + moves,
+                            rounds=rounds.completed if rounds is not None else 0,
+                        )
+                        for probe in probes:
+                            probe.on_churn(info)
+                return mask
+
             while True:
                 if fault_next is not None and steps0 + steps >= fault_next:
                     due = fault_sched.pop_due(steps0 + steps)
@@ -486,6 +564,13 @@ class KernelRuntime:
                     fault_next = fault_sched.peek_next()
                     if fault_next is None:
                         fault_sched = None
+                if churn_next is not None and steps0 + steps >= churn_next:
+                    due = churn_sched.pop_due(steps0 + steps)
+                    if due:
+                        enabled_mask = churn_due(due)
+                    churn_next = churn_sched.peek_next()
+                    if churn_next is None:
+                        churn_sched = None
                 enabled_idx = enabled_mask.nonzero()[0]
                 if enabled_idx.shape[0] == 0:
                     if fault_sched is not None:
@@ -493,13 +578,31 @@ class KernelRuntime:
                         # due, else pull exactly one forward — recovery
                         # from faults is the workload, so the run only
                         # ends when the schedule cannot disturb it again.
+                        # A finite schedule re-polls even when the pull
+                        # woke nobody (it must play out in full); an
+                        # infinite one falls through and the run ends.
                         due = fault_sched.pop_due(steps0 + steps, idle=True)
                         if due:
                             enabled_mask = inject_due(due)
+                        finite = fault_sched.schedule.finite
                         fault_next = fault_sched.peek_next()
                         if fault_next is None:
                             fault_sched = None
-                        if due and enabled_mask.any():
+                        if due and (enabled_mask.any() or finite):
+                            continue
+                    if churn_sched is not None:
+                        # Same pull-forward contract for churn: a silent
+                        # system still experiences its topology events
+                        # (an add_edge at a silent fixpoint commonly
+                        # wakes nobody but must not strand later ones).
+                        due = churn_sched.pop_due(steps0 + steps, idle=True)
+                        if due:
+                            enabled_mask = churn_due(due)
+                        finite = churn_sched.schedule.finite
+                        churn_next = churn_sched.peek_next()
+                        if churn_next is None:
+                            churn_sched = None
+                        if due and (enabled_mask.any() or finite):
                             continue
                     stop_reason = "terminal"
                     break

@@ -221,6 +221,19 @@ class Simulator:
         (all of them — dict, kernel step-by-step, fused) between steps:
         they add no steps/moves, rebase the round counter, and notify
         probes via ``on_fault``.
+    churn:
+        Optional mid-run topology churn: a
+        :class:`repro.faults.churn.ChurnSchedule`, an already-bound
+        schedule, or a spec string (see :mod:`repro.faults.churn`).
+        Seed binding follows the ``faults`` convention.  Occurrences
+        mutate the network between steps on every driving loop — links
+        drop/appear, processes crash (state frozen, edges removed,
+        excluded from guards/daemon/accounting via :attr:`dead`) and
+        rejoin with domain-random state — identically across backends;
+        probes are notified via ``on_churn``.  The simulator's
+        :class:`~repro.core.graph.Network` is mutated in place (the
+        fused loop syncs it from the schedule's canonical state on
+        exit), so construct churn trials on a fresh network.
 
     Notes
     -----
@@ -247,6 +260,7 @@ class Simulator:
         observers: Sequence[Callable[["Simulator", StepRecord], Any]] = (),
         probes: Sequence[Any] = (),
         faults: Any = None,
+        churn: Any = None,
     ):
         if seed is not None and rng is not None:
             raise ValueError("provide either seed or rng, not both")
@@ -262,6 +276,10 @@ class Simulator:
         self.probes = list(probes)
         self._vec_daemon: Any = _VEC_UNRESOLVED
         self.faults = self._resolve_faults(faults, seed)
+        self.churn = self._resolve_churn(churn, seed)
+        #: Crashed-and-not-rejoined process ids under topology churn
+        #: (kept out of the enabled set on every backend).
+        self.dead: set[int] = set()
 
         cfg = config.copy() if config is not None else algorithm.initial_configuration()
         if len(cfg) != self.network.n:
@@ -374,7 +392,10 @@ class Simulator:
 
     def _recompute_all_enabled(self) -> None:
         self._enabled = {}
+        dead = self.dead
         for u in self.network.processes():
+            if u in dead:
+                continue  # crashed: frozen state, never enabled
             rules = self._enabled_rules_checked(u)
             if rules:
                 self._enabled[u] = rules
@@ -396,7 +417,11 @@ class Simulator:
     def _update_enabled(self, moved: Iterable[int]) -> None:
         enabled = self._enabled
         inserted = False
+        dead = self.dead
         for u in self._affected_by(moved):
+            if u in dead:
+                enabled.pop(u, None)
+                continue
             rules = self._enabled_rules_checked(u)
             if rules:
                 inserted = inserted or u not in enabled
@@ -482,12 +507,16 @@ class Simulator:
                     probe.on_fault(info)
 
     def _poll_faults(self) -> bool:
-        """Fire due fault occurrences; ``False`` = stay terminal and stop.
+        """Fire due fault occurrences; ``False`` = re-poll before stepping.
 
         Mirrors the fused loop's injection block exactly: due occurrences
         (nominal step reached, or one pulled forward at a terminal
-        configuration) corrupt the state between steps; a pull-forward
-        that enables nothing ends the run terminal.
+        configuration) corrupt the state between steps.  A pull-forward
+        from a *finite* schedule that enables nothing answers ``False``
+        so the driving loop polls again — a finite schedule always plays
+        out in full before the run can end terminal.  An infinite
+        schedule whose pull wakes nobody falls through (``True``) and
+        the run ends terminal, exactly like the fused driver.
         """
         sched = self.faults
         if sched is None or sched.exhausted:
@@ -497,7 +526,113 @@ class Simulator:
         if not due:
             return True
         self._inject_occurrences(due)
-        return not (idle and not self._enabled)
+        return not (idle and not self._enabled and sched.schedule.finite)
+
+    # ------------------------------------------------------------------
+    # Topology churn
+    # ------------------------------------------------------------------
+    def _resolve_churn(self, churn: Any, seed: int | None):
+        """Coerce the ``churn`` argument into a bound schedule (or None)."""
+        if churn is None:
+            return None
+        from ..faults.churn import BoundChurnSchedule, ChurnSchedule, parse_churn
+
+        if isinstance(churn, BoundChurnSchedule):
+            return churn
+        if isinstance(churn, str):
+            churn = parse_churn(churn)
+        if not isinstance(churn, ChurnSchedule):
+            raise TypeError(
+                f"churn must be a ChurnSchedule, a bound schedule, or a "
+                f"spec string, not {type(churn).__name__}"
+            )
+        return churn.bind(self.algorithm, default_seed=seed if seed is not None else 0)
+
+    def _apply_churn_occurrences(self, due) -> None:
+        """Mirror fired churn occurrences into every live structure, no step.
+
+        The bound schedule already committed each occurrence's delta to
+        its canonical state — including the shared :class:`Network`,
+        which it mirrors at draw time so state-dependent draws see the
+        same topology on every backend.  This applies the delta to the
+        executing engine and the dead set, recomputes the enabled set
+        from scratch (a topology change can flip guards anywhere),
+        rebases the round counter, and notifies probes.
+        """
+        for occ in due:
+            if occ.action == "crash":
+                self.dead.update(occ.victims)
+            elif occ.action == "join":
+                self.dead.difference_update(occ.victims)
+        if self.backend == "kernel":
+            for occ in due:
+                self._kernel.apply_churn(occ)
+            self._cfg_dirty = True
+            # A resolved vectorized daemon twin snapshots CSR arrays at
+            # construction; keep it current for any later fused stretch.
+            if self._vec_daemon is not _VEC_UNRESOLVED and self._vec_daemon is not None:
+                self._vec_daemon.refresh_topology(self._program.csr)
+            if self._shadow is not None:
+                for occ in due:
+                    for u, var, value in occ.assignments:
+                        self._shadow.set(u, var, value)
+            self._enabled = self._kernel.enabled_map()
+            self._check_exclusion_kernel()
+            if self._shadow is not None:
+                self._compare_shadow_enabled()
+        else:
+            for occ in due:
+                for u, var, value in occ.assignments:
+                    self.cfg.set(u, var, value)
+            self._recompute_all_enabled()
+        self._enabled_snapshot = tuple(self._enabled)
+        self.rounds.rebase(self._enabled)
+        if self.probes:
+            for occ in due:
+                info = self.churn.info(
+                    occ, step=self.step_count, moves=self.move_count,
+                    rounds=self.rounds.completed,
+                )
+                for probe in self.probes:
+                    probe.on_churn(info)
+
+    def _poll_churn(self) -> bool:
+        """Fire due churn occurrences; ``False`` = re-poll before stepping.
+
+        Mirrors the fused loop's churn block exactly (and
+        :meth:`_poll_faults`, which must run first — the fused loop
+        checks faults before churn both at the loop top and in the
+        terminal pull-forward).  Same finite-schedule contract as the
+        fault poll: a pulled occurrence that wakes nobody (an
+        ``add_edge`` at a silent fixpoint is the common case) forces a
+        re-poll until the schedule exhausts or the system wakes.
+        """
+        sched = self.churn
+        if sched is None or sched.exhausted:
+            return True
+        idle = not self._enabled
+        due = sched.pop_due(self.step_count, idle=idle)
+        if not due:
+            return True
+        self._apply_churn_occurrences(due)
+        return not (idle and not self._enabled and sched.schedule.finite)
+
+    def _sync_churn_topology(self) -> None:
+        """Adopt the bound schedule's canonical topology after a fused run.
+
+        The schedule mirrors every link delta into the shared
+        :class:`~repro.core.graph.Network` at draw time, so the edge
+        diff below is normally empty (it is kept as a cheap invariant
+        repair); the :attr:`dead` set, which only the stepped loops
+        track occurrence by occurrence, always catches up here.
+        """
+        current = set(self.churn.current_edges())
+        have = {tuple(sorted(e)) for e in self.network.edges()}
+        drops = sorted(have - current)
+        adds = sorted(current - have)
+        if drops or adds:
+            self.network.apply_delta(drops, adds)
+        self.dead = set(self.churn.dead())
 
     # ------------------------------------------------------------------
     # Queries
@@ -649,7 +784,8 @@ class Simulator:
         reference_enabled = {
             u: rules
             for u in self.network.processes()
-            if (rules := self.algorithm.enabled_rules(shadow, u))
+            if u not in self.dead
+            and (rules := self.algorithm.enabled_rules(shadow, u))
         }
         if reference_enabled != self._enabled:
             raise ModelViolation(
@@ -713,9 +849,10 @@ class Simulator:
         rounds = ArrayRoundCounter.from_counter(self.rounds, self.network.n)
         check = self.strict and self.algorithm.mutually_exclusive_rules
         view = None
-        if self.probes or self.faults is not None:
-            # Faults need the view too: its steps preset anchors the
-            # schedule's absolute step clock on resumed executions.
+        if self.probes or self.faults is not None or self.churn is not None:
+            # Faults and churn need the view too: its steps preset
+            # anchors the schedules' absolute step clock on resumed
+            # executions.
             from ..probes.view import ColumnView
 
             view = ColumnView(self._program)
@@ -731,11 +868,15 @@ class Simulator:
             probes=self.probes,
             view=view,
             faults=self.faults,
+            churn=self.churn,
         )
         vec.store_state(self.daemon)
         rounds.into_counter(self.rounds)
         if self.faults is not None and self.faults.fired:
             self._cfg_dirty = True  # zero-step runs can still have injected
+        if self.churn is not None and self.churn.fired:
+            self._sync_churn_topology()
+            self._cfg_dirty = True
         if result.steps:
             self.step_count += result.steps
             self.move_count += result.moves
@@ -751,6 +892,8 @@ class Simulator:
             self._cfg_dirty = True
         self._enabled = self._kernel.enabled_map()
         self._enabled_snapshot = tuple(self._enabled)
+        for probe in self.probes:
+            probe.on_finish(self)
         return RunResult(
             steps=self.step_count,
             moves=self.move_count,
@@ -816,11 +959,18 @@ class Simulator:
             )
             executed = 0
             # Loop order mirrors the fused driver exactly: fault poll,
-            # terminal check, budget check, step, stop checks.
+            # churn poll, terminal check, budget check, step, stop
+            # checks.  (Each poll fires due occurrences and, at a
+            # terminal configuration, pulls one forward; a ``False``
+            # poll means a finite-schedule pull left the configuration
+            # terminal with occurrences still pending, so the loop
+            # re-polls — the run only ends terminal once no schedule
+            # can disturb it again.)
             while True:
                 if not self._poll_faults():
-                    stop_reason = "terminal"
-                    break
+                    continue
+                if not self._poll_churn():
+                    continue
                 if self.is_terminal():
                     stop_reason = "terminal"
                     break
@@ -835,6 +985,8 @@ class Simulator:
                 if probes and any(probe.done() for probe in probes):
                     stop_reason = "probe"
                     break
+        for probe in probes:
+            probe.on_finish(self)
         return RunResult(
             steps=self.step_count,
             moves=self.move_count,

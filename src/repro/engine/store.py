@@ -18,6 +18,7 @@ import json
 import os
 import pathlib
 import tempfile
+import warnings
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 __all__ = [
@@ -65,11 +66,46 @@ class ResultStore:
     # ------------------------------------------------------------------
     # writes
     # ------------------------------------------------------------------
+    def _heal_tail(self) -> None:
+        """Truncate a crash-torn partial final line before appending.
+
+        Readers already skip a torn tail, but appending *after* one would
+        hide the new lines behind it forever (``iter_records`` stops at
+        the first unparseable line).  Trimming back to the last newline
+        restores the invariant that the file is a clean prefix of intact
+        lines, so a resumed campaign's appends land exactly where an
+        uninterrupted run would have put them — byte-identical stores
+        either way.
+        """
+        try:
+            fh = self.path.open("rb+")
+        except FileNotFoundError:
+            return
+        with fh:
+            size = fh.seek(0, os.SEEK_END)
+            if size == 0:
+                return
+            fh.seek(size - 1)
+            if fh.read(1) == b"\n":
+                return
+            pos = size - 1
+            while pos > 0:
+                start = max(0, pos - 4096)
+                fh.seek(start)
+                data = fh.read(pos - start)
+                cut = data.rfind(b"\n")
+                if cut != -1:
+                    fh.truncate(start + cut + 1)
+                    return
+                pos = start
+            fh.truncate(0)
+
     def append(self, record: Mapping[str, Any]) -> None:
         """Durably append one record (whole line, flushed and fsynced)."""
         record = dict(record)
         record.setdefault("schema", SCHEMA_VERSION)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._heal_tail()
         with self.path.open("a", encoding="utf-8") as fh:
             fh.write(_dump_line(record))
             fh.flush()
@@ -85,6 +121,7 @@ class ResultStore:
         if not lines:
             return 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._heal_tail()
         with self.path.open("a", encoding="utf-8") as fh:
             fh.writelines(lines)
             fh.flush()
@@ -135,8 +172,10 @@ class ResultStore:
         """Yield records in file order.
 
         A line that fails to parse is treated as a crash-truncated tail:
-        iteration stops there (or raises, under ``strict=True``).  A parsed
-        record with a schema newer than this code always raises.
+        iteration stops there with a warning (or raises, under
+        ``strict=True``), so every preceding intact record survives and a
+        resumed campaign re-runs exactly the trials the torn line lost.  A
+        parsed record with a schema newer than this code always raises.
         """
         if not self.path.exists():
             return
@@ -152,7 +191,16 @@ class ResultStore:
                         raise StoreError(
                             f"{self.path}:{lineno}: corrupt record: {exc}"
                         ) from exc
-                    return  # tolerate a truncated tail from a crashed run
+                    # Tolerate a truncated tail from a crashed run: stop
+                    # here so the intact prefix is kept and the lost
+                    # trials simply re-run on resume.
+                    warnings.warn(
+                        f"{self.path}:{lineno}: skipping corrupt record "
+                        f"(crash-truncated tail?): {exc}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    return
                 schema = record.get("schema", 0)
                 if schema > SCHEMA_VERSION:
                     raise StoreError(

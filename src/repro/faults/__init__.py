@@ -23,8 +23,21 @@ Two injection surfaces:
   loop, and batched cells.  :class:`RecoveryProbe` and
   :class:`SdrWaveProbe` (re-exported from :mod:`repro.probes`) measure
   per-burst recovery without leaving the fused loop.
+
+A third surface relaxes the fixed-topology half of that contract in a
+controlled way: **topology churn** (:class:`ChurnSchedule`,
+:mod:`repro.faults.churn`) mutates the *graph* mid-run — links drop and
+appear, processes crash and rejoin with arbitrary state — with the same
+seeded, backend-identical occurrence discipline.
 """
 
+from .churn import (
+    BoundChurnSchedule,
+    ChurnEvent,
+    ChurnInfo,
+    ChurnSchedule,
+    parse_churn,
+)
 from .injector import FaultPlan, corrupt_processes, corrupt_variables
 from .scenarios import clock_gradient, clock_split, fake_reset_wave, hollow_alliance
 from .schedule import (
@@ -53,4 +66,10 @@ __all__ = [
     "BoundFaultSchedule",
     "parse_schedule",
     "resolve_variables",
+    # Mid-run topology churn
+    "ChurnSchedule",
+    "ChurnEvent",
+    "ChurnInfo",
+    "BoundChurnSchedule",
+    "parse_churn",
 ]

@@ -1,0 +1,697 @@
+"""Declarative, seeded topology churn schedules.
+
+Where :mod:`repro.faults.schedule` corrupts *register contents*, churn
+mutates the *communication graph* mid-run: links appear and disappear
+(``add_edge``/``drop_edge``), processes crash (silenced — state frozen,
+every incident link removed, masked out of guard evaluation, daemon
+selection, and move/round accounting) and later rejoin with arbitrary
+state drawn from the algorithm's declared domains (``join`` — which is
+exactly the self-stabilization premise: a joining process is
+indistinguishable from an arbitrarily corrupted one).
+
+Determinism is load-bearing, same as fault schedules: every occurrence
+draws from a dedicated SHA-256-derived PRNG keyed on ``(seed, event
+index, occurrence index)``.  Unlike faults, a churn draw is
+*state-dependent* — which links can drop depends on which links exist —
+so the bound schedule owns the canonical topology state (liveness
+vector + current adjacency) and updates it at draw time.  Both engines
+replay the identical occurrence stream, so dict, stepped-kernel, and
+fused executions see byte-identical topology sequences under one seed.
+
+Spec grammar reuses the fault timing surface (``at/every/storm/burst``
+with ``start/count/gap/cadence/until``), the action carries ``k``::
+
+    every=50,crash=1                 crash one process every 50 steps
+    at=100,drop_edge=2               drop two links at step 100
+    burst=200,count=3,gap=80,join=1  three rejoins at 200/280/360
+    every=40,crash=1;every=60,join=1,connectivity=allow
+
+``procs=a|b`` restricts the candidate pool (crash/join), ``clustered``
+crashes a BFS-connected region, ``connectivity=preserve`` (the default)
+refuses candidates that would increase the live subgraph's component
+count; ``connectivity=allow`` permits disconnection, and every
+occurrence records the resulting component count either way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from random import Random
+from typing import Iterator, Sequence
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnSchedule",
+    "ChurnInfo",
+    "BoundChurnSchedule",
+    "parse_churn",
+]
+
+#: Occurrence actions, in spec-key form.
+ACTIONS = ("crash", "join", "drop_edge", "add_edge")
+
+#: Connectivity policies.
+CONNECTIVITY = ("preserve", "allow")
+
+_SEP = "\x1f"
+_SEED_MASK = (1 << 63) - 1
+
+
+def _occurrence_rng(seed: int, event: int, occurrence: int) -> Random:
+    """The dedicated PRNG for one occurrence of one churn event.
+
+    Keyed on identity, not on firing step (a pulled-forward occurrence
+    draws like its nominally-timed twin), with a tag distinct from the
+    fault stream so co-scheduled fault and churn events never share
+    randomness.
+    """
+    payload = f"{seed}{_SEP}churn{_SEP}{event}{_SEP}{occurrence}".encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return Random(int.from_bytes(digest[:8], "big") & _SEED_MASK)
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One timed topology mutation pattern inside a schedule.
+
+    Timing normalizes exactly like :class:`~repro.faults.schedule.FaultEvent`:
+    every surface form becomes ``(start, gap, count)``.  ``action`` is what
+    fires; ``k`` how many processes/links one occurrence touches.
+    """
+
+    action: str  # "crash" | "join" | "drop_edge" | "add_edge"
+    kind: str  # "at" | "every" | "storm" | "burst"
+    start: int
+    gap: int = 0
+    count: int | None = 1
+    k: int = 1
+    procs: tuple[int, ...] = ()
+    clustered: bool = False
+
+    def __post_init__(self):
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown churn action {self.action!r}")
+        if self.kind not in ("at", "every", "storm", "burst"):
+            raise ValueError(f"unknown churn event kind {self.kind!r}")
+        if self.start < 0:
+            raise ValueError("churn event start step must be >= 0")
+        if self.count is not None and self.count < 1:
+            raise ValueError("churn event count must be >= 1")
+        if (self.count is None or self.count > 1) and self.gap < 1:
+            raise ValueError("repeating churn events need gap >= 1")
+        if self.k < 1:
+            raise ValueError("churn events must touch at least one target (k >= 1)")
+        if self.procs and self.action not in ("crash", "join"):
+            raise ValueError("procs= applies only to crash/join churn events")
+        if self.clustered and self.action != "crash":
+            raise ValueError("clustered applies only to crash churn events")
+        if self.procs and self.clustered:
+            raise ValueError("explicit procs and clustered are mutually exclusive")
+
+    def occurrence_steps(self) -> Iterator[int]:
+        """Nominal firing steps, in order (infinite for unbounded events)."""
+        step, i = self.start, 0
+        while self.count is None or i < self.count:
+            yield step
+            step += self.gap
+            i += 1
+
+    def canonical(self) -> str:
+        """The normalized spec clause for this event."""
+        if self.kind == "at":
+            parts = [f"at={self.start}"]
+        elif self.kind == "every":
+            parts = [f"every={self.gap}"]
+            if self.start != self.gap:
+                parts.append(f"start={self.start}")
+            if self.count is not None:
+                parts.append(f"count={self.count}")
+        elif self.kind == "storm":
+            last = self.start + (self.count - 1) * self.gap
+            parts = [f"storm={self.start}-{last}", f"cadence={self.gap}"]
+        else:  # burst
+            parts = [f"burst={self.start}", f"count={self.count}", f"gap={self.gap}"]
+        parts.append(f"{self.action}={self.k}")
+        if self.procs:
+            parts.append("procs=" + "|".join(str(p) for p in self.procs))
+        if self.clustered:
+            parts.append("clustered")
+        return ",".join(parts)
+
+
+@dataclass(frozen=True)
+class ChurnInfo:
+    """What the drivers hand to ``Probe.on_churn`` at each occurrence.
+
+    ``dropped``/``added`` are the link deltas actually applied (crash
+    reports its incident links under ``dropped``, join its reconnections
+    under ``added``); ``components`` and ``live`` describe the live
+    subgraph *after* the mutation.  ``step``/``moves``/``rounds`` are
+    the execution's accounting totals at the mutated configuration.
+    """
+
+    step: int
+    nominal_step: int
+    burst: int
+    action: str
+    victims: tuple[int, ...]
+    dropped: tuple[tuple[int, int], ...]
+    added: tuple[tuple[int, int], ...]
+    components: int
+    live: int
+    moves: int = 0
+    rounds: int = 0
+
+
+class ChurnSchedule:
+    """An ordered collection of :class:`ChurnEvent`, plus seed and policy.
+
+    ``seed=None`` defers to the execution (the harness binds with a
+    trial-derived seed); an explicit seed pins the stream and joins the
+    canonical spec.  ``connectivity`` is schedule-wide: ``preserve``
+    (default) draws only candidates that keep the live subgraph's
+    component count from growing, ``allow`` lets churn partition it.
+    """
+
+    def __init__(
+        self,
+        events: Sequence[ChurnEvent],
+        seed: int | None = None,
+        connectivity: str = "preserve",
+    ):
+        if not events:
+            raise ValueError("a churn schedule needs at least one event")
+        if connectivity not in CONNECTIVITY:
+            raise ValueError(
+                f"unknown connectivity policy {connectivity!r} "
+                f"(expected one of {CONNECTIVITY})"
+            )
+        self.events = tuple(events)
+        self.seed = seed
+        self.connectivity = connectivity
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChurnSchedule":
+        return parse_churn(spec)
+
+    @property
+    def finite(self) -> bool:
+        return all(e.count is not None for e in self.events)
+
+    @property
+    def total_occurrences(self) -> int | None:
+        """Number of occurrences a full run fires (None if unbounded)."""
+        if not self.finite:
+            return None
+        return sum(e.count for e in self.events)
+
+    def canonical(self) -> str:
+        """Normalized spec string — the *measured parameter* form."""
+        parts = [e.canonical() for e in self.events]
+        if self.connectivity != "preserve":
+            parts.append(f"connectivity={self.connectivity}")
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        return ";".join(parts)
+
+    def __repr__(self) -> str:
+        return f"ChurnSchedule({self.canonical()!r})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ChurnSchedule) and self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+    def bind(self, algorithm, default_seed: int = 0) -> "BoundChurnSchedule":
+        """Commit this schedule to one execution's algorithm and seed."""
+        seed = self.seed if self.seed is not None else default_seed
+        return BoundChurnSchedule(self, algorithm, seed)
+
+
+@dataclass
+class _Occurrence:
+    """One committed mutation: identity, nominal step, drawn delta."""
+
+    event: int
+    index: int
+    step: int
+    #: Schedule-wide occurrence ordinal (0-based firing order).
+    burst: int = 0
+    action: str = ""
+    victims: tuple[int, ...] = ()
+    #: Undirected ``(u, v)`` pairs, ``u < v``, in application order.
+    drops: tuple[tuple[int, int], ...] = ()
+    adds: tuple[tuple[int, int], ...] = ()
+    #: ``(process, variable, decoded value)`` triples for joins.
+    assignments: tuple[tuple[int, str, object], ...] = ()
+    #: Live-subgraph shape after the mutation.
+    components: int = 0
+    live: int = 0
+    drawn: bool = field(default=False, repr=False)
+
+
+def _count_components(adj, live) -> int:
+    """Connected components of the live subgraph (dead processes excluded)."""
+    seen = set()
+    count = 0
+    for s in range(len(adj)):
+        if not live[s] or s in seen:
+            continue
+        count += 1
+        stack = [s]
+        seen.add(s)
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if live[v] and v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+    return count
+
+
+class BoundChurnSchedule:
+    """A schedule bound to an algorithm and a seed — the applicable form.
+
+    Owns the *canonical topology state*: the liveness vector, the current
+    adjacency, and the deployment ("base") adjacency that joins reconnect
+    into.  Draws happen at pop time and mutate this canonical state —
+    including the shared :class:`~repro.core.graph.Network`, mirrored
+    immediately so state-dependent draws (junk pointers sampled from a
+    rejoined process's neighborhood) read the same topology regardless
+    of which engine replays the stream.  The occurrence stream therefore
+    depends only on the schedule and seed; engines mirror each
+    occurrence's ``drops``/``adds``/``assignments`` into their own
+    structures (:meth:`repro.core.kernel.csr.CSRAdjacency.apply_delta`
+    plus the liveness mask on the kernel side — the dict side reads the
+    already-mirrored ``Network`` directly).
+
+    The pop protocol mirrors :class:`~repro.faults.schedule.BoundFaultSchedule`
+    exactly, including terminal pull-forward: a silent system still
+    experiences its churn.
+    """
+
+    def __init__(self, schedule: ChurnSchedule, algorithm, seed: int):
+        self.schedule = schedule
+        self.algorithm = algorithm
+        self.seed = seed
+        self.fired = 0
+        network = algorithm.network
+        #: The live :class:`~repro.core.graph.Network`, mirrored *at draw
+        #: time*: every committed delta is applied here immediately, so
+        #: state-dependent draws (a rejoined process's junk pointer is
+        #: sampled from its current neighborhood) read identical topology
+        #: no matter which engine replays the occurrence stream.
+        self.network = network
+        self.n = network.n
+        #: Canonical liveness (all processes start live).
+        self.live = [True] * self.n
+        #: Canonical current adjacency (mutated at draw time).
+        self.adj = [set(network.neighbors(u)) for u in range(self.n)]
+        #: Deployment adjacency — the links a rejoining process reclaims.
+        self.base = tuple(tuple(network.neighbors(u)) for u in range(self.n))
+        self._preserve = schedule.connectivity == "preserve"
+        self._variables = tuple(algorithm.variables())
+        # Per-event cursors over the (possibly unbounded) occurrence steps.
+        self._iters = [e.occurrence_steps() for e in schedule.events]
+        self._next: list[int | None] = [next(it) for it in self._iters]
+        self._counts = [0] * len(schedule.events)
+
+    # ------------------------------------------------------------------
+    def peek_next(self) -> int | None:
+        """Nominal step of the earliest pending occurrence (None = done)."""
+        pending = [s for s in self._next if s is not None]
+        return min(pending) if pending else None
+
+    @property
+    def exhausted(self) -> bool:
+        return self.peek_next() is None
+
+    def _advance(self, event: int) -> _Occurrence:
+        step = self._next[event]
+        occ = _Occurrence(event, self._counts[event], step, burst=self.fired)
+        self._counts[event] += 1
+        try:
+            self._next[event] = next(self._iters[event])
+        except StopIteration:
+            self._next[event] = None
+        self.fired += 1
+        self._draw(occ)
+        return occ
+
+    def pop_due(self, step: int, idle: bool = False) -> list[_Occurrence]:
+        """All occurrences due at ``step`` (events in declaration order).
+
+        ``idle=True`` signals a terminal configuration: when nothing is
+        due but occurrences remain, the earliest is pulled forward.  Each
+        returned occurrence keeps its *nominal* step for reporting, and
+        its delta is already committed to the canonical state — callers
+        must mirror every returned occurrence into their engine.
+        """
+        due: list[_Occurrence] = []
+        while True:
+            ready = [
+                i for i, s in enumerate(self._next) if s is not None and s <= step
+            ]
+            if not ready:
+                break
+            event = min(ready, key=lambda i: (self._next[i], i))
+            due.append(self._advance(event))
+        if not due and idle:
+            pending = [i for i, s in enumerate(self._next) if s is not None]
+            if pending:
+                event = min(pending, key=lambda i: (self._next[i], i))
+                due.append(self._advance(event))
+        return due
+
+    # ------------------------------------------------------------------
+    # Canonical-state queries (for drivers and posthoc sync)
+    # ------------------------------------------------------------------
+    def current_edges(self) -> tuple[tuple[int, int], ...]:
+        """The canonical link set as sorted ``(u, v)`` pairs, ``u < v``."""
+        return tuple(
+            (u, v)
+            for u in range((self.n))
+            for v in sorted(self.adj[u])
+            if u < v
+        )
+
+    def dead(self) -> tuple[int, ...]:
+        """Currently crashed process indices, ascending."""
+        return tuple(u for u in range(self.n) if not self.live[u])
+
+    def components(self) -> int:
+        """Component count of the canonical live subgraph."""
+        return _count_components(self.adj, self.live)
+
+    # ------------------------------------------------------------------
+    # Draws (state-dependent, committed at pop time)
+    # ------------------------------------------------------------------
+    def _draw(self, occ: _Occurrence) -> None:
+        if occ.drawn:
+            return
+        event = self.schedule.events[occ.event]
+        rng = _occurrence_rng(self.seed, occ.event, occ.index)
+        occ.action = event.action
+        if event.action == "crash":
+            self._draw_crash(occ, event, rng)
+        elif event.action == "join":
+            self._draw_join(occ, event, rng)
+        elif event.action == "drop_edge":
+            self._draw_drop(occ, event, rng)
+        else:
+            self._draw_add(occ, event, rng)
+        occ.components = self.components()
+        occ.live = sum(self.live)
+        occ.drawn = True
+
+    def _splits(self, u: int) -> bool:
+        """Would silencing live process ``u`` grow the component count?"""
+        before = _count_components(self.adj, self.live)
+        self.live[u] = False
+        after = _count_components(self.adj, self.live)
+        self.live[u] = True
+        return after > before
+
+    def _crash_eligible(self, pool) -> list[int]:
+        cands = [u for u in pool if self.live[u]]
+        if sum(self.live) <= 1:
+            return []  # never silence the last live process
+        if self._preserve:
+            cands = [u for u in cands if not self._splits(u)]
+        return cands
+
+    def _apply_crash(self, u: int, drops: list) -> None:
+        self.live[u] = False
+        for v in sorted(self.adj[u]):
+            self.adj[v].discard(u)
+            drops.append((u, v) if u < v else (v, u))
+        self.adj[u].clear()
+
+    def _draw_crash(self, occ: _Occurrence, event: ChurnEvent, rng: Random) -> None:
+        pool = event.procs or range(self.n)
+        victims: list[int] = []
+        drops: list[tuple[int, int]] = []
+        if event.clustered:
+            cands = self._crash_eligible(pool)
+            if cands:
+                seed = cands[rng.randrange(len(cands))]
+                frontier = sorted(self.adj[seed])
+                self._apply_crash(seed, drops)
+                victims.append(seed)
+                seen = {seed}
+                while len(victims) < event.k and frontier:
+                    v = frontier.pop(rng.randrange(len(frontier)))
+                    if v in seen:
+                        continue
+                    seen.add(v)
+                    if v not in self._crash_eligible((v,)):
+                        continue
+                    neigh = sorted(self.adj[v])
+                    self._apply_crash(v, drops)
+                    victims.append(v)
+                    frontier.extend(w for w in neigh if w not in seen)
+        else:
+            for _ in range(event.k):
+                cands = self._crash_eligible(pool)
+                if not cands:
+                    break
+                u = cands[rng.randrange(len(cands))]
+                self._apply_crash(u, drops)
+                victims.append(u)
+        if drops:
+            self.network.apply_delta(drops, ())
+        occ.victims = tuple(sorted(victims))
+        occ.drops = tuple(drops)
+
+    def _draw_join(self, occ: _Occurrence, event: ChurnEvent, rng: Random) -> None:
+        pool = event.procs or range(self.n)
+        victims: list[int] = []
+        adds: list[tuple[int, int]] = []
+        assignments: list[tuple[int, str, object]] = []
+        for _ in range(event.k):
+            cands = [u for u in pool if not self.live[u]]
+            if self._preserve:
+                cands = [
+                    u for u in cands
+                    if any(self.live[v] for v in self.base[u]) or sum(self.live) == 0
+                ]
+            if not cands:
+                break
+            u = cands[rng.randrange(len(cands))]
+            self.live[u] = True
+            reclaimed = []
+            for v in self.base[u]:
+                if self.live[v] and v not in self.adj[u]:
+                    self.adj[u].add(v)
+                    self.adj[v].add(u)
+                    reclaimed.append((u, v) if u < v else (v, u))
+            # Mirror the reclaimed links before drawing junk: the junk
+            # pointer domain is the process's *post-join* neighborhood.
+            if reclaimed:
+                self.network.apply_delta((), reclaimed)
+                adds.extend(reclaimed)
+            junk = self.algorithm.random_state(u, rng)
+            for var in self._variables:
+                assignments.append((u, var, junk[var]))
+            victims.append(u)
+        occ.victims = tuple(sorted(victims))
+        occ.adds = tuple(adds)
+        occ.assignments = tuple(assignments)
+
+    def _draw_drop(self, occ: _Occurrence, event: ChurnEvent, rng: Random) -> None:
+        drops: list[tuple[int, int]] = []
+        for _ in range(event.k):
+            cands = list(self.current_edges())
+            if self._preserve:
+                base = _count_components(self.adj, self.live)
+                keep = []
+                for u, v in cands:
+                    self.adj[u].discard(v)
+                    self.adj[v].discard(u)
+                    if _count_components(self.adj, self.live) == base:
+                        keep.append((u, v))
+                    self.adj[u].add(v)
+                    self.adj[v].add(u)
+                cands = keep
+            if not cands:
+                break
+            u, v = cands[rng.randrange(len(cands))]
+            self.adj[u].discard(v)
+            self.adj[v].discard(u)
+            drops.append((u, v))
+        if drops:
+            self.network.apply_delta(drops, ())
+        occ.drops = tuple(drops)
+
+    def _draw_add(self, occ: _Occurrence, event: ChurnEvent, rng: Random) -> None:
+        adds: list[tuple[int, int]] = []
+        for _ in range(event.k):
+            live = [u for u in range(self.n) if self.live[u]]
+            cands = [
+                (u, v)
+                for i, u in enumerate(live)
+                for v in live[i + 1:]
+                if v not in self.adj[u]
+            ]
+            if not cands:
+                break
+            u, v = cands[rng.randrange(len(cands))]
+            self.adj[u].add(v)
+            self.adj[v].add(u)
+            adds.append((u, v))
+        if adds:
+            self.network.apply_delta((), adds)
+        occ.adds = tuple(adds)
+
+    def info(self, occ: _Occurrence, step: int,
+             moves: int = 0, rounds: int = 0) -> ChurnInfo:
+        return ChurnInfo(
+            step=step,
+            nominal_step=occ.step,
+            burst=occ.burst,
+            action=occ.action,
+            victims=occ.victims,
+            dropped=occ.drops,
+            added=occ.adds,
+            components=occ.components,
+            live=occ.live,
+            moves=moves,
+            rounds=rounds,
+        )
+
+
+# ----------------------------------------------------------------------
+# The spec grammar (the CLI's --churn argument).
+# ----------------------------------------------------------------------
+_EVENT_KEYS = ("at", "every", "storm", "burst")
+_INT_KEYS = ("start", "until", "count", "gap", "cadence", "seed")
+
+
+def _parse_clause(clause: str) -> tuple[dict, int | None, str | None]:
+    """One ';'-separated clause → (options, schedule seed, connectivity)."""
+    opts: dict = {}
+    seed = None
+    connectivity = None
+    for item in clause.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            if item == "clustered":
+                opts["clustered"] = True
+                continue
+            raise ValueError(f"malformed churn spec item {item!r}")
+        key, _, value = item.partition("=")
+        key, value = key.strip(), value.strip()
+        if key == "seed":
+            seed = int(value)
+        elif key == "connectivity":
+            if value not in CONNECTIVITY:
+                raise ValueError(
+                    f"unknown connectivity policy {value!r} "
+                    f"(expected one of {CONNECTIVITY})"
+                )
+            connectivity = value
+        elif key == "storm":
+            lo, sep, hi = value.partition("-")
+            if not sep:
+                raise ValueError(f"storm window must be A-B, got {value!r}")
+            opts["storm"] = (int(lo), int(hi))
+        elif key == "procs":
+            opts["procs"] = tuple(int(p) for p in value.split("|") if p != "")
+        elif key in ACTIONS:
+            if "action" in opts:
+                raise ValueError(
+                    f"churn clauses take exactly one action, got both "
+                    f"{opts['action']!r} and {key!r}"
+                )
+            opts["action"] = key
+            opts["k"] = int(value)
+        elif key in _INT_KEYS or key in _EVENT_KEYS:
+            opts[key] = int(value)
+        else:
+            raise ValueError(f"unknown churn spec key {key!r}")
+    return opts, seed, connectivity
+
+
+def _clause_event(opts: dict) -> ChurnEvent:
+    kinds = [k for k in _EVENT_KEYS if k in opts]
+    if len(kinds) != 1:
+        raise ValueError(
+            f"each churn clause needs exactly one of {_EVENT_KEYS}, got {kinds}"
+        )
+    if "action" not in opts:
+        raise ValueError(
+            f"each churn clause needs exactly one action of {ACTIONS} "
+            f"(e.g. crash=1)"
+        )
+    kind = kinds[0]
+    target = dict(
+        action=opts.pop("action"),
+        k=opts.pop("k"),
+        procs=opts.pop("procs", ()),
+        clustered=opts.pop("clustered", False),
+    )
+    if kind == "at":
+        event = ChurnEvent(kind="at", start=opts.pop("at"), **target)
+    elif kind == "every":
+        gap = opts.pop("every")
+        start = opts.pop("start", gap)
+        count = opts.pop("count", None)
+        if "until" in opts:
+            until = opts.pop("until")
+            if until < start:
+                raise ValueError("every: until must be >= start")
+            count = (until - start) // gap + 1
+        event = ChurnEvent(kind="every", start=start, gap=gap, count=count, **target)
+    elif kind == "storm":
+        lo, hi = opts.pop("storm")
+        cadence = opts.pop("cadence", None)
+        if cadence is None:
+            raise ValueError("storm windows need cadence=K")
+        if hi < lo:
+            raise ValueError(f"storm window {lo}-{hi} is empty")
+        event = ChurnEvent(
+            kind="storm", start=lo, gap=cadence, count=(hi - lo) // cadence + 1,
+            **target,
+        )
+    else:  # burst
+        start = opts.pop("burst")
+        count = opts.pop("count", None)
+        gap = opts.pop("gap", None)
+        if count is None or gap is None:
+            raise ValueError("bursts need count=N and gap=G")
+        event = ChurnEvent(kind="burst", start=start, gap=gap, count=count, **target)
+    if opts:
+        raise ValueError(f"churn spec options {sorted(opts)} don't apply to {kind!r}")
+    return event
+
+
+def parse_churn(spec: str) -> ChurnSchedule:
+    """Parse and validate a ``--churn`` spec string.
+
+    Raises :class:`ValueError` with a pointed message on any malformed
+    spec — the CLI calls this before running anything.
+    """
+    if isinstance(spec, ChurnSchedule):
+        return spec
+    if not isinstance(spec, str) or not spec.strip():
+        raise ValueError("empty churn spec")
+    events: list[ChurnEvent] = []
+    seed: int | None = None
+    connectivity = "preserve"
+    for clause in spec.split(";"):
+        if not clause.strip():
+            continue
+        opts, clause_seed, clause_conn = _parse_clause(clause)
+        if clause_seed is not None:
+            seed = clause_seed
+        if clause_conn is not None:
+            connectivity = clause_conn
+        if opts:
+            events.append(_clause_event(opts))
+    if not events:
+        raise ValueError(f"churn spec {spec!r} declares no events")
+    return ChurnSchedule(events, seed=seed, connectivity=connectivity)

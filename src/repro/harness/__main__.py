@@ -36,6 +36,9 @@ differs.
 ``--faults SPEC`` attaches a deterministic fault schedule (see
 :mod:`repro.faults.schedule`) to every trial — unlike backend/probe it
 *changes* what is measured, so it is part of each trial's key.
+``--churn SPEC`` does the same for topology churn (see
+:mod:`repro.faults.churn`): links drop/appear and processes crash/rejoin
+mid-run; churn cells always execute serially (never batched).
 ``--trial-timeout`` / ``--max-retries`` enable the supervised
 crash-tolerant executor (:class:`repro.engine.pool.FailurePolicy`):
 failing trials are retried, degraded batch → serial → dict, and finally
@@ -128,6 +131,15 @@ def _build_campaign(args):
 
         parse_schedule(args.faults)
         params["faults"] = args.faults
+    if getattr(args, "churn", None):
+        # Same contract as --faults: validate up front, store verbatim —
+        # churn changes measured results, so the spec is a measured
+        # param in every trial key (and forces serial execution; see
+        # repro.harness.runner.can_batch).
+        from ..faults.churn import parse_churn
+
+        parse_churn(args.churn)
+        params["churn"] = args.churn
     return Campaign(
         name=args.name,
         seed=args.seed,
@@ -217,6 +229,12 @@ def run_sweep(argv: list[str]) -> int:
                              "trial, e.g. 'burst=50,count=3,gap=100,k=2,"
                              "scope=input'; part of the trial key (it "
                              "changes measured results)")
+    parser.add_argument("--churn", default=None, metavar="SPEC",
+                        help="topology churn schedule applied mid-run to "
+                             "every trial, e.g. 'every=100,crash=1;"
+                             "every=150,join=1'; part of the trial key "
+                             "(it changes measured results) and forces "
+                             "serial execution")
     parser.add_argument("--trial-timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="per-trial wall-clock deadline; enables the "

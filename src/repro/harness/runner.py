@@ -29,6 +29,7 @@ from ..core.graph import Network
 from ..core.simulator import Simulator
 from ..faults.injector import corrupt_processes
 from ..faults.scenarios import clock_gradient, clock_split, fake_reset_wave, hollow_alliance
+from ..faults.churn import parse_churn
 from ..faults.schedule import parse_schedule
 from ..probes import RecoveryProbe, SdrWaveProbe, StabilizationProbe
 from ..probes.stabilization import resolve_mask
@@ -144,38 +145,43 @@ def _stabilization(
     return measure.step, measure.rounds, measure.moves
 
 
-def _fault_probes(sched, *, mask_attr=None, predicate=None, terminal=False,
-                  probe: str = "auto", waves: bool = True):
-    """Fresh ``(RecoveryProbe, SdrWaveProbe | None)`` for one fault trial.
+def _fault_probes(finite, total, *, mask_attr=None, predicate=None,
+                  terminal=False, probe: str = "auto", waves: bool = True):
+    """Fresh ``(RecoveryProbe, SdrWaveProbe | None)`` for one trial.
 
-    Finite schedules stop the run once every burst recovered (the
-    stabilization predicate must *not* stop a fault trial — the workload
-    is recovery, not first convergence); silent compositions instead
-    stop at the natural re-termination after the last burst, so their
-    probe never requests a stop.
+    ``finite``/``total`` describe the trial's combined disturbance
+    workload (fault bursts plus churn occurrences).  Finite schedules
+    stop the run once every burst recovered (the stabilization
+    predicate must *not* stop a fault trial — the workload is recovery,
+    not first convergence); silent compositions instead stop at the
+    natural re-termination after the last burst, so their probe never
+    requests a stop.
     """
-    finite = sched.finite
     recovery = RecoveryProbe(
         None if terminal else predicate,
         mask=mask_attr if (mask_attr is not None and probe != "decode") else None,
         terminal=terminal,
-        expected=sched.total_occurrences if finite else None,
+        expected=total if finite else None,
         stop=finite and not terminal,
     )
     return recovery, (SdrWaveProbe() if waves else None)
 
 
-def _require_recovered(sched, bound, recovery, result) -> None:
-    """Finite schedules must fully recover; unbounded ones run to budget."""
-    if not sched.finite or recovery.all_recovered:
+def _require_recovered(finite, total, bounds, recovery, result) -> None:
+    """Finite schedules must fully recover; unbounded ones run to budget.
+
+    ``bounds`` are the trial's bound schedules (fault and/or churn) —
+    the terminal carve-out needs them all exhausted.
+    """
+    if not finite or recovery.all_recovered:
         return
-    if result.stop_reason == "terminal" and bound.exhausted:
+    if result.stop_reason == "terminal" and all(b.exhausted for b in bounds):
         # A pulled-forward burst can leave a terminal configuration
         # terminal (the drawn junk matched the current registers); no
         # observation follows the break, so that burst stays open.
         return
     open_bursts = len(recovery.bursts) - recovery.recovered_count
-    pending = (sched.total_occurrences or 0) - len(recovery.bursts)
+    pending = (total or 0) - len(recovery.bursts)
     raise NotStabilized(
         f"fault schedule not absorbed within {result.steps} steps "
         f"({open_bursts} bursts unrecovered, {pending} not yet fired)",
@@ -196,34 +202,68 @@ def _serial_fault_trial(
     max_steps: int,
     backend: str,
     probe: str,
+    churn=None,
     mask_attr: str | None = None,
     predicate=None,
     terminal: bool = False,
     waves: bool = True,
     extra_fn=None,
 ) -> Trial:
-    """One trial whose measured workload is recovery from a fault schedule.
+    """One trial whose measured workload is recovery from disturbances.
 
-    The schedule binds to the trial seed (unless it pins its own
-    ``seed=`` clause), injects mid-run on whichever backend executes,
-    and the per-burst recovery series lands in ``Trial.extra`` —
-    byte-identical across dict, fused, and batched execution.
+    ``faults`` (register corruption) and ``churn`` (topology mutation)
+    each bind to the trial seed (unless a spec pins its own ``seed=``
+    clause), fire mid-run on whichever backend executes, and share one
+    :class:`~repro.probes.RecoveryProbe`: every fault burst and every
+    churn occurrence arms a stopwatch, and the per-burst recovery
+    series lands in ``Trial.extra`` — byte-identical across dict,
+    fused, and batched execution.  (Churn trials never batch — see
+    :func:`can_batch` — so the batched path stays fault-only.)
     """
-    sched = parse_schedule(faults)
-    bound = sched.bind(algo, default_seed=seed)
+    fault_sched = parse_schedule(faults) if faults is not None else None
+    churn_sched = parse_churn(churn) if churn is not None else None
+    bound = (
+        fault_sched.bind(algo, default_seed=seed)
+        if fault_sched is not None else None
+    )
+    churn_bound = (
+        churn_sched.bind(algo, default_seed=seed)
+        if churn_sched is not None else None
+    )
+    scheds = [s for s in (fault_sched, churn_sched) if s is not None]
+    finite = all(s.finite for s in scheds)
+    total = sum(s.total_occurrences for s in scheds) if finite else None
     recovery, wave = _fault_probes(
-        sched, mask_attr=mask_attr, predicate=predicate, terminal=terminal,
-        probe=probe, waves=waves,
+        finite, total, mask_attr=mask_attr, predicate=predicate,
+        terminal=terminal, probe=probe, waves=waves,
     )
     probes = [recovery] + ([wave] if wave is not None else [])
     probes += _named_probes(probe, network.n)
+    # Snapshot the seed topology's descriptors now: churn mutates the
+    # network in place, and a crashed-for-good process leaves the final
+    # graph disconnected (diameter undefined).  The trial record
+    # describes the experiment's *parameter* topology; the final shape
+    # lands in ``extra["churn_final"]``.
+    topo = (network.n, network.m, network.diameter, network.max_degree)
     sim = Simulator(algo, _make_daemon(daemon, network), config=cfg, seed=seed,
                     backend=backend, fuse=probe != "decode",
-                    probes=probes, faults=bound)
+                    probes=probes, faults=bound, churn=churn_bound)
     result = sim.run(max_steps=max_steps)
-    _require_recovered(sched, bound, recovery, result)
+    bounds = [b for b in (bound, churn_bound) if b is not None]
+    _require_recovered(finite, total, bounds, recovery, result)
     extra = dict(extra_fn(sim)) if extra_fn is not None else {}
-    extra["faults"] = sched.canonical()
+    if fault_sched is not None:
+        extra["faults"] = fault_sched.canonical()
+    if churn_bound is not None:
+        extra["churn"] = churn_sched.canonical()
+        dead = churn_bound.dead()
+        extra["churn_final"] = {
+            "fired": churn_bound.fired,
+            "live": churn_bound.n - len(dead),
+            "dead": list(dead),
+            "components": churn_bound.components(),
+            "edges": len(churn_bound.current_edges()),
+        }
     extra["recovery"] = recovery.summary()
     if wave is not None:
         extra["sdr_waves"] = wave.summary()
@@ -232,10 +272,10 @@ def _serial_fault_trial(
         scenario=scenario,
         daemon=sim.daemon.name,
         seed=seed,
-        n=network.n,
-        m=network.m,
-        diameter=network.diameter,
-        max_degree=network.max_degree,
+        n=topo[0],
+        m=topo[1],
+        diameter=topo[2],
+        max_degree=topo[3],
         rounds=result.rounds,
         moves=result.moves,
         steps=result.steps,
@@ -305,6 +345,7 @@ def run_unison_trial(
     backend: str = "auto",
     probe: str = "auto",
     faults=None,
+    churn=None,
 ) -> Trial:
     """Run ``U ∘ SDR`` to its first normal configuration.
 
@@ -317,15 +358,19 @@ def run_unison_trial(
     recovery workload: the schedule injects mid-run, the per-burst
     recovery series and SDR wave counters land in ``Trial.extra``, and
     a finite schedule must be fully absorbed within ``max_steps``.
+    ``churn`` (a spec string or :class:`~repro.faults.ChurnSchedule`)
+    likewise switches to the recovery workload with mid-run topology
+    mutation — recovery then means every *live* process is normal; the
+    two compose freely in one trial.
     """
     _check_probe_mode(probe)
     rng = Random(seed)
     sdr = SDR(Unison(network, period=period))
     cfg = _unison_start(sdr, scenario, rng)
-    if faults is not None:
+    if faults is not None or churn is not None:
         return _serial_fault_trial(
             "U o SDR", sdr, network, cfg, daemon, scenario, seed, faults,
-            max_steps=max_steps, backend=backend, probe=probe,
+            max_steps=max_steps, backend=backend, probe=probe, churn=churn,
             mask_attr="normal_mask", predicate=sdr.is_normal,
         )
     sim = Simulator(sdr, _make_daemon(daemon, network), config=cfg, seed=seed,
@@ -360,22 +405,24 @@ def run_boulinier_trial(
     backend: str = "auto",
     probe: str = "auto",
     faults=None,
+    churn=None,
 ) -> Trial:
     """Run the reset-tail baseline to its first legitimate configuration.
 
     The ``gradient``/``split`` scenarios mirror the ``U ∘ SDR`` ones on the
     shared clock variable so head-to-head comparisons start from the same
-    amount of clock disorder.  ``faults`` switches to the recovery
-    workload (no SDR wave counters — the baseline has no reset layer).
+    amount of clock disorder.  ``faults`` (and/or ``churn``) switches to
+    the recovery workload (no SDR wave counters — the baseline has no
+    reset layer).
     """
     _check_probe_mode(probe)
     rng = Random(seed)
     algo = BoulinierUnison(network, period=period, alpha=alpha)
     cfg = _boulinier_start(algo, scenario, rng)
-    if faults is not None:
+    if faults is not None or churn is not None:
         return _serial_fault_trial(
             "boulinier", algo, network, cfg, daemon, scenario, seed, faults,
-            max_steps=max_steps, backend=backend, probe=probe,
+            max_steps=max_steps, backend=backend, probe=probe, churn=churn,
             mask_attr="legitimate_mask", predicate=algo.is_legitimate,
             waves=False,
             extra_fn=lambda sim: {"period": algo.period, "alpha": algo.alpha},
@@ -414,21 +461,22 @@ def run_fga_trial(
     backend: str = "auto",
     probe: str = "auto",
     faults=None,
+    churn=None,
 ) -> Trial:
     """Run ``FGA ∘ SDR`` to termination (the composition is silent).
 
     The composition terminates rather than hitting a predicate, so
     ``probe="decode"`` here simply forces the step-by-step loop
     (``fuse=False``) — the measurement itself needs no probe.
-    ``faults`` switches to the recovery workload: recovery means the
-    configuration is terminal again, and a finite schedule's last burst
-    ends the run at the natural re-termination.
+    ``faults`` (and/or ``churn``) switches to the recovery workload:
+    recovery means the configuration is terminal again, and a finite
+    schedule's last burst ends the run at the natural re-termination.
     """
     _check_probe_mode(probe)
     rng = Random(seed)
     sdr = SDR(FGA(network, f, g))
     cfg = _fga_start(sdr, scenario, rng)
-    if faults is not None:
+    if faults is not None or churn is not None:
         def fga_extra(sim):
             alliance = sdr.input.alliance(sim.cfg)
             return {"alliance_size": len(alliance),
@@ -436,7 +484,7 @@ def run_fga_trial(
 
         return _serial_fault_trial(
             "FGA o SDR", sdr, network, cfg, daemon, scenario, seed, faults,
-            max_steps=max_steps, backend=backend, probe=probe,
+            max_steps=max_steps, backend=backend, probe=probe, churn=churn,
             terminal=True, extra_fn=fga_extra,
         )
     sim = Simulator(sdr, _make_daemon(daemon, network), config=cfg, seed=seed,
@@ -521,6 +569,11 @@ def can_batch(spec: "TrialSpec") -> bool:
         return False
     params = dict(spec.params)
     if params.get("backend") == "dict" or params.get("probe") == "decode":
+        return False
+    if params.get("churn"):
+        # Topology churn mutates per-trial network state (CSR deltas,
+        # liveness masks) that the tiled batch layout cannot isolate;
+        # churn trials always run serially.
         return False
     try:
         import numpy  # noqa: F401
@@ -737,7 +790,8 @@ def _batch_fault_kit(sched, algo, seeds, probes, *, mask_attr=None,
     recoveries, wave_probes, fault_lists = [], [], []
     for _ in seeds:
         recovery, wave = _fault_probes(
-            sched, mask_attr=mask_attr, terminal=terminal, waves=waves,
+            sched.finite, sched.total_occurrences,
+            mask_attr=mask_attr, terminal=terminal, waves=waves,
         )
         recoveries.append(recovery)
         wave_probes.append(wave)

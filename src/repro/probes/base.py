@@ -120,6 +120,31 @@ class Probe:
         hit.  Default: no-op.
         """
 
+    def on_churn(self, info) -> None:
+        """Observe one mid-run topology mutation (a ``ChurnInfo``).
+
+        Invoked by every driver immediately after a
+        :class:`~repro.faults.churn.ChurnSchedule` occurrence mutates
+        the network — links dropped/added, processes crashed/rejoined —
+        on both capability tiers.  Like fault injection, a mutation adds
+        no steps/moves/rounds; ``info`` carries the totals at the
+        mutated configuration plus the applied delta and the live
+        subgraph's component count.  Default: no-op.
+        """
+
+    def on_finish(self, sim: "Simulator") -> None:
+        """Observe the final configuration once, after the driving loop.
+
+        Invoked exactly once per :meth:`Simulator.run` return, on the
+        decode tier, after any fused execution has merged its accounting
+        and synchronized churn topology back into the simulator.  Lets a
+        probe settle state the per-step hooks could not see — e.g. a
+        churn occurrence whose delta leaves the system immediately
+        terminal *and* legitimate produces no further step to observe,
+        so a recovery stopwatch closes here with zero cost.  Default:
+        no-op.
+        """
+
     # ------------------------------------------------------------------
     # Stop requests
     # ------------------------------------------------------------------

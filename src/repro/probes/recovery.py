@@ -88,6 +88,9 @@ class RecoveryProbe(Probe):
         self.bursts: list[dict] = []
         self._open: list[int] = []
         self._mask_fn: Callable | None = mask if callable(mask) else None
+        #: Crashed-and-not-rejoined process ids, learned from ``on_churn``
+        #: notifications; legitimacy is judged on the live subsystem.
+        self._dead: set[int] = set()
 
     # ------------------------------------------------------------------
     @property
@@ -148,6 +151,41 @@ class RecoveryProbe(Probe):
             }
         )
 
+    def on_churn(self, info) -> None:
+        """Arm a recovery stopwatch for one topology-churn occurrence.
+
+        Churn perturbs the system exactly as a fault burst does — the
+        live subsystem must re-converge — so each occurrence gets the
+        same per-burst stopwatch, with the applied delta recorded in
+        place of corrupted variables.  The probe also tracks the dead
+        set here: recovery under churn means the legitimacy notion
+        holds on every *live* process.
+        """
+        if info.action == "crash":
+            self._dead.update(info.victims)
+        elif info.action == "join":
+            self._dead.difference_update(info.victims)
+        self._open.append(len(self.bursts))
+        self.bursts.append(
+            {
+                "burst": info.burst,
+                "action": info.action,
+                "injected_step": info.step,
+                "nominal_step": info.nominal_step,
+                "victims": list(info.victims),
+                "dropped": [list(e) for e in info.dropped],
+                "added": [list(e) for e in info.added],
+                "components": info.components,
+                "live": info.live,
+                "at_moves": info.moves,
+                "at_rounds": info.rounds,
+                "steps": None,
+                "rounds": None,
+                "moves": None,
+                "recovered": False,
+            }
+        )
+
     # ------------------------------------------------------------------
     # Shared recording logic (identical on both tiers)
     # ------------------------------------------------------------------
@@ -169,12 +207,19 @@ class RecoveryProbe(Probe):
         if self.terminal:
             return sim.is_terminal()
         if self._mask_fn is not None and sim._kernel is not None:
-            return bool(self._mask_fn(sim._kernel.read).all())
+            vals = self._mask_fn(sim._kernel.read)
+            alive = sim._kernel.live
+            if alive is not None:
+                return bool(vals[alive].all())
+            return bool(vals.all())
         if self.predicate is None:
             raise ValueError(
                 f"recovery probe {self.name!r} has no decode-tier predicate "
                 "and its mask did not resolve against this simulator's backend"
             )
+        if self._dead:
+            live = [u for u in range(sim.network.n) if u not in self._dead]
+            return self.predicate(sim.cfg, live=live)
         return self.predicate(sim.cfg)
 
     def on_start(self, sim) -> None:
@@ -182,6 +227,19 @@ class RecoveryProbe(Probe):
             self._mask_fn = resolve_mask(sim._program, self.mask)
 
     def on_step(self, sim, record) -> None:
+        self._observe(
+            self._holds(sim), sim.step_count, sim.rounds.completed, sim.move_count
+        )
+
+    def on_finish(self, sim) -> None:
+        # A burst or churn occurrence that leaves the configuration
+        # immediately terminal produces no further step on any tier;
+        # if the final configuration is legitimate, the stopwatch
+        # closes here with zero steps/rounds/moves.
+        if not self._open:
+            return
+        if self._mask_fn is None and self.predicate is None and not self.terminal:
+            return  # mask never resolved: nothing was observable all run
         self._observe(
             self._holds(sim), sim.step_count, sim.rounds.completed, sim.move_count
         )
@@ -207,10 +265,12 @@ class RecoveryProbe(Probe):
                 )
         if view.phase == "start":
             return
-        self._observe(
-            bool(self._mask_fn(view.cols).all()),
-            view.steps, view.rounds, view.moves,
+        vals = self._mask_fn(view.cols)
+        holds = (
+            bool(vals[view.live].all()) if view.live is not None
+            else bool(vals.all())
         )
+        self._observe(holds, view.steps, view.rounds, view.moves)
 
     # ------------------------------------------------------------------
     def done(self) -> bool:
@@ -294,6 +354,11 @@ class SdrWaveProbe(Probe):
         self.windows.append(self._window(info.burst))
         # The corrupted configuration may already sit mid-wave; epoch
         # transitions keep being detected from the observed state.
+
+    def on_churn(self, info) -> None:
+        # Topology churn opens a wave window too: the reset traffic it
+        # provokes is attributed to the mutation, not the previous burst.
+        self.windows.append(self._window(f"churn{info.burst}:{info.action}"))
 
     # ------------------------------------------------------------------
     # Decode tier

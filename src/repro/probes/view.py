@@ -59,6 +59,11 @@ class ColumnView:
         fast path never materializes it) — ``None`` otherwise, so probes
         must fall back to ``enabled_mask`` + ``program`` guard knowledge
         when it is absent.  A reused buffer like every other array here.
+    live:
+        Per-process liveness column under topology churn: ``False``
+        where a process has crashed and not rejoined.  ``None`` in the
+        (overwhelmingly common) executions where no process has ever
+        crashed — probes must treat ``None`` as everybody-live.
     steps / moves / rounds:
         Accounting totals at the current configuration (absolute, so a
         probe's measurements agree with ``sim.step_count`` etc. even
@@ -67,7 +72,7 @@ class ColumnView:
 
     __slots__ = (
         "program", "trial", "phase", "cols", "chosen", "enabled_mask",
-        "chosen_rules", "rule_idx", "steps", "moves", "rounds",
+        "chosen_rules", "rule_idx", "live", "steps", "moves", "rounds",
     )
 
     def __init__(self, program, trial: int | None = None):
@@ -79,6 +84,7 @@ class ColumnView:
         self.enabled_mask = None
         self.chosen_rules = None
         self.rule_idx = None
+        self.live = None
         self.steps = 0
         self.moves = 0
         self.rounds = 0

@@ -205,15 +205,19 @@ class SDR(Algorithm):
             for v in self.network.neighbors(u)
         )
 
-    def is_normal(self, cfg: Configuration) -> bool:
+    def is_normal(self, cfg: Configuration, live=None) -> bool:
         """Normal configuration: ``∀u, P_Clean(u) ∧ P_ICorrect(u)``.
 
         By Theorem 1 / Corollary 5 this is exactly the set of terminal
         configurations of the SDR layer, i.e. the attractor ``P4``.
+        ``live`` (an iterable of process ids) restricts the quantifier to
+        the live subsystem under topology churn — a crashed process's
+        frozen registers are not part of the configuration being judged.
         """
+        procs = self.network.processes() if live is None else live
         return all(
             cfg[u][ST] == C and self.input.p_icorrect(cfg, u)
-            for u in self.network.processes()
+            for u in procs
         )
 
     # ==================================================================

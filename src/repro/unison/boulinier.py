@@ -190,11 +190,27 @@ class BoulinierUnison(Algorithm):
     # ------------------------------------------------------------------
     # Legitimacy
     # ------------------------------------------------------------------
-    def is_legitimate(self, cfg: Configuration) -> bool:
-        """No tail values and every edge circularly within one increment."""
-        if any(cfg[u][RCLOCK] < 0 for u in self.network.processes()):
+    def is_legitimate(self, cfg: Configuration, live=None) -> bool:
+        """No tail values and every edge circularly within one increment.
+
+        ``live`` restricts the check to the live subsystem under
+        topology churn (crashed processes and their frozen registers
+        are excluded; their incident links are already gone from the
+        mutated network).
+        """
+        if live is None:
+            procs = self.network.processes()
+            edges = self.network.edges()
+        else:
+            alive = set(live)
+            procs = alive
+            edges = [
+                (u, v) for u, v in self.network.edges()
+                if u in alive and v in alive
+            ]
+        if any(cfg[u][RCLOCK] < 0 for u in procs):
             return False
         return all(
             self.comparable(cfg[u][RCLOCK], cfg[v][RCLOCK])
-            for u, v in self.network.edges()
+            for u, v in edges
         )

@@ -1,0 +1,158 @@
+"""CSRAdjacency under churn: in-place deltas and empty-segment reductions.
+
+``apply_delta`` promises that patching the CSR arrays in place leaves an
+object *exactly* equal to a from-scratch rebuild of the mutated edge set
+— including the ``_stride`` regular-graph fast path and the
+``_has_empty`` guard that routes reductions off ``reduceat`` (which
+mis-handles empty segments) once churn isolates a vertex.  These tests
+drive randomized edit sequences against that promise and pin every
+reduction's vacuous value on isolated-vertex and zero-edge graphs.
+"""
+
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.core.kernel.csr import CSRAdjacency
+from repro.topology import grid, ring
+
+
+def assert_same_layout(got: CSRAdjacency, want: CSRAdjacency):
+    assert got.n == want.n
+    np.testing.assert_array_equal(got.indptr, want.indptr)
+    np.testing.assert_array_equal(got.indices, want.indices)
+    np.testing.assert_array_equal(got.edge_src, want.edge_src)
+    np.testing.assert_array_equal(got.deg, want.deg)
+    assert got._no_edges == want._no_edges
+    assert got._has_empty == want._has_empty
+    assert got._stride == want._stride
+
+
+def random_edits(net, rng, rounds=12):
+    """Yield (drops, adds) batches valid against ``net``, applying each."""
+    n = net.n
+    for _ in range(rounds):
+        edges = sorted(tuple(sorted(e)) for e in net.edges())
+        absent = [
+            (u, v) for u in range(n) for v in range(u + 1, n)
+            if (u, v) not in set(edges)
+        ]
+        drops = rng.sample(edges, k=min(len(edges), rng.randrange(0, 3)))
+        adds = rng.sample(absent, k=min(len(absent), rng.randrange(0, 3)))
+        if not drops and not adds:
+            continue
+        net.apply_delta(drops, adds)
+        yield drops, adds
+
+
+class TestApplyDelta:
+    @pytest.mark.parametrize("make,seed", [
+        (lambda: ring(9), 1),
+        (lambda: grid(3, 4), 2),
+        (lambda: ring(6), 3),
+    ])
+    def test_randomized_edits_equal_scratch_rebuild(self, make, seed):
+        net = make()
+        csr = CSRAdjacency(net)
+        rng = Random(seed)
+        for drops, adds in random_edits(net, rng):
+            csr.apply_delta(drops, adds)
+            assert_same_layout(csr, CSRAdjacency(net))
+
+    def test_isolating_a_vertex_flips_the_empty_guard(self):
+        net = ring(5)
+        csr = CSRAdjacency(net)
+        assert not csr._has_empty
+        assert csr._stride == 2
+        net.apply_delta([(0, 1), (0, 4)], [])
+        csr.apply_delta([(0, 1), (0, 4)], [])
+        assert csr._has_empty
+        assert csr._stride == 0  # no longer regular
+        assert csr.deg[0] == 0
+        assert_same_layout(csr, CSRAdjacency(net))
+
+    def test_dropping_every_edge_reaches_the_zero_edge_layout(self):
+        net = ring(4)
+        csr = CSRAdjacency(net)
+        edges = [tuple(sorted(e)) for e in net.edges()]
+        net.apply_delta(edges, [])
+        csr.apply_delta(edges, [])
+        assert csr._no_edges and csr._has_empty
+        assert_same_layout(csr, CSRAdjacency(net))
+
+    def test_reconnecting_restores_the_stride_fast_path(self):
+        net = ring(6)
+        csr = CSRAdjacency(net)
+        net.apply_delta([(0, 1)], [])
+        csr.apply_delta([(0, 1)], [])
+        assert csr._stride == 0
+        net.apply_delta([], [(0, 1)])
+        csr.apply_delta([], [(0, 1)])
+        assert csr._stride == 2
+        assert_same_layout(csr, CSRAdjacency(net))
+
+
+def brute(csr):
+    """Per-process neighbor lists straight from the CSR arrays."""
+    return [
+        list(csr.indices[csr.indptr[u]:csr.indptr[u + 1]])
+        for u in range(csr.n)
+    ]
+
+
+def isolated_csr():
+    """grid(3, 3) with vertex 4 (the center) fully isolated."""
+    net = grid(3, 3)
+    incident = [tuple(sorted(e)) for e in net.edges() if 4 in e]
+    csr = CSRAdjacency(net)
+    csr.apply_delta(incident, [])
+    assert csr._has_empty and not csr._no_edges
+    return csr
+
+
+def zero_edge_csr():
+    net = ring(4)
+    csr = CSRAdjacency(net)
+    csr.apply_delta([tuple(sorted(e)) for e in net.edges()], [])
+    return csr
+
+
+@pytest.mark.parametrize("make", [isolated_csr, zero_edge_csr],
+                         ids=["isolated-vertex", "zero-edges"])
+class TestEmptySegmentReductions:
+    """Every quantifier hands isolated processes its vacuous value."""
+
+    def test_count_all_any(self, make):
+        csr = make()
+        rng = np.random.default_rng(7)
+        flags = rng.random(csr.indices.shape[0]) < 0.5
+        neigh = brute(csr)
+        offsets = csr.indptr[:-1]
+        count = csr.count_neigh(flags)
+        alls = csr.all_neigh(flags)
+        anys = csr.any_neigh(flags)
+        for u in range(csr.n):
+            local = [flags[offsets[u] + i] for i in range(len(neigh[u]))]
+            assert count[u] == sum(local)
+            assert alls[u] == all(local)   # vacuously True when isolated
+            assert anys[u] == any(local)   # vacuously False when isolated
+        assert count.dtype == np.int64
+
+    def test_min_max_defaults(self, make):
+        csr = make()
+        rng = np.random.default_rng(11)
+        values = rng.integers(0, 50, size=csr.indices.shape[0])
+        mask = rng.random(csr.indices.shape[0]) < 0.6
+        neigh = brute(csr)
+        offsets = csr.indptr[:-1]
+        lo = csr.min_neigh(values, mask, default=-1)
+        hi = csr.max_neigh(values, mask, default=99)
+        for u in range(csr.n):
+            cands = [
+                values[offsets[u] + i]
+                for i in range(len(neigh[u]))
+                if mask[offsets[u] + i]
+            ]
+            assert lo[u] == (min(cands) if cands else -1)
+            assert hi[u] == (max(cands) if cands else 99)

@@ -119,3 +119,51 @@ class TestInterop:
     def test_repr_mentions_sizes(self):
         rep = repr(Network([(0, 1)]))
         assert "n=2" in rep and "m=1" in rep
+
+
+class TestChurnDelta:
+    """``apply_delta`` — the only sanctioned mutation surface."""
+
+    def test_drop_and_add_update_all_views(self):
+        net = Network([(0, 1), (1, 2), (0, 2)])
+        net.apply_delta(drops=[(0, 2)])
+        assert net.m == 2
+        assert net.neighbors(0) == (1,)
+        assert not net.are_neighbors(0, 2)
+        net.apply_delta(adds=[(0, 2)])
+        assert net.m == 3
+        assert net.are_neighbors(0, 2)
+
+    def test_validation(self):
+        net = Network([(0, 1), (1, 2)])
+        with pytest.raises(TopologyError, match="absent"):
+            net.apply_delta(drops=[(0, 2)])
+        with pytest.raises(TopologyError, match="present"):
+            net.apply_delta(adds=[(0, 1)])
+        with pytest.raises(TopologyError, match="[Ss]elf-loop"):
+            net.apply_delta(adds=[(1, 1)])
+
+    def test_disconnection_is_permitted(self):
+        """Connectivity policy lives in the churn scheduler, not here."""
+        net = Network([(0, 1), (1, 2)])
+        net.apply_delta(drops=[(1, 2)])
+        assert net.neighbors(2) == ()
+
+    def test_csr_cache_invalidated(self):
+        """Regression: ``csr()`` once cached a pre-churn layout forever."""
+        net = Network([(0, 1), (1, 2)])
+        indptr_before, indices_before = net.csr()
+        net.apply_delta(adds=[(0, 2)])
+        indptr_after, indices_after = net.csr()
+        assert list(indices_after) != list(indices_before)
+        assert indptr_after[-1] == 2 * net.m
+        # and the refreshed layout matches a from-scratch network
+        fresh_indptr, fresh_indices = Network([(0, 1), (1, 2), (0, 2)]).csr()
+        assert list(indptr_after) == list(fresh_indptr)
+        assert list(indices_after) == list(fresh_indices)
+
+    def test_diameter_cache_invalidated(self):
+        net = Network([(0, 1), (1, 2), (2, 3)])
+        assert net.diameter == 3
+        net.apply_delta(adds=[(0, 3)])
+        assert net.diameter == 2

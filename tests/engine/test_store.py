@@ -51,6 +51,40 @@ class TestCrashTolerance:
         path.write_text(text[: len(text) - 25])
         assert store.keys() == {"a"}
 
+    def test_truncated_tail_warns_with_location(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.append(record("a"))
+        store.append(record("b"))
+        text = path.read_text()
+        path.write_text(text[: len(text) - 25])
+        with pytest.warns(RuntimeWarning, match=r"r\.jsonl:2.*corrupt"):
+            assert [r["key"] for r in store.load()] == ["a"]
+
+    def test_torn_write_resume_rebuilds_byte_identically(self, tmp_path):
+        """A crash-torn final line is skipped; resume re-runs that trial
+        and the healed store equals an uninterrupted run byte for byte."""
+        from repro.engine import Campaign, run_campaign
+
+        campaign = Campaign(
+            "torn", seed=11, algorithms=("unison",), topologies=("ring",),
+            sizes=(5,), scenarios=("random",), trials=3,
+        )
+        clean_path = tmp_path / "clean.jsonl"
+        run_campaign(campaign, store=ResultStore(clean_path), resume=True)
+        reference = clean_path.read_bytes()
+
+        torn_path = tmp_path / "torn.jsonl"
+        torn_path.write_bytes(reference[:-30])  # crash mid-final-append
+        store = ResultStore(torn_path)
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            outcome = run_campaign(campaign, store=store, resume=True)
+        assert len(outcome.records) == campaign.size
+        assert outcome.records == ResultStore(clean_path).load(strict=True)
+        # Appends heal the torn tail first, so the resumed store is a
+        # byte-for-byte match of the uninterrupted run.
+        assert torn_path.read_bytes() == reference
+
     def test_strict_mode_raises_on_corruption(self, tmp_path):
         path = tmp_path / "r.jsonl"
         ResultStore(path).append(record("a"))

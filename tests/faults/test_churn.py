@@ -1,0 +1,210 @@
+"""Unit tests for :mod:`repro.faults.churn`: grammar, draws, invariants.
+
+The bound schedule is the single source of truth for mid-run topology:
+these tests pin the spec grammar's round-trip, the per-occurrence PRNG
+determinism, the connectivity-preserve policy, the post-join junk-state
+domain, and the draw-time mirroring into the shared ``Network``.
+"""
+
+from random import Random
+
+import pytest
+
+from repro.alliance.fga import FGA
+from repro.faults.churn import (
+    BoundChurnSchedule,
+    ChurnEvent,
+    ChurnSchedule,
+    parse_churn,
+)
+from repro.topology import grid, ring
+from repro.unison import Unison
+
+
+def drain(bound, horizon=10_000):
+    """Pop the whole finite stream; returns occurrence summaries."""
+    out = []
+    while not bound.exhausted:
+        for occ in bound.pop_due(horizon):
+            out.append(
+                (occ.action, occ.victims, occ.drops, occ.adds,
+                 occ.assignments, occ.components, occ.live)
+            )
+    return out
+
+
+class TestGrammar:
+    def test_canonical_round_trip(self):
+        spec = (
+            "every=10,count=4,crash=1;burst=55,count=3,gap=10,join=1;"
+            "at=90,drop_edge=1;at=95,add_edge=1"
+        )
+        sched = parse_churn(spec)
+        assert parse_churn(sched.canonical()) == sched
+        assert sched.canonical() == spec
+
+    def test_all_timing_surfaces_normalize(self):
+        sched = parse_churn(
+            "at=5,crash=2;every=7,join=1;storm=10-30,cadence=10,drop_edge=1;"
+            "burst=50,count=2,gap=3,add_edge=1"
+        )
+        kinds = [e.kind for e in sched.events]
+        assert kinds == ["at", "every", "storm", "burst"]
+        storm = sched.events[2]
+        assert (storm.start, storm.gap, storm.count) == (10, 10, 3)
+        assert list(sched.events[3].occurrence_steps()) == [50, 53]
+
+    def test_seed_and_connectivity_join_the_canonical_form(self):
+        sched = parse_churn("every=10,count=2,crash=1,connectivity=allow,seed=9")
+        assert sched.seed == 9
+        assert sched.connectivity == "allow"
+        assert "connectivity=allow" in sched.canonical()
+        assert "seed=9" in sched.canonical()
+        assert parse_churn(sched.canonical()) == sched
+
+    def test_until_bounds_every(self):
+        sched = parse_churn("every=10,start=20,until=50,crash=1")
+        assert list(sched.events[0].occurrence_steps()) == [20, 30, 40, 50]
+
+    def test_finite_and_total_occurrences(self):
+        finite = parse_churn("every=10,count=4,crash=1;at=90,join=2")
+        assert finite.finite
+        assert finite.total_occurrences == 5
+        unbounded = parse_churn("every=10,crash=1")
+        assert not unbounded.finite
+        assert unbounded.total_occurrences is None
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "at=10",                                # no action
+        "crash=1",                              # no timing surface
+        "at=10,crash=1,join=1",                 # two actions
+        "at=10,teleport=1",                     # unknown action
+        "at=10,drop_edge=1,procs=1|2",          # procs on an edge event
+        "at=10,drop_edge=1,clustered",          # clustered on an edge event
+        "storm=10-30,crash=1",                  # storm without cadence
+        "burst=10,crash=1",                     # burst without count/gap
+        "every=10,until=5,start=8,crash=1",     # until before start
+        "at=10,crash=0",                        # k < 1
+        "at=10,crash=1,connectivity=maybe",     # unknown policy
+    ])
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_churn(bad)
+
+    def test_procs_restrict_crash_pool(self):
+        sched = parse_churn("every=10,count=3,crash=1,procs=2|5")
+        assert sched.events[0].procs == (2, 5)
+        bound = sched.bind(Unison(ring(8)), default_seed=1)
+        victims = {v for _, vs, *_ in drain(bound) for v in vs}
+        assert victims <= {2, 5}
+
+
+class TestDeterminism:
+    SPEC = (
+        "every=10,count=4,crash=1;burst=55,count=3,gap=10,join=1;"
+        "at=90,drop_edge=1;at=95,add_edge=1"
+    )
+
+    def bind(self, seed):
+        net = grid(3, 3)
+        return parse_churn(self.SPEC).bind(FGA(net, 1, 1), default_seed=seed)
+
+    def test_same_seed_same_stream(self):
+        assert drain(self.bind(42)) == drain(self.bind(42))
+
+    def test_different_seed_different_stream(self):
+        assert drain(self.bind(42)) != drain(self.bind(43))
+
+    def test_pull_forward_draws_like_the_nominal_twin(self):
+        """A pulled-forward occurrence uses its identity-keyed PRNG, so
+        it commits the same delta as if it had fired on time."""
+        nominal = self.bind(42)
+        on_time = nominal.pop_due(10)
+        pulled = self.bind(42).pop_due(0, idle=True)
+        assert len(on_time) == 1 and len(pulled) == 1
+        assert (on_time[0].victims, on_time[0].drops) == (
+            pulled[0].victims, pulled[0].drops
+        )
+
+
+class TestDrawInvariants:
+    def test_preserve_never_splits_the_live_subgraph(self):
+        bound = parse_churn(
+            "every=5,count=10,crash=1;every=7,count=10,drop_edge=1"
+        ).bind(Unison(ring(12)), default_seed=3)
+        for action, *_, components, live in drain(bound):
+            assert components == 1, action
+
+    def test_allow_may_partition(self):
+        bound = parse_churn(
+            "every=1,count=30,drop_edge=1,connectivity=allow"
+        ).bind(Unison(ring(10)), default_seed=0)
+        assert max(c for *_, c, _ in drain(bound)) > 1
+
+    def test_crash_never_silences_the_last_live_process(self):
+        bound = parse_churn(
+            "every=1,count=50,crash=1,connectivity=allow"
+        ).bind(Unison(ring(6)), default_seed=1)
+        drain(bound)
+        assert sum(bound.live) >= 1
+
+    def test_join_junk_drawn_from_post_join_neighborhood(self):
+        """A rejoining FGA process samples its junk pointer from the
+        neighborhood it has *after* reclaiming its links — the schedule
+        mirrors the reclaimed edges into the Network before the draw."""
+        net = grid(3, 3)
+        algo = FGA(net, 1, 1)
+        bound = parse_churn("at=1,crash=2;at=2,join=2").bind(algo, default_seed=6)
+        seen_ptrs = []
+        for occ in bound.pop_due(5):
+            if occ.action != "join":
+                continue
+            for u, var, value in occ.assignments:
+                if var == "ptr" and value is not None:
+                    seen_ptrs.append((u, value))
+                    assert value in net.closed_neighbors(u)
+        assert seen_ptrs, "no join pointer draws observed"
+
+    def test_network_mirrored_at_draw_time(self):
+        net = ring(9)
+        bound = parse_churn(
+            "every=3,count=6,crash=1;every=4,count=6,drop_edge=1;"
+            "every=5,count=6,add_edge=1;every=6,count=6,join=1"
+        ).bind(Unison(net), default_seed=2)
+        while not bound.exhausted:
+            bound.pop_due(100)
+            mirrored = tuple(sorted(tuple(sorted(e)) for e in net.edges()))
+            assert mirrored == bound.current_edges()
+
+    def test_join_reverses_crash(self):
+        """Crash then join of the same victim restores the deployment
+        links (all neighbors still live) and clears the dead set."""
+        net = ring(5)
+        bound = parse_churn("at=1,crash=1;at=2,join=1").bind(
+            Unison(net), default_seed=4
+        )
+        (crash,) = bound.pop_due(1)
+        assert bound.dead() == crash.victims
+        (join,) = bound.pop_due(2)
+        assert join.victims == crash.victims
+        assert sorted(join.adds) == sorted(crash.drops)
+        assert bound.dead() == ()
+        assert set(bound.current_edges()) == {
+            (0, 1), (1, 2), (2, 3), (3, 4), (0, 4)
+        }
+
+
+class TestBindPlumbing:
+    def test_bind_prefers_schedule_seed(self):
+        sched = parse_churn("at=1,crash=1,seed=77")
+        bound = sched.bind(Unison(ring(6)), default_seed=5)
+        assert bound.seed == 77
+        unseeded = parse_churn("at=1,crash=1").bind(Unison(ring(6)), default_seed=5)
+        assert unseeded.seed == 5
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            ChurnEvent(action="crash", kind="every", start=10, gap=0, count=None)
+        with pytest.raises(ValueError):
+            ChurnSchedule([], seed=0)

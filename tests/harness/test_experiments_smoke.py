@@ -76,9 +76,16 @@ class TestSmallExperiments:
         assert result.ok
         assert result.table.rows
 
+    def test_t12(self):
+        result = experiments.experiment_t12(
+            n=8, trials=1, cadences=(30,), mixes=("crash-join",), events=1
+        )
+        assert result.ok
+        assert result.table.rows
+
     def test_registry_complete(self):
         assert set(experiments.REGISTRY) == {
-            "T1/T2", "T3/T4", "T5", "T6/T7", "T8", "T9", "T10", "T11",
+            "T1/T2", "T3/T4", "T5", "T6/T7", "T8", "T9", "T10", "T11", "T12",
             "F1/F2", "F3", "F4", "F5", "F6", "P1", "A1",
         }
 
