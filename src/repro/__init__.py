@@ -16,16 +16,22 @@ The package implements, from scratch:
   (:mod:`repro.alliance`), with the six classical instances and a
   Turau-style MIS baseline;
 * substrates: topology generators (:mod:`repro.topology`), fault injection
-  (:mod:`repro.faults`), bound formulas and statistics
+  (:mod:`repro.faults`), adversarial schedule search
+  (:mod:`repro.adversary`), bound formulas and statistics
   (:mod:`repro.analysis`), capability-tiered measurement probes
   (:mod:`repro.probes`), and the experiment harness
   (:mod:`repro.harness`).
 """
 
-from . import alliance, analysis, faults, probes, topology, unison
+from . import adversary, alliance, analysis, faults, probes, topology, unison
+from .adversary import (
+    BeamAdversary,
+    GreedyAdversary,
+    ScheduleCertificate,
+    SearchDaemon,
+)
 from .alliance import FGA, TurauMIS
 from .core import (
-    AdversarialDaemon,
     Algorithm,
     CentralDaemon,
     Composition,
@@ -76,6 +82,10 @@ __all__ = [
     "WeaklyFairDaemon",
     "AdversarialDaemon",
     "ScriptedDaemon",
+    "SearchDaemon",
+    "GreedyAdversary",
+    "BeamAdversary",
+    "ScheduleCertificate",
     "make_daemon",
     "StabilizationDetector",
     "measure_stabilization",
@@ -99,7 +109,18 @@ __all__ = [
     "topology",
     "unison",
     "alliance",
+    "adversary",
     "faults",
     "analysis",
     "probes",
 ]
+
+
+def __getattr__(name: str):
+    # Forward the AdversarialDaemon deprecation shim (moved to
+    # repro.adversary.search) without importing it eagerly.
+    if name == "AdversarialDaemon":
+        from .core import daemon
+
+        return daemon.AdversarialDaemon
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,284 @@
+"""Replayable schedule certificates: worst schedules as artifacts.
+
+A number ("the beam search found 412 moves") is not evidence; a
+*schedule* is.  Every adversarial search emits a certificate — the exact
+sequence of selections, the seed, and content hashes of the initial and
+final configurations — serialized as JSONL so CI can archive it and
+anyone can replay it.  Replay drives
+:class:`~repro.core.daemon.ScriptedDaemon` on a fresh simulator (dict
+backend by default — the reference interpreter, sharing no code with the
+kernel that found the schedule) and must reproduce the same moves,
+rounds, steps, and final configuration hash; any divergence raises.
+
+File format: line 1 is a header object (version, algorithm, strategy,
+seed, n, hashes, totals), every following line is one step's selection
+as ``{"step": i, "select": [[process, rule], ...]}`` with processes
+ascending.  The serialization is canonical (sorted keys, fixed
+separators), so two equal certificates are byte-identical files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.configuration import Configuration
+from ..core.daemon import ScriptedDaemon
+
+__all__ = [
+    "CERT_VERSION",
+    "CertificateError",
+    "ScheduleCertificate",
+    "ReplayReport",
+    "config_digest",
+    "certificate_from_daemon",
+    "write_certificate",
+    "dump_certificate",
+    "load_certificate",
+    "loads_certificate",
+    "replay_certificate",
+    "verify_certificate",
+]
+
+CERT_VERSION = 1
+
+_JSON = dict(sort_keys=True, separators=(",", ":"))
+
+
+class CertificateError(Exception):
+    """A certificate failed to parse, replay, or verify."""
+
+
+def config_digest(cfg: Configuration) -> str:
+    """Content hash of a configuration (canonical JSON, sha256).
+
+    Per-process states serialize as sorted ``[variable, value]`` pairs;
+    all state values are plain JSON scalars (ints, bools, enum strings,
+    ``None``) by the schema contract, so the digest is stable across
+    backends and Python versions.
+    """
+    payload = [sorted(state.items()) for state in cfg]
+    blob = json.dumps(payload, **_JSON).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class ScheduleCertificate:
+    """One found schedule, replayable from the initial configuration."""
+
+    algorithm: str
+    strategy: str
+    seed: int
+    n: int
+    initial_hash: str
+    final_hash: str
+    steps: int
+    moves: int
+    rounds: int
+    selections: list[dict[int, str]]
+    meta: dict = field(default_factory=dict)
+    version: int = CERT_VERSION
+
+    def header(self) -> dict:
+        return {
+            "version": self.version,
+            "algorithm": self.algorithm,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "n": self.n,
+            "initial_hash": self.initial_hash,
+            "final_hash": self.final_hash,
+            "steps": self.steps,
+            "moves": self.moves,
+            "rounds": self.rounds,
+            "meta": self.meta,
+        }
+
+    def digest(self) -> str:
+        """Content hash of the whole certificate (header + schedule)."""
+        return hashlib.sha256(dump_certificate(self).encode()).hexdigest()
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of re-executing a certificate's schedule."""
+
+    backend: str
+    steps: int
+    moves: int
+    rounds: int
+    final_hash: str
+    ok: bool
+
+
+def certificate_from_daemon(
+    daemon,
+    *,
+    algorithm: str,
+    seed: int,
+    initial: Configuration,
+    final: Configuration,
+    rounds: int,
+    meta: Mapping | None = None,
+) -> ScheduleCertificate:
+    """Package a finished :class:`~repro.adversary.search.SearchDaemon` run.
+
+    ``daemon.log`` holds the selections in execution order; ``initial``
+    must be the configuration the run started from (the simulator copies
+    its input, so the caller's original is unchanged and usable here).
+    """
+    selections = [dict(sel) for sel in daemon.log]
+    return ScheduleCertificate(
+        algorithm=algorithm,
+        strategy=getattr(daemon, "spec", getattr(daemon, "name", "adversarial")),
+        seed=seed,
+        n=len(initial),
+        initial_hash=config_digest(initial),
+        final_hash=config_digest(final),
+        steps=len(selections),
+        moves=sum(len(sel) for sel in selections),
+        rounds=rounds,
+        selections=selections,
+        meta=dict(meta or {}),
+    )
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def dump_certificate(cert: ScheduleCertificate) -> str:
+    """Canonical JSONL text of a certificate."""
+    out = io.StringIO()
+    out.write(json.dumps(cert.header(), **_JSON))
+    out.write("\n")
+    for i, sel in enumerate(cert.selections):
+        row = [[int(u), sel[u]] for u in sorted(sel)]
+        out.write(json.dumps({"step": i, "select": row}, **_JSON))
+        out.write("\n")
+    return out.getvalue()
+
+
+def write_certificate(cert: ScheduleCertificate, path) -> None:
+    with open(path, "w") as fh:
+        fh.write(dump_certificate(cert))
+
+
+def loads_certificate(text: str) -> ScheduleCertificate:
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise CertificateError("empty certificate")
+    try:
+        header = json.loads(lines[0])
+        version = header["version"]
+        if version != CERT_VERSION:
+            raise CertificateError(f"unsupported certificate version {version}")
+        selections: list[dict[int, str]] = []
+        for i, line in enumerate(lines[1:]):
+            row = json.loads(line)
+            if row["step"] != i:
+                raise CertificateError(
+                    f"certificate steps out of order: expected {i}, "
+                    f"got {row['step']}"
+                )
+            selections.append({int(u): rule for u, rule in row["select"]})
+        cert = ScheduleCertificate(
+            algorithm=header["algorithm"],
+            strategy=header["strategy"],
+            seed=header["seed"],
+            n=header["n"],
+            initial_hash=header["initial_hash"],
+            final_hash=header["final_hash"],
+            steps=header["steps"],
+            moves=header["moves"],
+            rounds=header["rounds"],
+            selections=selections,
+            meta=header.get("meta", {}),
+            version=version,
+        )
+    except CertificateError:
+        raise
+    except (KeyError, ValueError, TypeError) as exc:
+        raise CertificateError(f"malformed certificate: {exc}") from None
+    if cert.steps != len(cert.selections):
+        raise CertificateError(
+            f"header claims {cert.steps} steps but file has "
+            f"{len(cert.selections)} selections"
+        )
+    return cert
+
+
+def load_certificate(path) -> ScheduleCertificate:
+    with open(path) as fh:
+        return loads_certificate(fh.read())
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+def replay_certificate(
+    cert: ScheduleCertificate,
+    algorithm,
+    config: Configuration,
+    backend: str = "dict",
+) -> ReplayReport:
+    """Re-execute a certificate's schedule on a fresh simulator.
+
+    ``algorithm`` is a live algorithm instance over the same topology
+    and ``config`` the initial configuration (its hash is checked
+    against the certificate before anything runs).  The schedule is fed
+    through :class:`~repro.core.daemon.ScriptedDaemon`, which raises if
+    the certificate ever activates a disabled move — the replay cannot
+    silently drift.
+    """
+    from ..core.simulator import Simulator
+
+    if config_digest(config) != cert.initial_hash:
+        raise CertificateError(
+            "initial configuration does not match the certificate "
+            f"(expected {cert.initial_hash[:12]}…)"
+        )
+    sim = Simulator(
+        algorithm,
+        ScriptedDaemon([dict(sel) for sel in cert.selections]),
+        config=config,
+        seed=cert.seed,
+        backend=backend,
+    )
+    result = sim.run(max_steps=cert.steps)
+    final_hash = config_digest(sim.cfg)
+    ok = (
+        result.steps == cert.steps
+        and result.moves == cert.moves
+        and sim.rounds.completed == cert.rounds
+        and final_hash == cert.final_hash
+    )
+    return ReplayReport(
+        backend=backend,
+        steps=result.steps,
+        moves=result.moves,
+        rounds=sim.rounds.completed,
+        final_hash=final_hash,
+        ok=ok,
+    )
+
+
+def verify_certificate(
+    cert: ScheduleCertificate,
+    algorithm,
+    config: Configuration,
+    backend: str = "dict",
+) -> ReplayReport:
+    """Replay and raise :class:`CertificateError` on any divergence."""
+    report = replay_certificate(cert, algorithm, config, backend=backend)
+    if not report.ok:
+        raise CertificateError(
+            f"certificate replay diverged on the {backend} backend: "
+            f"steps {report.steps}/{cert.steps}, "
+            f"moves {report.moves}/{cert.moves}, "
+            f"rounds {report.rounds}/{cert.rounds}, "
+            f"final {report.final_hash[:12]}…/{cert.final_hash[:12]}…"
+        )
+    return report

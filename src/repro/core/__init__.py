@@ -9,7 +9,6 @@ from .algorithm import Algorithm
 from .composition import Composition
 from .configuration import Configuration
 from .daemon import (
-    AdversarialDaemon,
     CentralDaemon,
     Daemon,
     DistributedRandomDaemon,
@@ -17,6 +16,7 @@ from .daemon import (
     ScriptedDaemon,
     SynchronousDaemon,
     WeaklyFairDaemon,
+    daemon_kind_known,
     make_daemon,
 )
 from .detectors import StabilizationDetector, measure_stabilization
@@ -34,6 +34,16 @@ from .rounds import RoundCounter
 from .simulator import BACKENDS, RunResult, Simulator
 from .trace import StepRecord, Trace
 
+
+def __getattr__(name: str):
+    # Forward the AdversarialDaemon deprecation shim (moved to
+    # repro.adversary.search) without importing it eagerly.
+    if name == "AdversarialDaemon":
+        from . import daemon
+
+        return daemon.AdversarialDaemon
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "Algorithm",
     "BACKENDS",
@@ -48,6 +58,7 @@ __all__ = [
     "AdversarialDaemon",
     "ScriptedDaemon",
     "make_daemon",
+    "daemon_kind_known",
     "StabilizationDetector",
     "measure_stabilization",
     "Network",

@@ -13,9 +13,16 @@ exists to drive benchmarks toward interesting corners of that ∀-quantifier:
 * :class:`DistributedRandomDaemon` — independent coin per enabled process;
 * :class:`WeaklyFairDaemon` — bounded waiting for continuously enabled
   processes (models the weakly fair daemon assumption of related work);
-* :class:`AdversarialDaemon` — greedy scored strategy, used to stress
-  worst-case move counts;
-* :class:`ScriptedDaemon` — exact replay for unit tests.
+* :class:`ScriptedDaemon` — exact replay for unit tests (and the replay
+  vehicle of adversarial schedule certificates).
+
+The greedy scored ``AdversarialDaemon`` moved to
+:mod:`repro.adversary.search`, where it is the decode-tier fallback of
+the schedule-search daemons; importing it from here still works through
+a deprecation shim.  :func:`make_daemon` accepts ``adversarial`` and
+``adversarial:<strategy>`` (e.g. ``adversarial:greedy``,
+``adversarial:beam-2x2``, ``adversarial:delay``) and builds the search
+daemon lazily.
 
 All daemons honor the contract checked by the simulator: return a non-empty
 subset of the enabled processes, each mapped to one of its enabled rules.
@@ -41,6 +48,7 @@ __all__ = [
     "ScriptedDaemon",
     "DAEMON_KINDS",
     "make_daemon",
+    "daemon_kind_known",
 ]
 
 EnabledMap = Mapping[int, tuple[str, ...]]
@@ -209,30 +217,22 @@ class WeaklyFairDaemon(Daemon):
         return chosen
 
 
-class AdversarialDaemon(Daemon):
-    """Greedy adversary: activates the single worst-scored enabled move.
+def __getattr__(name: str):
+    # Deprecation shim: AdversarialDaemon moved to repro.adversary.search
+    # (its tie-break now uses the canonical ``(score, -u, rule)`` key).
+    if name == "AdversarialDaemon":
+        import warnings
 
-    The strategy callback receives ``(cfg, u, rule, step)`` and returns a
-    score; the highest score is scheduled.  Used by benchmarks to push
-    executions toward many moves (e.g. prefer input-algorithm moves over
-    reset moves, or prefer large reset distances).
-    """
+        from ..adversary.search import AdversarialDaemon
 
-    name = "adversarial"
-
-    def __init__(self, strategy: Callable[[Configuration, int, str, int], float]):
-        self._strategy = strategy
-
-    def select(self, cfg, enabled, rng, step):
-        best: tuple[float, int, str] | None = None
-        for u in sorted(enabled):
-            for rule in enabled[u]:
-                score = self._strategy(cfg, u, rule, step)
-                key = (score, -u, rule)
-                if best is None or key > (best[0], -best[1], best[2]):
-                    best = (score, u, rule)
-        assert best is not None
-        return {best[1]: best[2]}
+        warnings.warn(
+            "repro.core.daemon.AdversarialDaemon moved to "
+            "repro.adversary.search; import it from repro.adversary",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return AdversarialDaemon
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class ScriptedDaemon(Daemon):
@@ -280,15 +280,41 @@ _FACTORIES = {
 
 
 #: Daemon names :func:`make_daemon` accepts (for up-front CLI validation).
-DAEMON_KINDS = tuple(sorted(_FACTORIES))
+#: ``adversarial`` additionally takes a ``:<strategy>`` suffix.
+DAEMON_KINDS = tuple(sorted((*_FACTORIES, "adversarial")))
 
 
 def make_daemon(kind: str, network=None) -> Daemon:
-    """Instantiate a daemon by name (used by the experiment harness)."""
+    """Instantiate a daemon by name (used by the experiment harness).
+
+    ``kind`` may carry a ``:<argument>`` suffix; only ``adversarial``
+    accepts one (the search-strategy spec, default ``greedy``), resolved
+    lazily through :func:`repro.adversary.search.make_search_daemon`.
+    """
+    name, _, arg = kind.partition(":")
+    if name == "adversarial":
+        from ..adversary.search import make_search_daemon
+
+        return make_search_daemon(arg or None, network)
+    if arg:
+        raise DaemonError(
+            f"daemon {name!r} takes no {arg!r} argument "
+            "(only 'adversarial:<strategy>' is parameterized)"
+        )
     try:
         factory = _FACTORIES[kind]
     except KeyError:
         raise DaemonError(
-            f"unknown daemon {kind!r}; choose from {sorted(_FACTORIES)}"
+            f"unknown daemon {kind!r}; choose from {sorted(DAEMON_KINDS)}"
         ) from None
     return factory(network)
+
+
+def daemon_kind_known(kind: str) -> bool:
+    """Whether :func:`make_daemon` would accept ``kind`` (CLI validation)."""
+    name, _, arg = kind.partition(":")
+    if name == "adversarial":
+        from ..adversary.search import known_strategy
+
+        return known_strategy(arg or None)
+    return not arg and name in _FACTORIES

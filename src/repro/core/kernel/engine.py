@@ -29,7 +29,7 @@ from ..exceptions import ModelViolation
 from .daemons import VectorDaemon, open_stream
 from .programs import KernelProgram
 
-__all__ = ["KernelRuntime", "FusedResult"]
+__all__ = ["KernelRuntime", "KernelSnapshot", "FusedResult"]
 
 #: Deferred per-process move accounting flushes into a bincount once this
 #: many buffered moves accumulate — keeps fused-loop memory O(n) on
@@ -158,6 +158,31 @@ def exclusion_offender(masks, rules, size):
         r for r in rules if (mask := masks.get(r)) is not None and mask[u]
     )
     return u, offending
+
+
+class KernelSnapshot:
+    """Frozen copy of a :class:`KernelRuntime`'s mutable state.
+
+    Captures both buffer parities (read *and* write column contents),
+    the liveness column, and — when the caller passes them to
+    :meth:`KernelRuntime.snapshot` — the round-counter state and the
+    daemon RNG state, so a restore rewinds everything an adversarial
+    rollout could have disturbed.  Snapshots are plain value objects:
+    they never alias the runtime's buffers and survive any number of
+    interleaved ``apply``/``restore`` calls.
+    """
+
+    __slots__ = ("read", "write", "live", "max_enabled_rules", "rng_state",
+                 "rounds_state")
+
+    def __init__(self, read, write, live, max_enabled_rules, rng_state,
+                 rounds_state):
+        self.read = read
+        self.write = write
+        self.live = live
+        self.max_enabled_rules = max_enabled_rules
+        self.rng_state = rng_state
+        self.rounds_state = rounds_state
 
 
 class KernelRuntime:
@@ -302,6 +327,53 @@ class KernelRuntime:
             self.program.apply(rule, idx, read, write)
         self.read, self.write = write, read
         self._masks = None
+
+    def snapshot(self, rng: Random | None = None, rounds=None) -> KernelSnapshot:
+        """Copy the runtime's mutable state into a :class:`KernelSnapshot`.
+
+        ``rng`` (a :class:`random.Random`) and ``rounds`` (a started
+        :class:`~repro.core.rounds.RoundCounter`) are optional: when
+        given, their state is captured too and :meth:`restore` rewinds
+        them alongside the columns.  Used by the adversarial beam search
+        (:mod:`repro.adversary.search`) to branch rollouts off the live
+        runtime without cloning it.
+        """
+        return KernelSnapshot(
+            {name: col.copy() for name, col in self.read.items()},
+            {name: col.copy() for name, col in self.write.items()},
+            None if self.live is None else self.live.copy(),
+            self.max_enabled_rules,
+            None if rng is None else rng.getstate(),
+            None if rounds is None else (rounds.completed, rounds.pending),
+        )
+
+    def restore(self, snap: KernelSnapshot, rng: Random | None = None,
+                rounds=None) -> None:
+        """Rewind the runtime to ``snap`` (inverse of :meth:`snapshot`).
+
+        Column contents are copied back *in place* into whichever buffer
+        currently holds each parity — buffer identity is irrelevant, only
+        contents matter — and the guard-mask/enabled-map caches are
+        invalidated so the next query sees the restored configuration.
+        """
+        for name, col in snap.read.items():
+            self.read[name][:] = col
+        for name, col in snap.write.items():
+            self.write[name][:] = col
+        if snap.live is None:
+            self.live = None
+        elif self.live is None:
+            self.live = snap.live.copy()
+        else:
+            self.live[:] = snap.live
+        self.max_enabled_rules = snap.max_enabled_rules
+        self._masks = None
+        self._prev_valid = False
+        self._prev_map = {}
+        if rng is not None and snap.rng_state is not None:
+            rng.setstate(snap.rng_state)
+        if rounds is not None and snap.rounds_state is not None:
+            rounds.resume(*snap.rounds_state)
 
     def inject(self, assignments) -> None:
         """Corrupt registers in place: ``(process, variable, value)`` triples.

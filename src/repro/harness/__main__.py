@@ -39,6 +39,10 @@ differs.
 ``--churn SPEC`` does the same for topology churn (see
 :mod:`repro.faults.churn`): links drop/appear and processes crash/rejoin
 mid-run; churn cells always execute serially (never batched).
+``--adversary STRATEGY`` replaces every trial's daemon with an
+adversarial schedule search (:mod:`repro.adversary`) — also part of the
+trial key; adversary cells run serially on the kernel backend and every
+found schedule is replay-verified on the dict backend.
 ``--trial-timeout`` / ``--max-retries`` enable the supervised
 crash-tolerant executor (:class:`repro.engine.pool.FailurePolicy`):
 failing trials are retried, degraded batch → serial → dict, and finally
@@ -79,7 +83,7 @@ def _parse_scalar(text: str):
 
 
 def _build_campaign(args):
-    from ..core.daemon import DAEMON_KINDS
+    from ..core.daemon import DAEMON_KINDS, daemon_kind_known
     from ..engine import Campaign
     from ..topology import TOPOLOGIES
 
@@ -107,10 +111,11 @@ def _build_campaign(args):
         raise ValueError(
             f"unknown topology(ies) {unknown}; choose from {sorted(TOPOLOGIES)}"
         )
-    unknown = [d for d in axes.get("daemons", ()) if d not in DAEMON_KINDS]
+    unknown = [d for d in axes.get("daemons", ()) if not daemon_kind_known(d)]
     if unknown:
         raise ValueError(
-            f"unknown daemon(s) {unknown}; choose from {list(DAEMON_KINDS)}"
+            f"unknown daemon(s) {unknown}; choose from {list(DAEMON_KINDS)} "
+            "(adversarial takes an optional ':<strategy>' suffix)"
         )
     params: dict[str, object] = {}
     for entry in args.param:
@@ -140,6 +145,28 @@ def _build_campaign(args):
 
         parse_churn(args.churn)
         params["churn"] = args.churn
+    if getattr(args, "adversary", None):
+        # Same contract again: validate the strategy spec up front,
+        # store it verbatim.  The search replaces the scheduler, so the
+        # spec changes measured results and keys every trial; it also
+        # forces serial kernel-backend execution (see
+        # repro.harness.runner.can_batch / _adversary_daemon).
+        from ..adversary.search import known_strategy
+
+        if not known_strategy(args.adversary):
+            from ..adversary.search import STRATEGY_KINDS
+
+            raise ValueError(
+                f"unknown adversary strategy {args.adversary!r}; choose "
+                f"from {list(STRATEGY_KINDS)} (beam takes optional "
+                "-W, -WxH, -WxHxB suffixes, e.g. beam-3x3)"
+            )
+        if params.get("backend") == "dict":
+            raise ValueError(
+                "--adversary requires the kernel backend; replay the "
+                "emitted certificate to cross-check the dict backend"
+            )
+        params["adversary"] = args.adversary
     return Campaign(
         name=args.name,
         seed=args.seed,
@@ -235,6 +262,13 @@ def run_sweep(argv: list[str]) -> int:
                              "every=150,join=1'; part of the trial key "
                              "(it changes measured results) and forces "
                              "serial execution")
+    parser.add_argument("--adversary", default=None, metavar="STRATEGY",
+                        help="replace every trial's daemon with an "
+                             "adversarial schedule search (greedy, beam, "
+                             "beam-WxH, delay); part of the trial key, "
+                             "forces serial kernel-backend execution, and "
+                             "each found schedule is replay-verified on "
+                             "the dict backend")
     parser.add_argument("--trial-timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="per-trial wall-clock deadline; enables the "

@@ -16,6 +16,8 @@ Two execution fast paths keep trials off the per-step Python boundary:
 
 from __future__ import annotations
 
+import os
+import re
 from dataclasses import dataclass, field
 from random import Random
 from typing import TYPE_CHECKING, Any, Callable, Sequence
@@ -284,6 +286,101 @@ def _serial_fault_trial(
     )
 
 
+# ----------------------------------------------------------------------
+# Adversarial schedule search (the ``adversary`` trial param)
+# ----------------------------------------------------------------------
+def _adversary_daemon(adversary: str, daemon, backend: str, faults, churn,
+                      network: Network, stop_mask: str | None = None):
+    """Validate an ``adversary=`` trial and build its search daemon.
+
+    The adversary *is* the scheduler, so it replaces the daemon (the
+    ``daemon`` param must stay at its default) and runs on the kernel
+    backend: the column-tier search has no dict twin, and silently
+    degrading to the scored fallback would make results depend on an
+    execution option.  Cross-backend confidence comes from the
+    certificate instead — every found schedule is replay-verified on the
+    dict backend before the trial returns.  Disturbance schedules don't
+    compose with search (a fault mid-rollout would invalidate every
+    snapshot score), so ``faults``/``churn`` are rejected.
+
+    ``stop_mask`` is the trial's legitimacy mask (the one its
+    stabilization probe rides): the search treats configurations
+    satisfying it as terminal, since the measured run stops there.
+    """
+    from ..adversary.search import make_search_daemon
+
+    if faults is not None or churn is not None:
+        raise ValueError(
+            "adversary search does not compose with faults/churn schedules"
+        )
+    if isinstance(daemon, Daemon) or daemon != "distributed-random":
+        raise ValueError(
+            f"adversary={adversary!r} replaces the daemon; leave the "
+            f"daemon param at its default (got {daemon!r})"
+        )
+    if backend == "dict":
+        raise ValueError(
+            "adversary search requires the kernel backend; replay its "
+            "certificate on the dict backend instead (done automatically)"
+        )
+    search = make_search_daemon(adversary, network)
+    search.strategy.stop_mask = stop_mask
+    return search, "kernel"
+
+
+def _maybe_write_certificate(cert) -> str | None:
+    """Write the certificate under ``$REPRO_CERT_DIR`` when set (CI artifacts)."""
+    from ..adversary.certificates import write_certificate
+
+    cert_dir = os.environ.get("REPRO_CERT_DIR")
+    if not cert_dir:
+        return None
+    os.makedirs(cert_dir, exist_ok=True)
+    slug = re.sub(
+        r"[^A-Za-z0-9.]+", "-", f"{cert.algorithm}-{cert.strategy}"
+    ).strip("-").lower()
+    path = os.path.join(cert_dir, f"{slug}-n{cert.n}-s{cert.seed}.jsonl")
+    write_certificate(cert, path)
+    return path
+
+
+def _adversary_extra(daemon: Daemon, adversary: str, label: str, algo,
+                     initial, final, rounds: int, seed: int,
+                     network: Network) -> dict:
+    """Certificate + dict-backend replay verification of a finished search.
+
+    Raises :class:`~repro.adversary.certificates.CertificateError` if the
+    replay diverges in any way — a found schedule that the reference
+    interpreter cannot reproduce is not a result.
+    """
+    from ..adversary.certificates import certificate_from_daemon, verify_certificate
+
+    cert = certificate_from_daemon(
+        daemon, algorithm=label, seed=seed, initial=initial, final=final,
+        rounds=rounds,
+        meta={"spec": adversary, "m": network.m, "diameter": network.diameter},
+    )
+    report = verify_certificate(cert, algo, initial, backend="dict")
+    out = {
+        "strategy": getattr(daemon, "spec", daemon.name),
+        "spec": adversary,
+        "digest": cert.digest(),
+        "initial_hash": cert.initial_hash,
+        "final_hash": cert.final_hash,
+        "replay": {
+            "backend": report.backend,
+            "ok": report.ok,
+            "steps": report.steps,
+            "moves": report.moves,
+            "rounds": report.rounds,
+        },
+    }
+    path = _maybe_write_certificate(cert)
+    if path is not None:
+        out["certificate_path"] = path
+    return out
+
+
 def _unison_start(sdr: SDR, scenario: str, rng: Random):
     if scenario == "random":
         return sdr.random_configuration(rng)
@@ -346,6 +443,7 @@ def run_unison_trial(
     probe: str = "auto",
     faults=None,
     churn=None,
+    adversary: str | None = None,
 ) -> Trial:
     """Run ``U ∘ SDR`` to its first normal configuration.
 
@@ -361,12 +459,22 @@ def run_unison_trial(
     ``churn`` (a spec string or :class:`~repro.faults.ChurnSchedule`)
     likewise switches to the recovery workload with mid-run topology
     mutation — recovery then means every *live* process is normal; the
-    two compose freely in one trial.
+    two compose freely in one trial.  ``adversary`` (a strategy spec —
+    ``greedy``, ``beam``, ``beam-WxH``, ``delay``) replaces the daemon
+    with a schedule search (:mod:`repro.adversary`): the trial runs on
+    the kernel backend, and the found schedule's certificate is
+    replay-verified on the dict backend before the record lands in
+    ``Trial.extra["adversary"]``.
     """
     _check_probe_mode(probe)
     rng = Random(seed)
     sdr = SDR(Unison(network, period=period))
     cfg = _unison_start(sdr, scenario, rng)
+    if adversary is not None:
+        daemon, backend = _adversary_daemon(
+            adversary, daemon, backend, faults, churn, network,
+            stop_mask="normal_mask",
+        )
     if faults is not None or churn is not None:
         return _serial_fault_trial(
             "U o SDR", sdr, network, cfg, daemon, scenario, seed, faults,
@@ -378,6 +486,12 @@ def run_unison_trial(
                     probes=_named_probes(probe, network.n))
     steps, rounds, moves = _stabilization(sim, sdr.is_normal, "normal_mask",
                                           max_steps, probe=probe)
+    extra: dict[str, Any] = {}
+    if adversary is not None:
+        extra["adversary"] = _adversary_extra(
+            sim.daemon, adversary, "U o SDR", sdr, cfg, sim.cfg, rounds,
+            seed, network,
+        )
     return Trial(
         algorithm="U o SDR",
         scenario=scenario,
@@ -391,6 +505,7 @@ def run_unison_trial(
         moves=moves,
         steps=steps,
         metrics=collect_metrics(sim),
+        extra=extra,
     )
 
 
@@ -406,6 +521,7 @@ def run_boulinier_trial(
     probe: str = "auto",
     faults=None,
     churn=None,
+    adversary: str | None = None,
 ) -> Trial:
     """Run the reset-tail baseline to its first legitimate configuration.
 
@@ -413,12 +529,18 @@ def run_boulinier_trial(
     shared clock variable so head-to-head comparisons start from the same
     amount of clock disorder.  ``faults`` (and/or ``churn``) switches to
     the recovery workload (no SDR wave counters — the baseline has no
-    reset layer).
+    reset layer).  ``adversary`` replaces the daemon with a schedule
+    search, as in :func:`run_unison_trial`.
     """
     _check_probe_mode(probe)
     rng = Random(seed)
     algo = BoulinierUnison(network, period=period, alpha=alpha)
     cfg = _boulinier_start(algo, scenario, rng)
+    if adversary is not None:
+        daemon, backend = _adversary_daemon(
+            adversary, daemon, backend, faults, churn, network,
+            stop_mask="legitimate_mask",
+        )
     if faults is not None or churn is not None:
         return _serial_fault_trial(
             "boulinier", algo, network, cfg, daemon, scenario, seed, faults,
@@ -433,6 +555,12 @@ def run_boulinier_trial(
     steps, rounds, moves = _stabilization(sim, algo.is_legitimate,
                                           "legitimate_mask", max_steps,
                                           probe=probe)
+    extra: dict[str, Any] = {"period": algo.period, "alpha": algo.alpha}
+    if adversary is not None:
+        extra["adversary"] = _adversary_extra(
+            sim.daemon, adversary, "boulinier", algo, cfg, sim.cfg, rounds,
+            seed, network,
+        )
     return Trial(
         algorithm="boulinier",
         scenario=scenario,
@@ -446,7 +574,7 @@ def run_boulinier_trial(
         moves=moves,
         steps=steps,
         metrics=collect_metrics(sim),
-        extra={"period": algo.period, "alpha": algo.alpha},
+        extra=extra,
     )
 
 
@@ -462,6 +590,7 @@ def run_fga_trial(
     probe: str = "auto",
     faults=None,
     churn=None,
+    adversary: str | None = None,
 ) -> Trial:
     """Run ``FGA ∘ SDR`` to termination (the composition is silent).
 
@@ -471,11 +600,17 @@ def run_fga_trial(
     ``faults`` (and/or ``churn``) switches to the recovery workload:
     recovery means the configuration is terminal again, and a finite
     schedule's last burst ends the run at the natural re-termination.
+    ``adversary`` replaces the daemon with a schedule search, as in
+    :func:`run_unison_trial`.
     """
     _check_probe_mode(probe)
     rng = Random(seed)
     sdr = SDR(FGA(network, f, g))
     cfg = _fga_start(sdr, scenario, rng)
+    if adversary is not None:
+        daemon, backend = _adversary_daemon(
+            adversary, daemon, backend, faults, churn, network
+        )
     if faults is not None or churn is not None:
         def fga_extra(sim):
             alliance = sdr.input.alliance(sim.cfg)
@@ -492,6 +627,14 @@ def run_fga_trial(
                     probes=_named_probes(probe, network.n))
     result = sim.run_to_termination(max_steps=max_steps)
     alliance = sdr.input.alliance(sim.cfg)
+    extra: dict[str, Any] = {
+        "alliance_size": len(alliance), "alliance": frozenset(alliance),
+    }
+    if adversary is not None:
+        extra["adversary"] = _adversary_extra(
+            sim.daemon, adversary, "FGA o SDR", sdr, cfg, sim.cfg,
+            result.rounds, seed, network,
+        )
     return Trial(
         algorithm="FGA o SDR",
         scenario=scenario,
@@ -505,7 +648,7 @@ def run_fga_trial(
         moves=result.moves,
         steps=result.steps,
         metrics=collect_metrics(sim),
-        extra={"alliance_size": len(alliance), "alliance": frozenset(alliance)},
+        extra=extra,
     )
 
 
@@ -567,8 +710,15 @@ def can_batch(spec: "TrialSpec") -> bool:
         return False
     if spec.daemon not in DAEMON_KINDS:
         return False
+    if str(spec.daemon).partition(":")[0] == "adversarial":
+        # Search daemons have no vector twin (they *are* the scheduler,
+        # driving the runtime through snapshots); adversary trials
+        # always run serially.
+        return False
     params = dict(spec.params)
     if params.get("backend") == "dict" or params.get("probe") == "decode":
+        return False
+    if params.get("adversary"):
         return False
     if params.get("churn"):
         # Topology churn mutates per-trial network state (CSR deltas,

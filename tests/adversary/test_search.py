@@ -1,0 +1,238 @@
+"""Search strategies, their daemon adapter, and the deprecation shim."""
+
+import warnings
+from random import Random
+
+import pytest
+
+from repro.adversary.search import (
+    STRATEGY_KINDS,
+    AdversarialDaemon,
+    BeamAdversary,
+    GreedyAdversary,
+    ScoredStrategy,
+    SearchDaemon,
+    delay_strategy,
+    known_strategy,
+    make_search_daemon,
+)
+from repro.core.daemon import DAEMON_KINDS, daemon_kind_known, make_daemon
+from repro.core.exceptions import DaemonError
+from repro.core.simulator import Simulator
+from repro.reset import SDR
+from repro.topology import ring
+from repro.unison import Unison
+
+
+class TestAdversarialTieBreak:
+    """Satellite regression: one canonical ``(score, -u, rule)`` key."""
+
+    def test_constant_score_prefers_lowest_process(self):
+        daemon = AdversarialDaemon(lambda cfg, u, rule, step: 1.0)
+        enabled = {4: ("rule_a",), 0: ("rule_a",), 2: ("rule_a",)}
+        assert daemon.select(None, enabled, Random(0), 0) == {0: "rule_a"}
+
+    def test_rule_tie_breaks_lexicographically_greatest(self):
+        daemon = AdversarialDaemon(lambda cfg, u, rule, step: 1.0)
+        enabled = {3: ("rule_a", "rule_c", "rule_b")}
+        assert daemon.select(None, enabled, Random(0), 0) == {3: "rule_c"}
+
+    def test_score_dominates_process_order(self):
+        daemon = AdversarialDaemon(
+            lambda cfg, u, rule, step: 5.0 if u == 7 else 1.0
+        )
+        enabled = {0: ("rule_a",), 7: ("rule_a",)}
+        assert daemon.select(None, enabled, Random(0), 0) == {7: "rule_a"}
+
+    def test_one_canonical_key_not_per_process_max(self):
+        # The old implementation maximized per process then across
+        # processes with inconsistent tuples; the canonical key must
+        # pick (score, -u, rule) across ALL (u, rule) pairs at once.
+        daemon = AdversarialDaemon(
+            lambda cfg, u, rule, step: {"x": 2.0, "y": 2.0}[rule]
+        )
+        enabled = {1: ("x", "y"), 0: ("y", "x")}
+        assert daemon.select(None, enabled, Random(0), 0) == {0: "y"}
+
+
+class TestDelayStrategy:
+    def test_input_moves_first(self):
+        assert delay_strategy(None, 0, "rule_U", 0) == 3.0
+        assert delay_strategy(None, 0, "rule_RB", 0) == 2.0
+        assert delay_strategy(None, 0, "rule_R", 0) == 2.0
+        assert delay_strategy(None, 0, "rule_RF", 0) == 1.0
+        assert delay_strategy(None, 0, "rule_C", 0) == 0.0
+
+
+class TestStrategyParsing:
+    def test_kinds(self):
+        assert set(STRATEGY_KINDS) == {"greedy", "beam", "delay"}
+
+    def test_default_is_greedy(self):
+        daemon = make_search_daemon()
+        assert isinstance(daemon.strategy, GreedyAdversary)
+        assert daemon.spec == "adversarial:greedy"
+
+    @pytest.mark.parametrize("spec,width,horizon,branch", [
+        ("beam", 3, 3, 6),
+        ("beam-2", 2, 3, 6),
+        ("beam-2x5", 2, 5, 6),
+        ("beam-2x5x4", 2, 5, 4),
+    ])
+    def test_beam_specs(self, spec, width, horizon, branch):
+        strategy = make_search_daemon(spec).strategy
+        assert isinstance(strategy, BeamAdversary)
+        assert (strategy.width, strategy.horizon, strategy.branch) == (
+            width, horizon, branch)
+
+    def test_delay_is_scored_only(self):
+        strategy = make_search_daemon("delay").strategy
+        assert isinstance(strategy, ScoredStrategy)
+        assert strategy.column_tier is False
+
+    @pytest.mark.parametrize("bad", [
+        "nope", "beam-", "beam-1x2x3x4", "beam-ax2", "beam-0", "beam-2x0",
+    ])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(DaemonError):
+            make_search_daemon(bad)
+        assert not known_strategy(bad)
+
+    def test_known_strategy(self):
+        assert known_strategy(None)
+        assert known_strategy("greedy")
+        assert known_strategy("beam-2x2")
+        assert known_strategy("delay")
+
+
+class TestDaemonRegistry:
+    def test_adversarial_registered(self):
+        assert "adversarial" in DAEMON_KINDS
+
+    def test_make_daemon_parses_strategy_suffix(self):
+        daemon = make_daemon("adversarial:beam-2x2")
+        assert isinstance(daemon, SearchDaemon)
+        assert daemon.spec == "adversarial:beam-2x2"
+
+    def test_make_daemon_bare_adversarial(self):
+        assert isinstance(make_daemon("adversarial"), SearchDaemon)
+
+    def test_non_adversarial_kind_rejects_argument(self):
+        with pytest.raises(DaemonError):
+            make_daemon("central:greedy")
+
+    def test_daemon_kind_known(self):
+        assert daemon_kind_known("distributed-random")
+        assert daemon_kind_known("adversarial")
+        assert daemon_kind_known("adversarial:beam-2x2")
+        assert not daemon_kind_known("adversarial:nope")
+        assert not daemon_kind_known("central:x")
+        assert not daemon_kind_known("nope")
+
+
+class TestDeprecationShim:
+    """Satellite: the old import path warns but returns the same class."""
+
+    def test_core_daemon_import_warns(self):
+        import repro.core.daemon as core_daemon
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cls = core_daemon.AdversarialDaemon
+        assert cls is AdversarialDaemon
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+
+    def test_package_reexports_are_the_same_class(self):
+        import repro
+        import repro.core as core
+
+        assert repro.AdversarialDaemon is AdversarialDaemon
+        assert core.AdversarialDaemon is AdversarialDaemon
+
+
+class TestKernelSnapshot:
+    def test_snapshot_restore_round_trip(self):
+        sdr = SDR(Unison(ring(6)))
+        sim = Simulator(sdr, make_daemon("synchronous"), seed=0,
+                        backend="kernel", fuse=False)
+        sim.run(max_steps=2)
+        kernel = sim._kernel
+        snap = kernel.snapshot()
+        before = {name: col.copy() for name, col in kernel.read.items()}
+        enabled_before = dict(kernel.enabled_map())
+        # Drive the runtime forward, then rewind.
+        for _ in range(3):
+            em = dict(kernel.enabled_map())
+            if not em:
+                break
+            u = min(em)
+            kernel.apply({u: em[u][0]})
+        kernel.restore(snap)
+        for name, col in before.items():
+            assert (kernel.read[name] == col).all()
+        assert dict(kernel.enabled_map()) == enabled_before
+
+    def test_snapshot_carries_rng_and_rounds(self):
+        from repro.core.rounds import RoundCounter
+
+        sdr = SDR(Unison(ring(4)))
+        sim = Simulator(sdr, make_daemon("synchronous"), seed=0,
+                        backend="kernel", fuse=False)
+        sim.run(max_steps=1)
+        kernel = sim._kernel
+        rng = Random(42)
+        rounds = RoundCounter()
+        rounds.resume(3, set(range(4)))
+        snap = kernel.snapshot(rng=rng, rounds=rounds)
+        state = rng.getstate()
+        rng.random()
+        rounds.resume(7, set())
+        kernel.restore(snap, rng=rng, rounds=rounds)
+        assert rng.getstate() == state
+        assert rounds.completed == 3
+
+
+class TestSearchDaemonAdapter:
+    def test_logs_every_selection_and_resets(self):
+        net = ring(6)
+        sdr = SDR(Unison(net))
+        daemon = make_search_daemon("greedy")
+        sim = Simulator(sdr, daemon, seed=0, backend="kernel", fuse=False)
+        sim.run(max_steps=5)
+        assert len(daemon.log) == 5
+        assert all(sel for sel in daemon.log)
+        daemon.reset()
+        assert daemon.log == []
+
+    def test_dict_backend_falls_back_to_scored_tier(self):
+        net = ring(6)
+        sdr = SDR(Unison(net))
+        daemon = make_search_daemon("greedy")
+        sim = Simulator(sdr, daemon, seed=0, backend="dict")
+        sim.run(max_steps=4)
+        # Decode-tier fallback activates exactly one process per step.
+        assert [len(sel) for sel in daemon.log] == [1, 1, 1, 1]
+
+    def test_searches_are_seed_independent(self):
+        net = ring(6)
+        results = []
+        for seed in (0, 1):
+            daemon = make_search_daemon("beam-2x2")
+            sdr = SDR(Unison(net))
+            sim = Simulator(sdr, daemon, seed=seed, backend="kernel",
+                            fuse=False)
+            sim.run(max_steps=6)
+            results.append(list(daemon.log))
+        assert results[0] == results[1]
+
+    def test_beam_first_depth_equals_greedy_when_width_one(self):
+        # A 1x1 beam IS greedy: identical schedules step for step.
+        net = ring(6)
+        logs = []
+        for spec in ("greedy", "beam-1x1"):
+            daemon = make_search_daemon(spec)
+            sim = Simulator(SDR(Unison(net)), daemon, seed=0,
+                            backend="kernel", fuse=False)
+            sim.run(max_steps=6)
+            logs.append(list(daemon.log))
+        assert logs[0] == logs[1]

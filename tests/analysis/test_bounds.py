@@ -50,3 +50,70 @@ class TestFgaBounds:
 class TestBaselineShape:
     def test_boulinier_shape(self):
         assert bounds.boulinier_move_shape(10, 5, 10) == 5 * 1000 + 10 * 100
+
+
+class TestBoundIdentities:
+    """Structural identities the paper's proofs rely on.
+
+    The adversary experiments (T13/F7) check found schedules against
+    these formulas, so the decompositions below are what make "within
+    the bound" a meaningful claim rather than a lucky constant.
+    """
+
+    def test_fga_sdr_rounds_decomposes(self):
+        # Thm 14's 8n+4 is Cor 12's standalone stabilization (5n+4)
+        # plus the reset's own 3n rounds (Cor 5).
+        for n in (2, 5, 9, 16, 33):
+            assert bounds.fga_sdr_rounds_bound(n) == (
+                bounds.fga_standalone_rounds_bound(n)
+                + bounds.sdr_rounds_bound(n)
+            )
+
+    def test_unison_rounds_match_sdr_rounds(self):
+        # Thm 7 and Cor 5 are the same 3n: U∘SDR stabilizes in the
+        # rounds the reset itself needs.
+        for n in (3, 8, 21):
+            assert bounds.unison_rounds_bound(n) == bounds.sdr_rounds_bound(n)
+
+    def test_fga_sdr_moves_factor_is_segment_count(self):
+        # Thm 12 multiplies the per-segment work by n+1 — exactly
+        # Remark 5's bound on the number of segments of an execution.
+        for n in (2, 6, 13):
+            per_segment = 16 * 4 * 3 + 36 * 4 + 27 * n
+            assert bounds.fga_sdr_move_bound(n, 4, 3) == (
+                bounds.segments_bound(n) * per_segment
+            )
+
+    def test_sdr_moves_per_process_tracks_segments(self):
+        # Cor 4's 3n+3 = 3(n+1): three status moves per segment.
+        for n in (2, 7, 20):
+            assert bounds.sdr_moves_per_process_bound(n) == (
+                3 * bounds.segments_bound(n)
+            )
+
+    def test_unison_move_bound_dominates_standalone_mass(self):
+        # The composed bound must cover n processes each doing the
+        # standalone 3D clock moves.
+        for n, d in ((4, 2), (8, 4), (16, 8)):
+            standalone = n * bounds.unison_standalone_moves_per_process_bound(d)
+            assert bounds.unison_move_bound(n, d) > standalone
+
+    def test_small_n_values(self):
+        assert bounds.unison_rounds_bound(1) == 3
+        assert bounds.sdr_rounds_bound(1) == 3
+        assert bounds.segments_bound(1) == 2
+        assert bounds.fga_sdr_rounds_bound(1) == 12
+        assert bounds.unison_move_bound(1, 0) == 3 + 0 + 1
+
+    def test_monotonicity_in_n(self):
+        for fn in (
+            bounds.unison_rounds_bound,
+            bounds.sdr_rounds_bound,
+            bounds.sdr_moves_per_process_bound,
+            bounds.segments_bound,
+            bounds.fga_standalone_rounds_bound,
+            bounds.fga_sdr_rounds_bound,
+        ):
+            values = [fn(n) for n in range(1, 12)]
+            assert values == sorted(values)
+            assert len(set(values)) == len(values)

@@ -86,7 +86,7 @@ class TestSmallExperiments:
     def test_registry_complete(self):
         assert set(experiments.REGISTRY) == {
             "T1/T2", "T3/T4", "T5", "T6/T7", "T8", "T9", "T10", "T11", "T12",
-            "F1/F2", "F3", "F4", "F5", "F6", "P1", "A1",
+            "T13", "F1/F2", "F3", "F4", "F5", "F6", "F7", "P1", "A1",
         }
 
     def test_render_includes_verdict(self):
